@@ -1,0 +1,90 @@
+// Ablation A1: IO thread count. The paper states "after extensive
+// experimental runs we find that 4 IO threads generally yield the best
+// throughput for most of the situations" but omits the study for space.
+// This bench reconstructs it on both layers:
+//   (a) real CRFS raw aggregation bandwidth vs thread count (NullBackend)
+//   (b) DES checkpoint time vs thread count on ext3 and Lustre, where the
+//       throttling trade-off the paper describes actually lives ("too
+//       many IO threads tend to generate high contention ... too few
+//       cannot unleash the full potential").
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "backend/null_backend.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "common/wall_clock.h"
+#include "crfs/crfs.h"
+#include "crfs/fuse_shim.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+namespace {
+
+double raw_bandwidth(unsigned io_threads) {
+  auto backend = std::make_shared<NullBackend>();
+  auto fs = Crfs::mount(backend, Config{.chunk_size = 4 * MiB, .pool_size = 16 * MiB,
+                                        .io_threads = io_threads});
+  if (!fs.ok()) return 0.0;
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  constexpr int kWriters = 8;
+  constexpr std::size_t kPerWriter = 32 * MiB;
+  const Stopwatch sw;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto h = shim.open("w" + std::to_string(w),
+                         {.create = true, .truncate = true, .write = true});
+      if (!h.ok()) return;
+      std::vector<std::byte> buf(1 * MiB, std::byte{1});
+      for (std::size_t off = 0; off < kPerWriter; off += buf.size()) {
+        (void)shim.write(h.value(), buf, off);
+      }
+      (void)shim.close(h.value());
+    });
+  }
+  for (auto& t : writers) t.join();
+  return kWriters * static_cast<double>(kPerWriter) / sw.elapsed_seconds();
+}
+
+double sim_checkpoint(sim::BackendKind backend, unsigned io_threads) {
+  sim::ExperimentConfig cfg;
+  cfg.lu_class = mpi::LuClass::kD;
+  cfg.backend = backend;
+  cfg.mode = sim::FsMode::kCrfs;
+  cfg.crfs_config.io_threads = io_threads;
+  return sim::run_experiment(cfg).mean_rank_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A1: IO Thread Count (paper fixes 4) ===\n\n");
+
+  TextTable table({"IO threads", "Raw agg (real)", "ext3 LU.D (DES)", "Lustre LU.D (DES)"});
+  char buf[32];
+  for (const unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<std::string> row{std::to_string(threads)};
+    std::snprintf(buf, sizeof(buf), "%.0f MB/s", raw_bandwidth(threads) / 1e6);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f s", sim_checkpoint(sim::BackendKind::kExt3, threads));
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f s", sim_checkpoint(sim::BackendKind::kLustre, threads));
+    row.push_back(buf);
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Finding: with a 16 MB pool (4 chunks) the pipeline saturates by ~4\n"
+      "threads everywhere — consistent with the paper's choice. The paper's\n"
+      "claimed penalty for MANY threads ('too many IO threads tend to generate\n"
+      "high contention when they concurrently write to backend filesystems')\n"
+      "does not reproduce in either layer here: the real path is memory-bound\n"
+      "on this host, and the DES backends charge no super-linear cost for\n"
+      "extra concurrent streams from one node. Reproducing that penalty would\n"
+      "need the paper's omitted per-thread-count data to calibrate against.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension experiment: incremental (delta) checkpoints through CRFS.
+//
+// Periodic checkpointing rewrites mostly-unchanged images every epoch.
+// This bench measures, on the real implementation, the bytes and time a
+// delta epoch costs as a function of how much of the process changed
+// between epochs — the knob that decides when delta checkpointing pays.
+#include <cstdio>
+
+#include "backend/mem_backend.h"
+#include "blcr/incremental.h"
+#include "blcr/sinks.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "common/wall_clock.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+using namespace crfs;
+
+int main() {
+  constexpr std::uint64_t kImage = 64 * MiB;
+  std::printf("=== Extension: incremental checkpoints (delta epochs) ===\n");
+  std::printf("one rank, %s image, epoch N+1 written as a delta against epoch N,\n"
+              "through real CRFS (paper defaults). Sweep: fraction of VMAs changed.\n\n",
+              format_bytes(kImage).c_str());
+
+  const auto base = blcr::ProcessImage::synthesize(1, kImage, 7);
+  const auto parent_digest = blcr::digest_image(base);
+
+  // Baseline: a full epoch.
+  double full_seconds = 0;
+  std::uint64_t full_bytes = 0;
+  {
+    auto mem = std::make_shared<MemBackend>();
+    auto fs = Crfs::mount(mem, Config{});
+    FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+    const Stopwatch sw;
+    auto f = File::open(shim, "full", {.create = true, .truncate = true, .write = true});
+    blcr::CrfsFileSink sink(f.value());
+    (void)blcr::CheckpointWriter::write_image(base, sink);
+    (void)f.value().close();
+    full_seconds = sw.elapsed_seconds();
+    full_bytes = mem->total_pwritten_bytes();
+  }
+
+  TextTable table({"Changed VMAs", "Delta bytes", "vs full", "Wall time", "vs full"});
+  char buf[4][32];
+  for (const double fraction : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    const auto next = blcr::mutate_image(base, fraction, 1000 + static_cast<int>(fraction * 100));
+    auto mem = std::make_shared<MemBackend>();
+    auto fs = Crfs::mount(mem, Config{});
+    FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+    const Stopwatch sw;
+    auto f = File::open(shim, "delta", {.create = true, .truncate = true, .write = true});
+    blcr::CrfsFileSink sink(f.value());
+    auto stats = blcr::write_delta_image(next, parent_digest, sink);
+    (void)f.value().close();
+    const double seconds = sw.elapsed_seconds();
+    if (!stats.ok()) continue;
+
+    std::snprintf(buf[0], sizeof(buf[0]), "%.0f%% (%u/%zu)", fraction * 100,
+                  stats.value().changed_vmas, next.vmas.size());
+    std::snprintf(buf[1], sizeof(buf[1]), "%.1f%%",
+                  100.0 * static_cast<double>(mem->total_pwritten_bytes()) /
+                      static_cast<double>(full_bytes));
+    std::snprintf(buf[2], sizeof(buf[2]), "%.3f s", seconds);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.0f%%", 100.0 * seconds / full_seconds);
+    table.add_row({buf[0], format_bytes(mem->total_pwritten_bytes()), buf[1], buf[2],
+                   buf[3]});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Full epoch baseline: %s in %.3f s. Delta cost scales with the\n"
+              "changed fraction (CRC computation over unchanged VMAs is the floor);\n"
+              "restart composes delta over parent with end-to-end CRC verification\n"
+              "(see test_incremental). Orthogonal to, and stackable with, CRFS\n"
+              "aggregation and zero-page elision.\n",
+              format_bytes(full_bytes).c_str(), full_seconds);
+  return 0;
+}

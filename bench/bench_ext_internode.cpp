@@ -1,0 +1,57 @@
+// Extension experiment (paper §VII future work): "we plan to explore how
+// CRFS can optimize inter-node concurrent IO writing to further reduce
+// the IO contentions."
+//
+// Implementation: a cluster-wide admission token limiting how many nodes
+// may run an NFS close-time flush concurrently. The single NFS server's
+// seek-modelled disk rewards per-file-sequential request streams, so
+// serializing the commit storm trades idle client time for server
+// sequentiality. The sweep shows where that trade wins.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+namespace {
+
+double run(mpi::LuClass cls, sim::FsMode mode, unsigned tokens) {
+  sim::ExperimentConfig cfg;
+  cfg.lu_class = cls;
+  cfg.backend = sim::BackendKind::kNfs;
+  cfg.mode = mode;
+  cfg.cal.nfs_coordinated_flushers = tokens;
+  return sim::run_experiment(cfg).mean_rank_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: Inter-node Coordinated Flushing on NFS ===\n");
+  std::printf("(the paper's stated future work, implemented as a cluster-wide\n"
+              " admission token on close-time flushes; 16 nodes x 8 ppn)\n\n");
+
+  TextTable table({"Concurrent flushers", "Native LU.B", "CRFS LU.B",
+                   "Native LU.C", "CRFS LU.C"});
+  char buf[32];
+  for (const unsigned tokens : {0u, 16u, 8u, 4u, 2u, 1u}) {
+    std::vector<std::string> row{tokens == 0 ? "unlimited (paper)" : std::to_string(tokens)};
+    for (const auto& [cls, mode] :
+         {std::pair{mpi::LuClass::kB, sim::FsMode::kNative},
+          std::pair{mpi::LuClass::kB, sim::FsMode::kCrfs},
+          std::pair{mpi::LuClass::kC, sim::FsMode::kNative},
+          std::pair{mpi::LuClass::kC, sim::FsMode::kCrfs}}) {
+      std::snprintf(buf, sizeof(buf), "%.1f s", run(cls, mode, tokens));
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: limiting concurrent flushers keeps the NFS server's request\n"
+              "stream per-file sequential (fewer head seeks), which recovers much of\n"
+              "the native commit-storm penalty and still helps CRFS — node-level\n"
+              "aggregation and inter-node scheduling attack different contention.\n");
+  return 0;
+}

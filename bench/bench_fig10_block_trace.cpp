@@ -1,0 +1,73 @@
+// Reproduces Fig 10: block-IO-layer trace on one node during checkpoint
+// writing of LU.C.64 to ext3 — native (high randomness, many head seeks)
+// vs CRFS (relatively sequential). The DES disk records exactly what
+// blktrace captured in the paper.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+namespace {
+
+sim::ExperimentResult run(sim::FsMode mode) {
+  sim::ExperimentConfig cfg;
+  cfg.lu_class = mpi::LuClass::kC;
+  cfg.nodes = 8;
+  cfg.ppn = 8;
+  cfg.backend = sim::BackendKind::kExt3;
+  cfg.mode = mode;
+  return sim::run_experiment(cfg);
+}
+
+void show(const char* title, const sim::ExperimentResult& r) {
+  ScatterPlot plot(title);
+  plot.set_axis_labels("time (s)", "disk offset (MB)");
+  plot.add_series('#', r.disk_scatter);
+  std::printf("%s\n", plot.render().c_str());
+
+  const auto& s = r.disk_summary;
+  std::printf("  requests %llu | seeks %llu | sequential fraction %.2f | "
+              "avg request %s | mean seek distance %s\n\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.seeks), s.sequential_fraction,
+              format_bytes(s.requests ? s.bytes / s.requests : 0).c_str(),
+              format_bytes(static_cast<std::uint64_t>(s.seek_distance_bytes)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 10: Block IO Layer Trace on One Node "
+              "(LU.C.64, ext3) ===\n\n");
+
+  const auto native = run(sim::FsMode::kNative);
+  const auto crfs = run(sim::FsMode::kCrfs);
+
+  show("(a) Write to ext3 (native)", native);
+  show("(b) Write to ext3 + CRFS", crfs);
+
+  TextTable table({"", "Native", "CRFS", "Ratio"});
+  char buf[32];
+  auto u64 = [&](std::uint64_t v) { return std::to_string(v); };
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                static_cast<double>(native.disk_summary.requests) /
+                    static_cast<double>(crfs.disk_summary.requests));
+  table.add_row({"disk requests", u64(native.disk_summary.requests),
+                 u64(crfs.disk_summary.requests), buf});
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                static_cast<double>(native.disk_summary.seeks) /
+                    static_cast<double>(crfs.disk_summary.seeks ? crfs.disk_summary.seeks : 1));
+  table.add_row({"head seeks", u64(native.disk_summary.seeks),
+                 u64(crfs.disk_summary.seeks), buf});
+  table.add_row({"avg request", format_bytes(native.disk_summary.bytes /
+                                             native.disk_summary.requests),
+                 format_bytes(crfs.disk_summary.bytes / crfs.disk_summary.requests), ""});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper: native shows 'a high degree of randomness ... a lot of disk head\n"
+              "seeks'; CRFS 'coalesces the concurrent write requests and performs\n"
+              "relatively sequential writes'.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig 11: cumulative write time for each process — native ext3
+// vs ext3+CRFS (LU.C.64). CRFS collapses the per-process completion-time
+// variation, so all processes converge and the application resumes
+// quickly after the checkpoint.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+namespace {
+
+sim::ExperimentResult run(sim::FsMode mode) {
+  sim::ExperimentConfig cfg;
+  cfg.lu_class = mpi::LuClass::kC;
+  cfg.nodes = 8;
+  cfg.ppn = 8;
+  cfg.backend = sim::BackendKind::kExt3;
+  cfg.mode = mode;
+  cfg.record_writes = true;
+  return sim::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11: Cumulative Write Time per Process "
+              "(LU.C.64, ext3 vs ext3+CRFS) ===\n\n");
+
+  const auto native = run(sim::FsMode::kNative);
+  const auto crfs = run(sim::FsMode::kCrfs);
+
+  ScatterPlot plot("'N' = native ext3 processes, 'C' = CRFS-over-ext3 processes");
+  plot.set_log_x(true);
+  plot.set_axis_labels("write size (bytes)", "cumulative write time (s)");
+  for (const auto& rec : native.profile.per_process()) {
+    plot.add_series('N', rec.cumulative_time_by_size());
+  }
+  for (const auto& rec : crfs.profile.per_process()) {
+    plot.add_series('C', rec.cumulative_time_by_size());
+  }
+  std::printf("%s\n", plot.render().c_str());
+
+  auto stats = [](const sim::ExperimentResult& r) {
+    Samples s;
+    for (double t : r.profile.completion_times()) s.add(t);
+    return s;
+  };
+  Samples ns = stats(native), cs = stats(crfs);
+
+  TextTable table({"", "min", "median", "max", "spread"});
+  char buf[32];
+  auto row = [&](const char* name, Samples& s) {
+    std::vector<std::string> cells{name};
+    for (double v : {s.min(), s.median(), s.max()}) {
+      std::snprintf(buf, sizeof(buf), "%.2f s", v);
+      cells.push_back(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "%.2fx", s.max() / s.min());
+    cells.push_back(buf);
+    table.add_row(cells);
+  };
+  row("Native ext3", ns);
+  row("CRFS over ext3", cs);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper: native spreads ~2x (4-8 s); with CRFS 'all processes converge\n"
+              "and finish their writing at about the same time'.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig 3: cumulative write time for each process (LU.C.64,
+// native ext3). The paper observes per-process completion times spread
+// from ~4 s to ~8 s because concurrent write streams contend in the VFS
+// and the slowest process delays everyone.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+int main() {
+  std::printf("=== Figure 3: Cumulative Write Time per Process (LU.C.64, ext3, native) ===\n\n");
+
+  sim::ExperimentConfig cfg;
+  cfg.lu_class = mpi::LuClass::kC;
+  cfg.nodes = 8;
+  cfg.ppn = 8;
+  cfg.backend = sim::BackendKind::kExt3;
+  cfg.mode = sim::FsMode::kNative;
+  cfg.record_writes = true;
+
+  const auto result = sim::run_experiment(cfg);
+
+  // One cumulative curve per process, as the figure plots.
+  ScatterPlot plot("Cumulative write time vs write size (one '*' series per process)");
+  plot.set_log_x(true);
+  plot.set_axis_labels("write size (bytes)", "cumulative write time (s)");
+  for (const auto& rec : result.profile.per_process()) {
+    plot.add_series('*', rec.cumulative_time_by_size());
+  }
+  std::printf("%s\n", plot.render().c_str());
+
+  Samples completion;
+  for (double t : result.profile.completion_times()) completion.add(t);
+  std::printf("Per-process completion: min %.1f s, median %.1f s, max %.1f s, "
+              "spread %.2fx\n",
+              completion.min(), completion.median(), completion.max(),
+              completion.max() / completion.min());
+  std::printf("Paper: completion times range from ~4 s to ~8 s (2x spread); the\n"
+              "checkpoint ends only when the slowest process finishes.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Fig 6: checkpoint writing time with MVAPICH2 across ext3,
+// Lustre, and NFS for LU classes B/C/D, native vs CRFS.
+#include "bench/figs678_common.h"
+
+int main() {
+  return crfs::bench::run_fig678(crfs::mpi::Stack::kMvapich2, "Figure 6",
+                                 crfs::bench::kFig6Mvapich2);
+}

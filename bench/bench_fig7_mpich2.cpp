@@ -1,0 +1,8 @@
+// Reproduces Fig 7: checkpoint writing time with MPICH2 (TCP transport;
+// smaller images than the IB stacks) across ext3, Lustre, NFS.
+#include "bench/figs678_common.h"
+
+int main() {
+  return crfs::bench::run_fig678(crfs::mpi::Stack::kMpich2, "Figure 7",
+                                 crfs::bench::kFig7Mpich2);
+}

@@ -1,0 +1,125 @@
+// Ablation A4: google-benchmark microbenches for the CRFS core data
+// structures — the per-operation costs that bound the aggregation path.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "backend/mem_backend.h"
+#include "backend/null_backend.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "crfs/buffer_pool.h"
+#include "crfs/crfs.h"
+#include "crfs/file_table.h"
+#include "crfs/fuse_shim.h"
+#include "crfs/work_queue.h"
+
+namespace crfs {
+namespace {
+
+void BM_BufferPoolAcquireRelease(benchmark::State& state) {
+  BufferPool pool(16 * MiB, 4 * MiB);
+  for (auto _ : state) {
+    auto chunk = pool.acquire(0);
+    benchmark::DoNotOptimize(chunk);
+    pool.release(std::move(chunk));
+  }
+}
+BENCHMARK(BM_BufferPoolAcquireRelease);
+
+void BM_ChunkAppend(benchmark::State& state) {
+  const auto piece = static_cast<std::size_t>(state.range(0));
+  Chunk chunk(4 * MiB);
+  std::vector<std::byte> data(piece, std::byte{7});
+  for (auto _ : state) {
+    if (chunk.remaining() < piece) chunk.reset(0);
+    benchmark::DoNotOptimize(chunk.append(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(piece));
+}
+BENCHMARK(BM_ChunkAppend)->Arg(64)->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_WorkQueuePushPop(benchmark::State& state) {
+  WorkQueue queue;
+  auto entry = std::make_shared<FileEntry>("bench", 1);
+  for (auto _ : state) {
+    auto chunk = std::make_unique<Chunk>(4096);
+    chunk->reset(0);
+    queue.push(WriteJob{entry, std::move(chunk)});
+    auto job = queue.pop();
+    benchmark::DoNotOptimize(job);
+  }
+}
+BENCHMARK(BM_WorkQueuePushPop);
+
+void BM_FileTableFindOrCreate(benchmark::State& state) {
+  FileTable table;
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "f" + std::to_string(i++ % 64);
+    auto entry = table.find_or_create(path, [&]() -> Result<std::shared_ptr<FileEntry>> {
+      return std::make_shared<FileEntry>(path, 1);
+    });
+    benchmark::DoNotOptimize(entry);
+  }
+}
+BENCHMARK(BM_FileTableFindOrCreate);
+
+void BM_Crc64(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc64::of(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc64)->Arg(4 * 1024)->Arg(1024 * 1024);
+
+// End-to-end single-writer aggregation throughput through the full stack
+// (FuseShim -> Crfs -> NullBackend), the per-stream ceiling of Fig 5.
+void BM_CrfsWritePath(benchmark::State& state) {
+  const auto write_size = static_cast<std::size_t>(state.range(0));
+  auto backend = std::make_shared<NullBackend>();
+  auto fs = Crfs::mount(backend, Config{});
+  FuseShim shim(*fs.value(), FuseOptions{});
+  auto h = shim.open("stream", {.create = true, .truncate = true, .write = true});
+  std::vector<std::byte> buf(write_size, std::byte{3});
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shim.write(h.value(), buf, offset).ok());
+    offset += write_size;
+  }
+  (void)shim.close(h.value());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(write_size));
+}
+BENCHMARK(BM_CrfsWritePath)->Arg(64)->Arg(8 * 1024)->Arg(128 * 1024)->Arg(1024 * 1024);
+
+// Write-path cost against a real storing backend (MemBackend), isolating
+// the extra copy CRFS pays versus the discard path.
+void BM_CrfsWritePathStoring(benchmark::State& state) {
+  auto backend = std::make_shared<MemBackend>();
+  auto fs = Crfs::mount(backend, Config{.chunk_size = 1 * MiB, .pool_size = 8 * MiB});
+  FuseShim shim(*fs.value(), FuseOptions{});
+  auto h = shim.open("stream", {.create = true, .truncate = true, .write = true});
+  std::vector<std::byte> buf(128 * 1024, std::byte{3});
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shim.write(h.value(), buf, offset).ok());
+    offset += buf.size();
+    if (offset >= 256 * MiB) offset = 0;  // wrap: bounds the backend footprint
+  }
+  (void)shim.close(h.value());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_CrfsWritePathStoring);
+
+}  // namespace
+}  // namespace crfs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduces Table II: checkpoint sizes of LU.{B,C,D}.128 under the three
+// MPI stacks. The per-process sizes come from the stack model (anchored
+// to the published table); the bench additionally writes one real rank
+// image through CRFS for each cell to confirm the on-disk checkpoint file
+// matches the modelled size (payload + format metadata).
+#include <cstdio>
+
+#include "backend/mem_backend.h"
+#include "bench/paper_data.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/sinks.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+using namespace crfs;
+
+int main() {
+  std::printf("=== Table II: Checkpoint Sizes (128 processes) ===\n");
+  std::printf("Model values vs paper; 'on disk' is one rank image actually written "
+              "through CRFS.\n\n");
+
+  auto mem = std::make_shared<MemBackend>();
+  auto fs = Crfs::mount(mem, Config{});
+  if (!fs.ok()) return 1;
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  TextTable table({"Benchmark", "MPI Library", "Total (MB)", "(paper)",
+                   "Per-proc (MB)", "(paper)", "On disk (MB)"});
+  char buf[32];
+  auto mb = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return std::string(buf);
+  };
+
+  mpi::LuClass last = mpi::LuClass::kB;
+  bool first = true;
+  for (const auto& row : bench::kTable2) {
+    if (!first && row.cls != last) table.add_rule();
+    first = false;
+    last = row.cls;
+
+    const std::uint64_t per_proc = mpi::image_bytes_per_process(row.stack, row.cls, 128);
+    const std::uint64_t total = mpi::total_checkpoint_bytes(row.stack, row.cls, 128);
+
+    // Write rank 0's image for this cell through CRFS and stat the file.
+    const auto image = blcr::ProcessImage::synthesize(0, per_proc, 99);
+    const std::string path = std::string(mpi::stack_name(row.stack)) + "_" +
+                             mpi::lu_class_name(row.cls) + ".ckpt";
+    double on_disk_mb = 0;
+    auto file = File::open(shim, path, {.create = true, .truncate = true, .write = true});
+    if (file.ok()) {
+      blcr::CrfsFileSink sink(file.value());
+      (void)blcr::CheckpointWriter::write_image(image, sink);
+      (void)file.value().close();
+      if (auto st = fs.value()->getattr(path); st.ok()) {
+        on_disk_mb = static_cast<double>(st.value().size) / static_cast<double>(MiB);
+      }
+    }
+
+    const std::string tag = mpi::benchmark_tag(row.cls, 128);
+    const std::string lib =
+        std::string(mpi::stack_name(row.stack)) + "-" + mpi::stack_transport(row.stack);
+    table.add_row({tag, lib, mb(static_cast<double>(total) / static_cast<double>(MiB)),
+                   mb(row.total_mb), mb(static_cast<double>(per_proc) / static_cast<double>(MiB)),
+                   mb(row.per_process_mb), mb(on_disk_mb)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("IB stacks carry ~2.4 MB/proc more than TCP (channel memory), as the\n"
+              "paper observes for MVAPICH2/OpenMPI vs MPICH2.\n");
+  return 0;
+}

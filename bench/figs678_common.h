@@ -1,0 +1,64 @@
+// Shared driver for the Fig 6 / Fig 7 / Fig 8 benches: one MPI stack,
+// checkpoint writing time across {ext3, Lustre, NFS} x {B, C, D}, native
+// vs CRFS, printed as paper-vs-measured plus the paper's bar layout.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "bench/paper_data.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace crfs::bench {
+
+inline int run_fig678(mpi::Stack stack, const char* figure,
+                      std::span<const PaperCell> paper) {
+  std::printf("=== %s: Checkpoint Writing Time with %s (16 nodes x 8 ppn, 128 procs) ===\n",
+              figure, mpi::stack_name(stack));
+  std::printf("DES reproduction; paper values in parentheses. Lower is better.\n\n");
+
+  TextTable table({"Class", "Backend", "Native", "(paper)", "CRFS", "(paper)",
+                   "Speedup", "(paper)"});
+  mpi::LuClass last_cls = mpi::LuClass::kB;
+  bool first = true;
+
+  for (const auto& cell : paper) {
+    if (!first && cell.cls != last_cls) table.add_rule();
+    first = false;
+    last_cls = cell.cls;
+
+    const auto got = sim::run_cell(stack, cell.cls, cell.backend);
+    auto fmt = [](double v) { return v < 0 ? std::string("n/a") : format_seconds(v); };
+    auto speedup = [](double n, double c) {
+      if (n < 0 || c <= 0) return std::string("n/a");
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.1fx", n / c);
+      return std::string(buf);
+    };
+    table.add_row({mpi::lu_class_name(cell.cls), sim::backend_name(cell.backend),
+                   fmt(got.native_seconds), fmt(cell.native_s), fmt(got.crfs_seconds),
+                   fmt(cell.crfs_s), speedup(got.native_seconds, got.crfs_seconds),
+                   speedup(cell.native_s, cell.crfs_s)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The paper's grouped-bar rendering, one group per class.
+  for (const auto cls : {mpi::LuClass::kB, mpi::LuClass::kC, mpi::LuClass::kD}) {
+    BarChart chart(std::string("  ") + mpi::lu_class_name(cls) + ".128 (" +
+                       mpi::stack_name(stack) + ")",
+                   "s");
+    for (const auto& cell : paper) {
+      if (cell.cls != cls) continue;
+      const auto got = sim::run_cell(stack, cell.cls, cell.backend);
+      chart.add(std::string(sim::backend_name(cell.backend)) + " native", got.native_seconds);
+      chart.add(std::string(sim::backend_name(cell.backend)) + " CRFS  ", got.crfs_seconds);
+      chart.add_gap();
+    }
+    std::printf("%s\n", chart.render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace crfs::bench

@@ -1,0 +1,114 @@
+// The paper's published numbers, transcribed for side-by-side reporting.
+// Every bench prints "paper vs measured" so reproduction quality is
+// visible in the output itself (see EXPERIMENTS.md for the digest).
+#pragma once
+
+#include <array>
+
+#include "mpi/stack_model.h"
+#include "sim/experiment.h"
+
+namespace crfs::bench {
+
+/// One cell of Figs 6-8: average local checkpoint time in seconds.
+struct PaperCell {
+  mpi::LuClass cls;
+  sim::BackendKind backend;
+  double native_s;
+  double crfs_s;   ///< < 0 means the paper has no number (OpenMPI C/lustre native failed)
+};
+
+/// Fig 6 (MVAPICH2).
+inline constexpr std::array<PaperCell, 9> kFig6Mvapich2 = {{
+    {mpi::LuClass::kB, sim::BackendKind::kExt3, 1.9, 0.5},
+    {mpi::LuClass::kB, sim::BackendKind::kLustre, 4.0, 0.5},
+    {mpi::LuClass::kB, sim::BackendKind::kNfs, 35.5, 10.4},
+    {mpi::LuClass::kC, sim::BackendKind::kExt3, 2.9, 0.9},
+    {mpi::LuClass::kC, sim::BackendKind::kLustre, 6.0, 1.1},
+    {mpi::LuClass::kC, sim::BackendKind::kNfs, 45.3, 21.3},
+    {mpi::LuClass::kD, sim::BackendKind::kExt3, 19.0, 17.2},
+    {mpi::LuClass::kD, sim::BackendKind::kLustre, 29.3, 20.7},
+    {mpi::LuClass::kD, sim::BackendKind::kNfs, 159.4, 163.4},
+}};
+
+/// Fig 7 (MPICH2).
+inline constexpr std::array<PaperCell, 9> kFig7Mpich2 = {{
+    {mpi::LuClass::kB, sim::BackendKind::kExt3, 0.8, 0.1},
+    {mpi::LuClass::kB, sim::BackendKind::kLustre, 1.2, 0.1},
+    {mpi::LuClass::kB, sim::BackendKind::kNfs, 9.3, 1.1},
+    {mpi::LuClass::kC, sim::BackendKind::kExt3, 1.8, 0.2},
+    {mpi::LuClass::kC, sim::BackendKind::kLustre, 2.8, 0.3},
+    {mpi::LuClass::kC, sim::BackendKind::kNfs, 18.5, 7.7},
+    {mpi::LuClass::kD, sim::BackendKind::kExt3, 17.6, 2.2},
+    {mpi::LuClass::kD, sim::BackendKind::kLustre, 25.8, 19.7},
+    {mpi::LuClass::kD, sim::BackendKind::kNfs, 117.3, 157.3},
+}};
+
+/// Fig 8 (OpenMPI). Native Lustre at class C failed in the paper.
+inline constexpr std::array<PaperCell, 9> kFig8Openmpi = {{
+    {mpi::LuClass::kB, sim::BackendKind::kExt3, 1.3, 0.2},
+    {mpi::LuClass::kB, sim::BackendKind::kLustre, 2.5, 0.2},
+    {mpi::LuClass::kB, sim::BackendKind::kNfs, 17.7, 8.2},
+    {mpi::LuClass::kC, sim::BackendKind::kExt3, 2.5, 0.4},
+    {mpi::LuClass::kC, sim::BackendKind::kLustre, -1.0, 0.7},
+    {mpi::LuClass::kC, sim::BackendKind::kNfs, 27.3, 16.0},
+    {mpi::LuClass::kD, sim::BackendKind::kExt3, 17.7, 6.8},
+    {mpi::LuClass::kD, sim::BackendKind::kLustre, 27.8, 20.5},
+    {mpi::LuClass::kD, sim::BackendKind::kNfs, 133.1, 163.3},
+}};
+
+/// Fig 9 (LU.D on 16 nodes, Lustre, MVAPICH2): ppn -> (native, CRFS).
+struct PaperFig9Point {
+  unsigned ppn;
+  double native_s;
+  double crfs_s;
+  double reduction_pct;
+};
+inline constexpr std::array<PaperFig9Point, 4> kFig9 = {{
+    {1, 14.5, 13.4, -7.6},
+    {2, 20.5, 14.7, -28.0},
+    {4, 22.8, 16.2, -28.7},
+    {8, 29.3, 20.7, -29.6},
+}};
+
+/// Table I (LU.C.64 to ext3): % of writes / % of data / % of time.
+struct PaperTable1Row {
+  const char* bucket;
+  double writes_pct;
+  double data_pct;
+  double time_pct;
+};
+inline constexpr std::array<PaperTable1Row, 10> kTable1 = {{
+    {"0-64", 50.86, 0.04, 0.17},
+    {"64-256", 0.61, 0.00, 0.00},
+    {"256-1K", 0.25, 0.01, 0.00},
+    {"1K-4K", 9.46, 1.53, 0.01},
+    {"4K-16K", 36.49, 11.36, 44.66},
+    {"16K-64K", 0.74, 0.77, 6.55},
+    {"64K-256K", 0.49, 3.79, 11.80},
+    {"256K-512K", 0.25, 3.58, 1.75},
+    {"512K-1M", 0.61, 17.72, 14.72},
+    {"> 1M", 0.25, 61.21, 20.35},
+}};
+
+/// Table II: per-process image MB at 128 procs (also in mpi::stack_model,
+/// repeated here as the published reference).
+struct PaperTable2Row {
+  mpi::LuClass cls;
+  mpi::Stack stack;
+  double total_mb;
+  double per_process_mb;
+};
+inline constexpr std::array<PaperTable2Row, 9> kTable2 = {{
+    {mpi::LuClass::kB, mpi::Stack::kMvapich2, 903.2, 7.1},
+    {mpi::LuClass::kB, mpi::Stack::kOpenMpi, 909.1, 7.1},
+    {mpi::LuClass::kB, mpi::Stack::kMpich2, 497.8, 3.9},
+    {mpi::LuClass::kC, mpi::Stack::kMvapich2, 1928.7, 15.1},
+    {mpi::LuClass::kC, mpi::Stack::kOpenMpi, 1751.7, 13.7},
+    {mpi::LuClass::kC, mpi::Stack::kMpich2, 1359.6, 10.7},
+    {mpi::LuClass::kD, mpi::Stack::kMvapich2, 13653.9, 106.7},
+    {mpi::LuClass::kD, mpi::Stack::kOpenMpi, 13864.9, 108.3},
+    {mpi::LuClass::kD, mpi::Stack::kMpich2, 13261.2, 103.6},
+}};
+
+}  // namespace crfs::bench

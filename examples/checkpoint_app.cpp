@@ -1,0 +1,109 @@
+// checkpoint_app: a coordinated multi-rank checkpoint, native vs CRFS,
+// on real hardware — the paper's core experiment at laptop scale.
+//
+// Runs an MPI-style job (ranks as threads) through the three-phase
+// blocking checkpoint protocol, writing BLCR-pattern images either
+// directly to a rate-limited backend (standing in for a busy disk) or
+// through CRFS stacked on the same backend, and reports per-rank times
+// and the speedup.
+//
+//   ./checkpoint_app [ranks] [backend-MB/s] [image-MB]
+//   (defaults: 4 ranks, 80 MB/s, 32 MB images)
+//
+// Timing note: wall-clock numbers on an oversubscribed/single-core host
+// are noisy; the structural results (CRC equality, backend request
+// reduction) are deterministic.
+#include <cstdio>
+#include <cstdlib>
+
+#include "backend/mem_backend.h"
+#include "backend/wrappers.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "mpi/job.h"
+#include "mpi/targets.h"
+
+using namespace crfs;
+
+int main(int argc, char** argv) {
+  const unsigned ranks = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const double backend_mbps = argc > 2 ? std::atof(argv[2]) : 80.0;
+  const std::uint64_t image_mb = argc > 3 ? static_cast<std::uint64_t>(std::atoi(argv[3])) : 32;
+
+  mpi::JobConfig job;
+  job.stack = mpi::Stack::kMvapich2;
+  job.lu_class = mpi::LuClass::kB;
+  job.nprocs = ranks;
+  job.record_writes = true;
+  job.image_bytes_override = image_mb * MiB;
+
+  const auto image = job.image_bytes_override;
+  std::printf("coordinated checkpoint: %u ranks x %s images, backend limited to "
+              "%.0f MB/s\n\n",
+              ranks, format_bytes(image).c_str(), backend_mbps);
+
+  // The shared slow backend: an in-memory store behind a bandwidth cap
+  // plus a 1 ms per-request cost, standing in for the contended disk of the
+  // paper's compute nodes (every request pays positioning/journal cost —
+  // which is exactly what aggregation amortises).
+  auto make_backend = [&] {
+    return std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(),
+                                              backend_mbps * 1e6,
+                                              std::chrono::microseconds(1000));
+  };
+
+  // --- native: every BLCR write goes straight to the backend -----------
+  auto native_backend = make_backend();
+  mpi::NativeTarget native_target(native_backend);
+  const auto native = mpi::run_checkpoint(job, native_target);
+  if (!native.ok) {
+    std::fprintf(stderr, "native run failed: %s\n", native.error.c_str());
+    return 1;
+  }
+
+  // --- CRFS: same backend, aggregation in between -----------------------
+  auto crfs_backend = make_backend();
+  auto fs = Crfs::mount(crfs_backend, Config{});
+  if (!fs.ok()) return 1;
+  FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+  mpi::CrfsTarget crfs_target(shim);
+  const auto with_crfs = mpi::run_checkpoint(job, crfs_target);
+  if (!with_crfs.ok) {
+    std::fprintf(stderr, "CRFS run failed: %s\n", with_crfs.error.c_str());
+    return 1;
+  }
+
+  // --- report ------------------------------------------------------------
+  TextTable table({"Rank", "Native write (s)", "CRFS write (s)"});
+  char buf[2][32];
+  for (unsigned r = 0; r < ranks; ++r) {
+    std::snprintf(buf[0], sizeof(buf[0]), "%.3f", native.ranks[r].write_seconds);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.3f", with_crfs.ranks[r].write_seconds);
+    table.add_row({std::to_string(r), buf[0], buf[1]});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("checkpoint time (slowest rank): native %.3f s, CRFS %.3f s "
+              "-> %.2fx speedup\n",
+              native.checkpoint_seconds, with_crfs.checkpoint_seconds,
+              native.checkpoint_seconds / with_crfs.checkpoint_seconds);
+  std::printf("per-rank spread: native %.2fx, CRFS %.2fx\n", native.spread(),
+              with_crfs.spread());
+
+  // Data integrity across paths.
+  bool identical = true;
+  for (unsigned r = 0; r < ranks; ++r) {
+    identical &= native.ranks[r].payload_crc == with_crfs.ranks[r].payload_crc;
+  }
+  std::printf("payload CRCs identical across both paths: %s\n",
+              identical ? "yes" : "NO (bug!)");
+
+  std::printf("\nwhy CRFS wins here: close() returns once all chunks hit the backend,\n"
+              "but the %u ranks' small writes were batched into %s chunks, so the\n"
+              "rate-limited backend served ~%llu large writes instead of ~%llu small "
+              "ones.\n",
+              ranks, format_bytes(fs.value()->config().chunk_size).c_str(),
+              static_cast<unsigned long long>(fs.value()->backend_chunks_written()),
+              static_cast<unsigned long long>(native.ranks[0].recorder.count() * ranks));
+  return 0;
+}

@@ -1,0 +1,112 @@
+// ckpt_inspect: command-line inspector for checkpoint image files — the
+// operational tool a CRFS deployment needs when a restart fails.
+//
+//   ./ckpt_inspect <image-file>      inspect + verify an existing image
+//   ./ckpt_inspect --demo            generate an image and inspect it
+//
+// Prints the file header, context summary, a VMA table (address, length,
+// protection, type), and verifies all payload CRCs.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "backend/posix_backend.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/restart_reader.h"
+#include "blcr/sinks.h"
+#include "common/table.h"
+#include "common/units.h"
+
+using namespace crfs;
+
+namespace {
+
+std::string prot_string(std::uint32_t prot) {
+  std::string s = "---";
+  if (prot & 0x1) s[0] = 'r';
+  if (prot & 0x2) s[1] = 'w';
+  if (prot & 0x4) s[2] = 'x';
+  // Our synthetic prot bits: 0x5 = r-x, 0x3 = rw-.
+  if (prot == 0x5) return "r-x";
+  if (prot == 0x3) return "rw-";
+  return s;
+}
+
+int inspect(const std::filesystem::path& path) {
+  auto backend = PosixBackend::create(path.parent_path().empty()
+                                          ? "."
+                                          : path.parent_path().string());
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return 1;
+  }
+  auto bf = backend.value()->open_file(path.filename().string(),
+                                       {.create = false, .truncate = false, .write = false});
+  if (!bf.ok()) {
+    std::fprintf(stderr, "error: %s\n", bf.error().to_string().c_str());
+    return 1;
+  }
+  blcr::BackendSource source(*backend.value(), bf.value());
+  auto image = blcr::RestartReader::read_image(source);
+  (void)backend.value()->close_file(bf.value());
+  if (!image.ok()) {
+    std::fprintf(stderr, "INVALID checkpoint image: %s\n",
+                 image.error().to_string().c_str());
+    return 2;
+  }
+
+  const auto& img = image.value();
+  std::printf("checkpoint image: %s\n", path.c_str());
+  std::printf("  pid            : %u\n", img.pid);
+  std::printf("  VMAs           : %u\n", img.vma_count);
+  std::printf("  payload        : %s\n", format_bytes(img.image_bytes).c_str());
+  std::printf("  payload CRC64  : %016llx (verified)\n\n",
+              static_cast<unsigned long long>(img.payload_crc));
+
+  TextTable table({"#", "start", "end", "prot", "type", "length"});
+  char buf[3][32];
+  for (std::size_t i = 0; i < img.vmas.size(); ++i) {
+    const auto& v = img.vmas[i];
+    std::snprintf(buf[0], sizeof(buf[0]), "%012llx",
+                  static_cast<unsigned long long>(v.start));
+    std::snprintf(buf[1], sizeof(buf[1]), "%012llx",
+                  static_cast<unsigned long long>(v.start + v.length));
+    std::snprintf(buf[2], sizeof(buf[2]), "%s", format_bytes(v.length).c_str());
+    table.add_row({std::to_string(i), buf[0], buf[1], prot_string(v.prot),
+                   blcr::vma_type_name(v.type), buf[2]});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int demo() {
+  const auto dir = std::filesystem::temp_directory_path() / "crfs_inspect_demo";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "demo.ckpt";
+
+  auto backend = PosixBackend::create(dir.string());
+  if (!backend.ok()) return 1;
+  auto bf = backend.value()->open_file("demo.ckpt",
+                                       {.create = true, .truncate = true, .write = true});
+  if (!bf.ok()) return 1;
+  const auto image = blcr::ProcessImage::synthesize(4242, 6 * MiB, 1);
+  blcr::BackendSink sink(*backend.value(), bf.value());
+  auto crc = blcr::CheckpointWriter::write_image(image, sink);
+  (void)backend.value()->close_file(bf.value());
+  if (!crc.ok()) return 1;
+  std::printf("generated demo image (%s)\n\n", path.c_str());
+  return inspect(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image-file> | --demo\n", argv[0]);
+    return 64;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) return demo();
+  return inspect(argv[1]);
+}

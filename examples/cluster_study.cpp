@@ -1,0 +1,70 @@
+// cluster_study: drive the DES from the command line to explore
+// checkpoint behaviour beyond the paper's configurations — arbitrary
+// node counts, processes per node, LU class, backend, and CRFS settings.
+//
+//   ./cluster_study [nodes] [ppn] [B|C|D] [ext3|lustre|nfs|pvfs2]
+//
+// Prints native vs CRFS checkpoint time, per-rank spread, and (ext3) the
+// node disk-seek profile. Useful for what-if questions the paper's fixed
+// testbed could not ask, e.g. "what does CRFS buy on 64 nodes x 16 ppn?"
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "sim/experiment.h"
+
+using namespace crfs;
+
+int main(int argc, char** argv) {
+  sim::ExperimentConfig cfg;
+  cfg.nodes = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+  cfg.ppn = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+  if (argc > 3) {
+    switch (argv[3][0]) {
+      case 'B': case 'b': cfg.lu_class = mpi::LuClass::kB; break;
+      case 'C': case 'c': cfg.lu_class = mpi::LuClass::kC; break;
+      default: cfg.lu_class = mpi::LuClass::kD; break;
+    }
+  } else {
+    cfg.lu_class = mpi::LuClass::kC;
+  }
+  if (argc > 4) {
+    if (std::strcmp(argv[4], "lustre") == 0) cfg.backend = sim::BackendKind::kLustre;
+    else if (std::strcmp(argv[4], "nfs") == 0) cfg.backend = sim::BackendKind::kNfs;
+    else if (std::strcmp(argv[4], "pvfs2") == 0) cfg.backend = sim::BackendKind::kPvfs2;
+    else cfg.backend = sim::BackendKind::kExt3;
+  }
+
+  std::printf("cluster study: %s\n\n", cfg.describe().c_str());
+  std::printf("per-process image: %s, total checkpoint: %s\n\n",
+              format_bytes(mpi::image_bytes_per_process(cfg.stack, cfg.lu_class,
+                                                        cfg.total_processes()))
+                  .c_str(),
+              format_bytes(mpi::total_checkpoint_bytes(cfg.stack, cfg.lu_class,
+                                                       cfg.total_processes()))
+                  .c_str());
+
+  TextTable table({"Path", "Mean rank", "Slowest rank", "Spread", "Node-0 disk seeks"});
+  char buf[4][32];
+  for (const auto mode : {sim::FsMode::kNative, sim::FsMode::kCrfs}) {
+    cfg.mode = mode;
+    const auto r = sim::run_experiment(cfg);
+    std::snprintf(buf[0], sizeof(buf[0]), "%.2f s", r.mean_rank_seconds);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f s", r.max_rank_seconds);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.2fx", r.spread());
+    std::snprintf(buf[3], sizeof(buf[3]), "%llu",
+                  static_cast<unsigned long long>(r.disk_summary.seeks));
+    table.add_row({sim::mode_name(mode), buf[0], buf[1], buf[2],
+                   cfg.backend == sim::BackendKind::kLustre ? "-" : buf[3]});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  cfg.mode = sim::FsMode::kNative;
+  const double native = sim::run_experiment(cfg).mean_rank_seconds;
+  cfg.mode = sim::FsMode::kCrfs;
+  const double crfs = sim::run_experiment(cfg).mean_rank_seconds;
+  std::printf("CRFS speedup at this configuration: %.2fx\n", native / crfs);
+  return 0;
+}

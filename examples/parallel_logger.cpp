@@ -1,0 +1,122 @@
+// parallel_logger: a generic (non-checkpoint) IO application on CRFS —
+// the paper's claim that "any software component using standard
+// filesystem interfaces can transparently benefit" from the aggregation.
+//
+// Simulates a parallel telemetry/log writer: N producer threads append
+// many small records to per-thread log files, with periodic fsyncs, over
+// a rate-limited backend. Runs the same workload natively and through
+// CRFS and compares wall time and backend request counts.
+//
+//   ./parallel_logger [threads] [records-per-thread]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "backend/mem_backend.h"
+#include "backend/wrappers.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "common/wall_clock.h"
+#include "crfs/crfs.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+using namespace crfs;
+
+namespace {
+
+std::string make_record(int thread, int i) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "ts=%012d thread=%03d seq=%08d level=INFO msg=\"sensor frame "
+                "committed\" checksum=%08x\n",
+                i * 17, thread, i, static_cast<unsigned>(i * 2654435761u));
+  return buf;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t backend_writes = 0;
+};
+
+RunResult run_native(unsigned threads, int records) {
+  auto mem = std::make_shared<MemBackend>();
+  ThrottledBackend backend(mem, 120e6, std::chrono::microseconds(150));
+  const Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto f = backend.open_file("log" + std::to_string(t),
+                                 {.create = true, .truncate = true, .write = true});
+      if (!f.ok()) return;
+      std::uint64_t off = 0;
+      for (int i = 0; i < records; ++i) {
+        const std::string rec = make_record(static_cast<int>(t), i);
+        (void)backend.pwrite(f.value(), {reinterpret_cast<const std::byte*>(rec.data()),
+                                         rec.size()}, off);
+        off += rec.size();
+        if (i % 500 == 499) (void)backend.fsync(f.value());
+      }
+      (void)backend.close_file(f.value());
+    });
+  }
+  for (auto& w : workers) w.join();
+  return {sw.elapsed_seconds(), mem->total_pwrites()};
+}
+
+RunResult run_crfs(unsigned threads, int records) {
+  auto mem = std::make_shared<MemBackend>();
+  auto throttled = std::make_shared<ThrottledBackend>(mem, 120e6,
+                                                      std::chrono::microseconds(150));
+  auto fs = Crfs::mount(throttled, Config{.chunk_size = 1 * MiB, .pool_size = 8 * MiB});
+  if (!fs.ok()) return {};
+  FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+
+  const Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto file = File::open(shim, "log" + std::to_string(t),
+                             {.create = true, .truncate = true, .write = true});
+      if (!file.ok()) return;
+      for (int i = 0; i < records; ++i) {
+        const std::string rec = make_record(static_cast<int>(t), i);
+        (void)file.value().write(rec.data(), rec.size());
+        if (i % 500 == 499) (void)file.value().fsync();
+      }
+      (void)file.value().close();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs = sw.elapsed_seconds();
+  return {secs, mem->total_pwrites()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const int records = argc > 2 ? std::atoi(argv[2]) : 4000;
+
+  std::printf("parallel logger: %u threads x %d records (~100 B each), periodic "
+              "fsync, backend 120 MB/s + 150 us/request\n\n",
+              threads, records);
+
+  const auto native = run_native(threads, records);
+  const auto crfs = run_crfs(threads, records);
+
+  TextTable table({"Path", "Wall time", "Backend requests"});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f s", native.seconds);
+  table.add_row({"native", buf, std::to_string(native.backend_writes)});
+  std::snprintf(buf, sizeof(buf), "%.2f s", crfs.seconds);
+  table.add_row({"CRFS", buf, std::to_string(crfs.backend_writes)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("speedup %.1fx with %.0fx fewer backend requests — aggregation helps\n"
+              "any small-sequential-write workload, not just checkpoints.\n",
+              native.seconds / crfs.seconds,
+              static_cast<double>(native.backend_writes) /
+                  static_cast<double>(crfs.backend_writes ? crfs.backend_writes : 1));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// BackendFs: the filesystem CRFS stacks on top of.
+//
+// The paper mounts CRFS over ext3, NFS, PVFS2, or Lustre; everything CRFS
+// needs from the backend is captured by this narrow interface. Concrete
+// implementations:
+//   * PosixBackend    - a real directory tree (dirfd-relative syscalls)
+//   * MemBackend      - in-memory files, used by unit tests
+//   * NullBackend     - discards data; used by the Fig 5 raw-bandwidth
+//                       bench exactly as the paper does ("once a filled
+//                       chunk is picked up by an IO thread it is discarded")
+//   * FaultyBackend   - wrapper injecting errors (failure-path tests)
+//   * ThrottledBackend- wrapper limiting write bandwidth (contention demos)
+//
+// The interface is position-based (pwrite/pread): CRFS's IO threads write
+// chunks at explicit offsets from multiple threads concurrently, so there
+// is deliberately no per-handle file cursor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crfs {
+
+/// Opaque backend file handle. 64-bit so PosixBackend can store an fd and
+/// MemBackend an index without heap indirection.
+using BackendFile = std::uint64_t;
+
+/// File metadata subset CRFS forwards through getattr.
+struct BackendStat {
+  std::uint64_t size = 0;
+  bool is_dir = false;
+  std::uint32_t mode = 0644;
+};
+
+/// Flags for open_file. Kept minimal: CRFS only ever opens for write
+/// (checkpoint) or read (restart), plus create/truncate.
+struct OpenFlags {
+  bool create = false;
+  bool truncate = false;
+  bool write = false;   ///< open read-only when false
+};
+
+/// Abstract backend filesystem. All methods are thread-safe: CRFS calls
+/// them concurrently from application threads and IO-pool threads.
+class BackendFs {
+ public:
+  virtual ~BackendFs() = default;
+
+  virtual Result<BackendFile> open_file(const std::string& path, OpenFlags flags) = 0;
+  virtual Status close_file(BackendFile file) = 0;
+
+  /// Writes the full span at `offset`; partial writes are retried
+  /// internally so success means every byte landed.
+  virtual Status pwrite(BackendFile file, std::span<const std::byte> data,
+                        std::uint64_t offset) = 0;
+
+  /// Reads up to data.size() bytes at `offset`; returns bytes read
+  /// (0 at/after EOF).
+  virtual Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,
+                                    std::uint64_t offset) = 0;
+
+  /// Flushes file data (and metadata) to stable storage.
+  virtual Status fsync(BackendFile file) = 0;
+
+  virtual Status truncate(BackendFile file, std::uint64_t size) = 0;
+
+  // -- Metadata / namespace ops CRFS passes straight through ------------
+  virtual Result<BackendStat> stat(const std::string& path) = 0;
+  virtual Status mkdir(const std::string& path) = 0;
+  virtual Status rmdir(const std::string& path) = 0;
+  virtual Status unlink(const std::string& path) = 0;
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<std::vector<std::string>> list_dir(const std::string& path) = 0;
+
+  /// Human-readable backend name for mount banners and reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace crfs

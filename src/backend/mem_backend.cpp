@@ -1,0 +1,222 @@
+#include "backend/mem_backend.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace crfs {
+
+MemBackend::MemBackend() {
+  auto root = std::make_shared<Node>();
+  root->is_dir = true;
+  tree_[""] = std::move(root);
+}
+
+std::string MemBackend::normalize(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') ++pos;
+    std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    if (next > pos) {
+      const std::string comp = path.substr(pos, next - pos);
+      if (comp != ".") {
+        if (!out.empty()) out += '/';
+        out += comp;
+      }
+    }
+    pos = next;
+  }
+  return out;
+}
+
+std::string MemBackend::parent_of(const std::string& norm) {
+  const std::size_t slash = norm.rfind('/');
+  return slash == std::string::npos ? std::string{} : norm.substr(0, slash);
+}
+
+std::shared_ptr<MemBackend::Node> MemBackend::find(const std::string& norm) {
+  auto it = tree_.find(norm);
+  return it == tree_.end() ? nullptr : it->second;
+}
+
+Result<BackendFile> MemBackend::open_file(const std::string& path, OpenFlags flags) {
+  const std::string norm = normalize(path);
+  std::lock_guard lock(mu_);
+  auto node = find(norm);
+  if (node == nullptr) {
+    if (!flags.create) return Error{ENOENT, "open " + path};
+    auto parent = find(parent_of(norm));
+    if (parent == nullptr || !parent->is_dir) return Error{ENOENT, "open parent " + path};
+    node = std::make_shared<Node>();
+    tree_[norm] = node;
+  } else if (node->is_dir) {
+    return Error{EISDIR, "open " + path};
+  }
+  if (flags.truncate && flags.write) node->data.clear();
+  node->open_handles += 1;
+  const BackendFile h = next_handle_++;
+  handles_[h] = Handle{node, flags.write};
+  return h;
+}
+
+Status MemBackend::close_file(BackendFile file) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, "close"};
+  it->second.node->open_handles -= 1;
+  handles_.erase(it);
+  return {};
+}
+
+Status MemBackend::pwrite(BackendFile file, std::span<const std::byte> data,
+                          std::uint64_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, "pwrite"};
+  if (!it->second.writable) return Error{EBADF, "pwrite on read-only handle"};
+  auto& bytes = it->second.node->data;
+  const std::uint64_t end = offset + data.size();
+  if (bytes.size() < end) bytes.resize(end);  // holes are zero-filled
+  std::memcpy(bytes.data() + offset, data.data(), data.size());
+  pwrite_calls_.fetch_add(1, std::memory_order_relaxed);
+  pwrite_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  return {};
+}
+
+Result<std::size_t> MemBackend::pread(BackendFile file, std::span<std::byte> data,
+                                      std::uint64_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, "pread"};
+  const auto& bytes = it->second.node->data;
+  if (offset >= bytes.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::uint64_t>(data.size(), bytes.size() - offset);
+  std::memcpy(data.data(), bytes.data() + offset, n);
+  return n;
+}
+
+Status MemBackend::fsync(BackendFile file) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, "fsync"};
+  it->second.node->fsyncs += 1;
+  return {};
+}
+
+Status MemBackend::truncate(BackendFile file, std::uint64_t size) {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, "truncate"};
+  it->second.node->data.resize(size);
+  return {};
+}
+
+Result<BackendStat> MemBackend::stat(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto node = find(normalize(path));
+  if (node == nullptr) return Error{ENOENT, "stat " + path};
+  BackendStat st;
+  st.size = node->data.size();
+  st.is_dir = node->is_dir;
+  return st;
+}
+
+Status MemBackend::mkdir(const std::string& path) {
+  const std::string norm = normalize(path);
+  std::lock_guard lock(mu_);
+  if (find(norm) != nullptr) return Error{EEXIST, "mkdir " + path};
+  auto parent = find(parent_of(norm));
+  if (parent == nullptr || !parent->is_dir) return Error{ENOENT, "mkdir " + path};
+  auto node = std::make_shared<Node>();
+  node->is_dir = true;
+  tree_[norm] = std::move(node);
+  return {};
+}
+
+Status MemBackend::rmdir(const std::string& path) {
+  const std::string norm = normalize(path);
+  std::lock_guard lock(mu_);
+  auto node = find(norm);
+  if (node == nullptr) return Error{ENOENT, "rmdir " + path};
+  if (!node->is_dir) return Error{ENOTDIR, "rmdir " + path};
+  // Non-empty check: any key strictly inside norm/ ?
+  auto it = tree_.upper_bound(norm);
+  if (it != tree_.end() && it->first.starts_with(norm + "/")) {
+    return Error{ENOTEMPTY, "rmdir " + path};
+  }
+  tree_.erase(norm);
+  return {};
+}
+
+Status MemBackend::unlink(const std::string& path) {
+  const std::string norm = normalize(path);
+  std::lock_guard lock(mu_);
+  auto node = find(norm);
+  if (node == nullptr) return Error{ENOENT, "unlink " + path};
+  if (node->is_dir) return Error{EISDIR, "unlink " + path};
+  node->unlinked = true;
+  tree_.erase(norm);  // open handles keep the node alive via shared_ptr
+  return {};
+}
+
+Status MemBackend::rename(const std::string& from, const std::string& to) {
+  const std::string nf = normalize(from);
+  const std::string nt = normalize(to);
+  std::lock_guard lock(mu_);
+  auto node = find(nf);
+  if (node == nullptr) return Error{ENOENT, "rename " + from};
+  auto parent = find(parent_of(nt));
+  if (parent == nullptr || !parent->is_dir) return Error{ENOENT, "rename to " + to};
+  if (nt == nf || nt.starts_with(nf + "/")) {
+    return Error{EINVAL, "rename into self: " + from + " -> " + to};
+  }
+  // Move the node and, for directories, its whole subtree.
+  std::vector<std::pair<std::string, std::shared_ptr<Node>>> moved;
+  moved.emplace_back(nt, node);
+  if (node->is_dir) {
+    const std::string prefix = nf + "/";
+    for (auto it = tree_.upper_bound(nf); it != tree_.end();) {
+      if (!it->first.starts_with(prefix)) break;
+      moved.emplace_back(nt + "/" + it->first.substr(prefix.size()), it->second);
+      it = tree_.erase(it);
+    }
+  }
+  tree_.erase(nf);
+  for (auto& [key, n] : moved) tree_[key] = std::move(n);
+  return {};
+}
+
+Result<std::vector<std::string>> MemBackend::list_dir(const std::string& path) {
+  const std::string norm = normalize(path);
+  std::lock_guard lock(mu_);
+  auto node = find(norm);
+  if (node == nullptr) return Error{ENOENT, "list " + path};
+  if (!node->is_dir) return Error{ENOTDIR, "list " + path};
+  std::vector<std::string> names;
+  const std::string prefix = norm.empty() ? "" : norm + "/";
+  for (auto it = tree_.upper_bound(norm); it != tree_.end(); ++it) {
+    const std::string& key = it->first;
+    if (!key.starts_with(prefix)) break;
+    const std::string rest = key.substr(prefix.size());
+    if (rest.find('/') == std::string::npos && !rest.empty()) names.push_back(rest);
+  }
+  return names;
+}
+
+Result<std::vector<std::byte>> MemBackend::contents(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto node = find(normalize(path));
+  if (node == nullptr) return Error{ENOENT, "contents " + path};
+  return node->data;
+}
+
+std::uint64_t MemBackend::fsync_count(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto node = find(normalize(path));
+  return node == nullptr ? 0 : node->fsyncs;
+}
+
+}  // namespace crfs

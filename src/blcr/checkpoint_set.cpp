@@ -1,0 +1,276 @@
+#include "blcr/checkpoint_set.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+
+namespace crfs::blcr {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestMagic[] = "crfs-checkpoint-manifest v1";
+
+/// Parses "epoch_000123" -> 123; nullopt for anything else.
+std::optional<unsigned> parse_epoch_dir(const std::string& name) {
+  constexpr std::string_view prefix = "epoch_";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  unsigned value = 0;
+  const char* begin = name.data() + prefix.size();
+  const char* end = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+bool is_staging_dir(const std::string& name) {
+  return name.starts_with(".epoch_") && name.ends_with(".tmp");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ EpochWriter
+
+EpochWriter::EpochWriter(CheckpointSet& set, unsigned epoch, unsigned ranks,
+                         std::string staging)
+    : set_(&set), epoch_(epoch), ranks_(ranks), staging_(std::move(staging)) {
+  recorded_.resize(ranks_);
+}
+
+EpochWriter::~EpochWriter() {
+  if (set_ != nullptr && !finished_) (void)abort();
+}
+
+Result<File> EpochWriter::open_rank(unsigned rank) {
+  if (rank >= ranks_) return Error{EINVAL, "rank out of range"};
+  return File::open(*set_->shim_, set_->rank_file(staging_, rank),
+                    {.create = true, .truncate = true, .write = true});
+}
+
+void EpochWriter::record(unsigned rank, std::uint64_t bytes, std::uint64_t payload_crc) {
+  if (rank < ranks_) recorded_[rank] = EpochInfo::Rank{rank, bytes, payload_crc};
+}
+
+Status EpochWriter::commit() {
+  if (finished_) return Error{EINVAL, "epoch already finished"};
+  for (unsigned r = 0; r < ranks_; ++r) {
+    if (!recorded_[r].has_value()) {
+      return Error{EINVAL, "rank " + std::to_string(r) + " not recorded; cannot commit"};
+    }
+  }
+
+  // Manifest written last: its presence marks the rank files complete.
+  {
+    auto manifest = File::open(*set_->shim_, staging_ + "/" + kManifestName,
+                               {.create = true, .truncate = true, .write = true});
+    if (!manifest.ok()) return manifest.error();
+    std::string text = std::string(kManifestMagic) + "\n";
+    text += "epoch " + std::to_string(epoch_) + "\n";
+    text += "ranks " + std::to_string(ranks_) + "\n";
+    char line[128];
+    for (const auto& r : recorded_) {
+      std::snprintf(line, sizeof(line), "rank %u bytes %llu crc %016llx\n", r->rank,
+                    static_cast<unsigned long long>(r->bytes),
+                    static_cast<unsigned long long>(r->payload_crc));
+      text += line;
+    }
+    CRFS_RETURN_IF_ERROR(manifest.value().write(text.data(), text.size()));
+    CRFS_RETURN_IF_ERROR(manifest.value().fsync());
+    CRFS_RETURN_IF_ERROR(manifest.value().close());
+  }
+
+  // Atomic publish.
+  CRFS_RETURN_IF_ERROR(set_->shim_->fs().rename(
+      staging_, set_->base_ + "/" + CheckpointSet::epoch_dir_name(epoch_)));
+  finished_ = true;
+  return {};
+}
+
+Status EpochWriter::abort() {
+  if (finished_) return {};
+  finished_ = true;
+  return set_->remove_tree(staging_);
+}
+
+// ---------------------------------------------------------- CheckpointSet
+
+std::string CheckpointSet::epoch_dir_name(unsigned epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch_%06u", epoch);
+  return buf;
+}
+
+std::string CheckpointSet::staging_dir_name(unsigned epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".epoch_%06u.tmp", epoch);
+  return buf;
+}
+
+std::string CheckpointSet::rank_file(const std::string& dir, unsigned rank) const {
+  return dir + "/rank_" + std::to_string(rank) + ".ckpt";
+}
+
+Result<CheckpointSet> CheckpointSet::open(FuseShim& shim, std::string base_dir) {
+  CheckpointSet set(shim, std::move(base_dir));
+  auto st = shim.fs().getattr(set.base_);
+  if (!st.ok()) {
+    CRFS_RETURN_IF_ERROR(shim.fs().mkdir(set.base_));
+  } else if (!st.value().is_dir) {
+    return Error{ENOTDIR, set.base_ + " exists and is not a directory"};
+  }
+  return set;
+}
+
+Result<std::vector<unsigned>> CheckpointSet::epochs() {
+  auto names = shim_->fs().list_dir(base_);
+  if (!names.ok()) return names.error();
+  std::vector<unsigned> out;
+  for (const auto& name : names.value()) {
+    if (auto epoch = parse_epoch_dir(name)) out.push_back(*epoch);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::optional<unsigned>> CheckpointSet::latest() {
+  auto all = epochs();
+  if (!all.ok()) return all.error();
+  if (all.value().empty()) return std::optional<unsigned>{};
+  return std::optional<unsigned>{all.value().back()};
+}
+
+Result<EpochWriter> CheckpointSet::begin_epoch(unsigned ranks) {
+  if (ranks == 0) return Error{EINVAL, "epoch needs at least one rank"};
+  unsigned next = 0;
+  {
+    auto names = shim_->fs().list_dir(base_);
+    if (!names.ok()) return names.error();
+    for (const auto& name : names.value()) {
+      if (auto epoch = parse_epoch_dir(name)) next = std::max(next, *epoch + 1);
+      if (is_staging_dir(name)) {
+        // ".epoch_NNNNNN.tmp"
+        const std::string core = name.substr(1, name.size() - 5);
+        if (auto epoch = parse_epoch_dir(core)) next = std::max(next, *epoch + 1);
+      }
+    }
+  }
+  const std::string staging = base_ + "/" + staging_dir_name(next);
+  CRFS_RETURN_IF_ERROR(shim_->fs().mkdir(staging));
+  return EpochWriter(*this, next, ranks, staging);
+}
+
+Result<EpochInfo> CheckpointSet::inspect(unsigned epoch) {
+  const std::string dir = base_ + "/" + epoch_dir_name(epoch);
+  auto manifest = File::open(*shim_, dir + "/" + kManifestName,
+                             {.create = false, .truncate = false, .write = false});
+  if (!manifest.ok()) return manifest.error();
+
+  std::string text;
+  std::vector<std::byte> buf(4096);
+  for (;;) {
+    auto n = manifest.value().read(buf);
+    if (!n.ok()) return n.error();
+    if (n.value() == 0) break;
+    text.append(reinterpret_cast<const char*>(buf.data()), n.value());
+  }
+
+  EpochInfo info;
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string_view> {
+    if (pos >= text.size()) return std::nullopt;
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  auto first = next_line();
+  if (!first || *first != kManifestMagic) {
+    return Error{EILSEQ, "bad manifest magic in epoch " + std::to_string(epoch)};
+  }
+  while (auto line = next_line()) {
+    unsigned u0 = 0;
+    unsigned long long u1 = 0, u2 = 0;
+    char hex[32];
+    if (std::sscanf(std::string(*line).c_str(), "epoch %u", &u0) == 1) {
+      info.epoch = u0;
+    } else if (std::sscanf(std::string(*line).c_str(), "ranks %u", &u0) == 1) {
+      info.ranks = u0;
+    } else if (std::sscanf(std::string(*line).c_str(), "rank %u bytes %llu crc %31s", &u0,
+                           &u1, hex) == 3) {
+      u2 = std::strtoull(hex, nullptr, 16);
+      info.rank_files.push_back({u0, u1, u2});
+    } else if (!line->empty()) {
+      return Error{EILSEQ, "bad manifest line: " + std::string(*line)};
+    }
+  }
+  if (info.rank_files.size() != info.ranks) {
+    return Error{EILSEQ, "manifest rank count mismatch in epoch " + std::to_string(epoch)};
+  }
+  return info;
+}
+
+Result<File> CheckpointSet::open_rank_for_restart(unsigned epoch, unsigned rank) {
+  const std::string dir = base_ + "/" + epoch_dir_name(epoch);
+  return File::open(*shim_, rank_file(dir, rank),
+                    {.create = false, .truncate = false, .write = false});
+}
+
+Status CheckpointSet::verify(unsigned epoch) {
+  auto info = inspect(epoch);
+  if (!info.ok()) return info.error();
+  for (const auto& rank : info.value().rank_files) {
+    auto file = open_rank_for_restart(epoch, rank.rank);
+    if (!file.ok()) return file.error();
+    CrfsFileSource source(file.value());
+    auto restored = RestartReader::read_image(source);
+    if (!restored.ok()) return restored.error();
+    if (restored.value().payload_crc != rank.payload_crc) {
+      return Error{EILSEQ, "epoch " + std::to_string(epoch) + " rank " +
+                               std::to_string(rank.rank) + ": CRC mismatch"};
+    }
+  }
+  return {};
+}
+
+Status CheckpointSet::remove_tree(const std::string& dir) {
+  auto names = shim_->fs().list_dir(dir);
+  if (!names.ok()) return names.error();
+  for (const auto& name : names.value()) {
+    const std::string path = dir + "/" + name;
+    auto st = shim_->fs().getattr(path);
+    if (st.ok() && st.value().is_dir) {
+      CRFS_RETURN_IF_ERROR(remove_tree(path));
+    } else {
+      CRFS_RETURN_IF_ERROR(shim_->fs().unlink(path));
+    }
+  }
+  return shim_->fs().rmdir(dir);
+}
+
+Result<unsigned> CheckpointSet::prune(unsigned keep) {
+  auto all = epochs();
+  if (!all.ok()) return all.error();
+  unsigned removed = 0;
+  // Stale staging directories are always garbage.
+  auto names = shim_->fs().list_dir(base_);
+  if (!names.ok()) return names.error();
+  for (const auto& name : names.value()) {
+    if (is_staging_dir(name)) {
+      CRFS_RETURN_IF_ERROR(remove_tree(base_ + "/" + name));
+    }
+  }
+  if (all.value().size() > keep) {
+    const std::size_t excess = all.value().size() - keep;
+    for (std::size_t i = 0; i < excess; ++i) {
+      CRFS_RETURN_IF_ERROR(remove_tree(base_ + "/" + epoch_dir_name(all.value()[i])));
+      removed += 1;
+    }
+  }
+  return removed;
+}
+
+}  // namespace crfs::blcr

@@ -1,0 +1,94 @@
+// CheckpointWriter: dumps a ProcessImage with BLCR's write pattern.
+//
+// BLCR "performs large number of inefficient and relatively small writes
+// to save their snapshots" (paper §I): metadata fields go out as
+// individual tiny write()s, and VMA payloads are emitted in pieces whose
+// size depends on the mapping type. This module reproduces that pattern
+// so any filesystem underneath (native or CRFS) sees the same stream the
+// paper's profiling measured (§III Table I).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "blcr/checkpoint_format.h"
+#include "blcr/process_image.h"
+#include "common/result.h"
+#include "trace/write_recorder.h"
+
+namespace crfs::blcr {
+
+/// Destination of checkpoint bytes. Sequential: each write appends.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status write(std::span<const std::byte> data) = 0;
+
+  /// Skips `bytes` forward without writing (leaves a hole that reads
+  /// back as zeros). Sinks that cannot seek return false and the writer
+  /// falls back to writing the zeros densely. Used by zero-page elision.
+  virtual bool skip(std::uint64_t bytes) {
+    (void)bytes;
+    return false;
+  }
+};
+
+/// Adapts any callable Status(span<const byte>) into a ByteSink.
+class FnSink final : public ByteSink {
+ public:
+  explicit FnSink(std::function<Status(std::span<const std::byte>)> fn)
+      : fn_(std::move(fn)) {}
+  Status write(std::span<const std::byte> data) override { return fn_(data); }
+
+ private:
+  std::function<Status(std::span<const std::byte>)> fn_;
+};
+
+/// One planned write operation (size only) — what the DES replays.
+struct PlannedWrite {
+  std::uint64_t size = 0;
+};
+
+/// Writer options. Defaults reproduce BLCR's dense dump (the paper's
+/// profiled mode).
+struct WriterOptions {
+  /// vmadump-style zero-page elision: runs of all-zero 4 KB pages are
+  /// skipped (ByteSink::skip), leaving file holes that restore as
+  /// zeros. Shrinks the transferred bytes by the image's zero fraction
+  /// and turns the stream mostly-sequential-with-gaps — which CRFS's
+  /// non-contiguous write path absorbs (see bench_ext_sparse).
+  bool elide_zero_pages = false;
+
+  /// Zero runs shorter than this are written densely rather than
+  /// skipped. Every skip breaks stream contiguity (a partial chunk flush
+  /// in CRFS), so skipping isolated 4 KB pages costs more aggregation
+  /// than it saves bytes; only long runs are worth a hole.
+  std::uint64_t min_skip_run = 64 * 1024;
+};
+
+class CheckpointWriter {
+ public:
+  /// Writes the full image to `sink`. If `recorder` is non-null, every
+  /// write is timed (monotonic clock) and recorded for Table I / Fig 3
+  /// profiling. Returns the CRC64 over all VMA payload bytes (zeros
+  /// included, so dense and sparse images verify identically).
+  static Result<std::uint64_t> write_image(const ProcessImage& image, ByteSink& sink,
+                                           trace::WriteRecorder* recorder = nullptr,
+                                           const WriterOptions& options = {});
+
+  /// The exact sequence of write sizes write_image would issue, without
+  /// materialising any payload. Deterministic in the image. Used by the
+  /// DES to replay a rank's checkpoint stream in virtual time.
+  static std::vector<PlannedWrite> plan(const ProcessImage& image);
+
+ private:
+  /// Splits one VMA payload into BLCR-like piece sizes (deterministic in
+  /// the VMA seed): libraries/text/data in 1-16 KB pieces, stack and
+  /// anonymous regions whole, heap in 1.5-6 MB pieces with a 512K-1M tail
+  /// mix.
+  static std::vector<std::uint64_t> payload_pieces(const Vma& vma);
+
+  friend class CheckpointWriterTestPeer;
+};
+
+}  // namespace crfs::blcr

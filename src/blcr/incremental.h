@@ -1,0 +1,89 @@
+// Incremental (delta) checkpoints.
+//
+// The paper's reference [10] (Plank et al., memory exclusion) and its
+// periodic-checkpoint setting motivate the classic optimization the
+// paper leaves on the table: between epochs most VMAs of a process do
+// not change, so epoch N+1 need only carry the VMAs whose content
+// differs from epoch N, referencing the rest by CRC.
+//
+// Delta image format (v1):
+//   header   delta-magic(8) version(4) pid(4) vma_count(4) image_bytes(8)
+//   context  same as the full format (registers, blobs, context crc)
+//   per VMA  tag(4):
+//              kChanged   -> full-format VMA record + payload pieces
+//              kUnchanged -> start(8) length(8) payload_crc(8) reference
+//   trailer  full-image payload crc(8) + end magic
+//
+// Restore composes the delta over its parent image: every reference is
+// checked against the parent's actual per-VMA CRC, and the whole-image
+// CRC in the trailer covers the COMPOSED image, so a wrong or corrupt
+// parent cannot restore silently.
+#pragma once
+
+#include <map>
+
+#include "blcr/checkpoint_writer.h"
+#include "blcr/restart_reader.h"
+
+namespace crfs::blcr {
+
+inline constexpr char kDeltaMagic[8] = {'C', 'R', 'F', 'S', 'D', 'E', 'L', 'T'};
+inline constexpr std::uint32_t kDeltaVersion = 1;
+
+/// Per-VMA identity used for change detection: (start, length, crc).
+struct VmaDigest {
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;
+  std::uint64_t payload_crc = 0;
+};
+using ImageDigest = std::vector<VmaDigest>;
+
+/// Computes an image's digest (generates each VMA payload once).
+ImageDigest digest_image(const ProcessImage& image);
+
+/// A fully materialised image: per-VMA payloads keyed by start address.
+/// (The payload map is held in memory; callers stream rank-sized images,
+/// not whole jobs.)
+struct MaterializedImage {
+  std::uint32_t pid = 0;
+  std::uint64_t payload_crc = 0;
+  std::vector<Vma> vmas;
+  std::map<std::uint64_t, std::vector<std::byte>> payloads;  // by vma.start
+};
+
+/// Reads a FULL (non-delta) image, retaining payloads.
+Result<MaterializedImage> read_image_payloads(ByteSource& source);
+
+/// Statistics of one delta write.
+struct DeltaStats {
+  std::uint32_t changed_vmas = 0;
+  std::uint32_t unchanged_vmas = 0;
+  std::uint64_t payload_bytes_written = 0;  ///< bytes of changed payloads
+  std::uint64_t payload_bytes_referenced = 0;
+  std::uint64_t full_image_crc = 0;         ///< CRC of the composed image
+};
+
+/// Writes `image` as a delta against `parent`: VMAs whose
+/// (start, length, crc) appear in the parent digest become references.
+/// Returns the delta statistics (including the composed-image CRC).
+Result<DeltaStats> write_delta_image(const ProcessImage& image, const ImageDigest& parent,
+                                     ByteSink& sink, const WriterOptions& options = {});
+
+/// Restores a delta by composing it over its materialised parent.
+/// Verifies every reference against the parent's actual VMA CRC and the
+/// composed image against the delta trailer.
+Result<MaterializedImage> read_delta_image(ByteSource& delta,
+                                           const MaterializedImage& parent);
+
+/// Derives the change-detection digest from a materialised image (e.g.
+/// the restored parent), for chaining delta epochs.
+ImageDigest digest_of(const MaterializedImage& image);
+
+/// Helper for tests and demos: a copy of `image` in which roughly
+/// `change_fraction` of the VMAs have new content (fresh content seeds),
+/// deterministic in `seed`. Models an application making progress
+/// between checkpoint epochs.
+ProcessImage mutate_image(const ProcessImage& image, double change_fraction,
+                          std::uint64_t seed);
+
+}  // namespace crfs::blcr

@@ -1,0 +1,150 @@
+#include "blcr/process_image.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/units.h"
+
+namespace crfs::blcr {
+namespace {
+
+constexpr std::uint64_t kPage = 4096;
+
+std::uint64_t page_align(std::uint64_t v) { return (v + kPage - 1) / kPage * kPage; }
+
+}  // namespace
+
+const char* vma_type_name(VmaType t) {
+  switch (t) {
+    case VmaType::kText: return "text";
+    case VmaType::kData: return "data";
+    case VmaType::kLibrary: return "library";
+    case VmaType::kHeap: return "heap";
+    case VmaType::kStack: return "stack";
+    case VmaType::kAnonShared: return "anon-shared";
+    case VmaType::kAnonPrivate: return "anon-private";
+  }
+  return "?";
+}
+
+std::uint64_t ProcessImage::content_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& v : vmas) total += v.length;
+  return total;
+}
+
+ProcessImage ProcessImage::synthesize(std::uint32_t pid, std::uint64_t target_bytes,
+                                      std::uint64_t seed) {
+  ProcessImage image;
+  image.pid = pid;
+  Rng rng(seed ^ (static_cast<std::uint64_t>(pid) << 32));
+
+  std::uint64_t next_addr = 0x400000;  // conventional ELF base
+  std::uint64_t remaining = target_bytes;
+
+  auto add = [&](VmaType type, std::uint64_t length, std::uint32_t prot) {
+    if (length == 0) return;
+    Vma v;
+    v.start = next_addr;
+    v.length = length;
+    v.prot = prot;
+    v.type = type;
+    v.content_seed = rng.next_u64();
+    // Untouched pages: heaps and stacks of real processes carry many
+    // all-zero pages; code/data are dense.
+    switch (type) {
+      case VmaType::kHeap: v.zero_page_fraction = 0.25; break;
+      case VmaType::kStack: v.zero_page_fraction = 0.50; break;
+      case VmaType::kAnonShared:
+      case VmaType::kAnonPrivate: v.zero_page_fraction = 0.35; break;
+      default: v.zero_page_fraction = 0.0; break;
+    }
+    next_addr += page_align(length) + kPage;  // guard page
+    image.vmas.push_back(v);
+    remaining -= std::min(remaining, length);
+  };
+
+  // Executable text + data: two modest mappings.
+  add(VmaType::kText, std::min<std::uint64_t>(remaining, rng.uniform(24, 48) * KiB), 0x5);
+  add(VmaType::kData, std::min<std::uint64_t>(remaining, rng.uniform(16, 32) * KiB), 0x3);
+
+  // Shared-library mappings: the population whose dump produces the
+  // medium (1-16 KB piece) writes. Their total is capped at ~15% of the
+  // image (Table I: the 1 K-64 K buckets carry ~13.7% of the data).
+  const std::uint64_t lib_budget =
+      std::min<std::uint64_t>(remaining * 15 / 100, 21 * MiB / 5);
+  std::uint64_t lib_used = 0;
+  while (lib_used + 16 * KiB <= lib_budget) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(rng.uniform(16, 48) * KiB, lib_budget - lib_used);
+    add(VmaType::kLibrary, len, 0x5);
+    lib_used += len;
+  }
+
+  // Stack: one 512 KB-1 MB region (Table I's 512K-1M bucket).
+  add(VmaType::kStack, std::min<std::uint64_t>(remaining, rng.uniform(640, 1000) * KiB), 0x3);
+
+  // A few anonymous regions in the 64K-512K buckets (communication
+  // buffers, allocator arenas).
+  const unsigned n_anon_shared = 4;
+  for (unsigned i = 0; i < n_anon_shared && remaining > 0; ++i) {
+    add(VmaType::kAnonShared, std::min<std::uint64_t>(remaining, rng.uniform(80, 240) * KiB), 0x3);
+  }
+  for (unsigned i = 0; i < 2 && remaining > 0; ++i) {
+    add(VmaType::kAnonPrivate, std::min<std::uint64_t>(remaining, rng.uniform(280, 480) * KiB), 0x3);
+  }
+
+  // The heap absorbs everything left — the dominant >1 MB bucket. Split
+  // into a handful of heap VMAs so very large images (class D: >100 MB)
+  // still look like segmented heaps rather than one giant mapping.
+  while (remaining > 0) {
+    const std::uint64_t len = std::min<std::uint64_t>(remaining, rng.uniform(12, 40) * MiB);
+    add(VmaType::kHeap, len, 0x3);
+  }
+
+  return image;
+}
+
+std::uint64_t generate_vma_payload(const Vma& vma, std::vector<std::byte>& out) {
+  out.resize(vma.length);
+  Rng rng(vma.content_seed);
+  Rng zero_rng(vma.content_seed ^ 0x5E20F00DULL);
+  std::size_t i = 0;
+  // Fill 8 bytes at a time; tail byte-wise.
+  for (; i + 8 <= out.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(out.data() + i, &v, 8);
+  }
+  for (; i < out.size(); ++i) out[i] = static_cast<std::byte>(rng.next_u64());
+  // Zero the untouched pages (deterministic in the seed). Real zero
+  // pages cluster — untouched tails of large allocations — so they are
+  // laid down as contiguous runs of 16-128 pages, which is what makes
+  // run-threshold elision (WriterOptions::min_skip_run) effective.
+  if (vma.zero_page_fraction > 0.0 && out.size() >= kPage) {
+    const std::size_t npages = (out.size() + kPage - 1) / kPage;
+    const auto target = static_cast<std::size_t>(
+        vma.zero_page_fraction * static_cast<double>(npages));
+    std::size_t zeroed = 0;
+    int attempts = 0;
+    while (zeroed < target && attempts++ < 1000) {
+      const std::size_t run = zero_rng.uniform(16, 128);
+      const std::size_t start = zero_rng.uniform(0, npages - 1);
+      for (std::size_t p = start; p < std::min(start + run, npages); ++p) {
+        const std::size_t off = p * kPage;
+        const std::size_t n = std::min<std::size_t>(kPage, out.size() - off);
+        // Count only newly zeroed pages so the fraction converges.
+        if (out[off] != std::byte{0} || n < kPage ||
+            !std::all_of(out.begin() + static_cast<std::ptrdiff_t>(off),
+                         out.begin() + static_cast<std::ptrdiff_t>(off + n),
+                         [](std::byte b) { return b == std::byte{0}; })) {
+          zeroed += 1;
+        }
+        std::memset(out.data() + off, 0, n);
+      }
+    }
+  }
+  return Crc64::of(out.data(), out.size());
+}
+
+}  // namespace crfs::blcr

@@ -1,0 +1,78 @@
+// Ready-made ByteSink / ByteSource adapters binding the checkpoint engine
+// to CRFS files and raw backends.
+#pragma once
+
+#include "backend/backend_fs.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/restart_reader.h"
+#include "crfs/file.h"
+
+namespace crfs::blcr {
+
+/// Sink writing sequentially through a crfs::File (i.e. via FUSE shim ->
+/// CRFS -> backend). This is the "checkpoint through CRFS" path.
+class CrfsFileSink final : public ByteSink {
+ public:
+  explicit CrfsFileSink(File& file) : file_(file) {}
+  Status write(std::span<const std::byte> data) override { return file_.write(data); }
+  bool skip(std::uint64_t bytes) override {
+    file_.seek(file_.tell() + bytes);
+    return true;
+  }
+
+ private:
+  File& file_;
+};
+
+/// Source reading sequentially through a crfs::File.
+class CrfsFileSource final : public ByteSource {
+ public:
+  explicit CrfsFileSource(File& file) : file_(file) {}
+  Result<std::size_t> read(std::span<std::byte> data) override { return file_.read(data); }
+
+ private:
+  File& file_;
+};
+
+/// Sink appending directly to a backend file (the "native filesystem"
+/// baseline: no CRFS in the path).
+class BackendSink final : public ByteSink {
+ public:
+  BackendSink(BackendFs& backend, BackendFile file) : backend_(backend), file_(file) {}
+
+  Status write(std::span<const std::byte> data) override {
+    const Status st = backend_.pwrite(file_, data, offset_);
+    if (st.ok()) offset_ += data.size();
+    return st;
+  }
+  bool skip(std::uint64_t bytes) override {
+    offset_ += bytes;
+    return true;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  BackendFs& backend_;
+  BackendFile file_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Source reading directly from a backend file.
+class BackendSource final : public ByteSource {
+ public:
+  BackendSource(BackendFs& backend, BackendFile file) : backend_(backend), file_(file) {}
+
+  Result<std::size_t> read(std::span<std::byte> data) override {
+    auto r = backend_.pread(file_, data, offset_);
+    if (r.ok()) offset_ += r.value();
+    return r;
+  }
+
+ private:
+  BackendFs& backend_;
+  BackendFile file_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace crfs::blcr

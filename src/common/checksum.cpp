@@ -1,0 +1,49 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace crfs {
+namespace {
+
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;  // ECMA-182, reflected
+
+std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+Crc64::Crc64() : state_(~0ULL) {}
+
+void Crc64::update(std::span<const std::byte> data) {
+  update(data.data(), data.size());
+}
+
+void Crc64::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ = t[(state_ ^ p[i]) & 0xFF] ^ (state_ >> 8);
+  }
+}
+
+std::uint64_t Crc64::of(const void* data, std::size_t size) {
+  Crc64 c;
+  c.update(data, size);
+  return c.digest();
+}
+
+}  // namespace crfs

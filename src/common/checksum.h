@@ -1,0 +1,30 @@
+// CRC64 (ECMA-182) used by the integrity tests and the restart verifier to
+// prove that data passing through CRFS aggregation is byte-identical to
+// what the checkpoint writer produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace crfs {
+
+/// Incremental CRC64. Feed data in any chunking; the digest is chunking-
+/// independent, which is exactly what the aggregation tests rely on.
+class Crc64 {
+ public:
+  Crc64();
+
+  void update(std::span<const std::byte> data);
+  void update(const void* data, std::size_t size);
+
+  std::uint64_t digest() const { return ~state_; }
+
+  /// One-shot convenience.
+  static std::uint64_t of(const void* data, std::size_t size);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace crfs

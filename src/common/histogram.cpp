@@ -1,0 +1,116 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace crfs {
+namespace {
+
+// Table I bucket boundaries (bytes). The final bound is open-ended.
+constexpr std::array<std::uint64_t, WriteSizeHistogram::kNumBuckets + 1> kBounds = {
+    0,         64,        256,        1 * KiB,   4 * KiB,  16 * KiB,
+    64 * KiB,  256 * KiB, 512 * KiB,  1 * MiB,   UINT64_MAX};
+
+}  // namespace
+
+WriteSizeHistogram::WriteSizeHistogram() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].lo = kBounds[i];
+    buckets_[i].hi = kBounds[i + 1];
+  }
+}
+
+int WriteSizeHistogram::bucket_index(std::uint64_t size) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (size < kBounds[i + 1]) return i;
+  }
+  return kNumBuckets - 1;
+}
+
+void WriteSizeHistogram::record(std::uint64_t size, double seconds) {
+  SizeBucket& b = buckets_[bucket_index(size)];
+  b.ops += 1;
+  b.bytes += size;
+  b.seconds += seconds;
+}
+
+void WriteSizeHistogram::merge(const WriteSizeHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].ops += other.buckets_[i].ops;
+    buckets_[i].bytes += other.buckets_[i].bytes;
+    buckets_[i].seconds += other.buckets_[i].seconds;
+  }
+}
+
+std::uint64_t WriteSizeHistogram::total_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.ops;
+  return n;
+}
+
+std::uint64_t WriteSizeHistogram::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.bytes;
+  return n;
+}
+
+double WriteSizeHistogram::total_seconds() const {
+  double s = 0;
+  for (const auto& b : buckets_) s += b.seconds;
+  return s;
+}
+
+std::string WriteSizeHistogram::bucket_label(int i) {
+  if (i == kNumBuckets - 1) return "> 1M";
+  auto label = [](std::uint64_t v) -> std::string {
+    if (v < KiB) return std::to_string(v);
+    if (v < MiB) return std::to_string(v / KiB) + "K";
+    return std::to_string(v / MiB) + "M";
+  };
+  return label(kBounds[i]) + "-" + label(kBounds[i + 1]);
+}
+
+std::string WriteSizeHistogram::render_table(const std::string& title) const {
+  const double ops = static_cast<double>(total_ops());
+  const double bytes = static_cast<double>(total_bytes());
+  const double secs = total_seconds();
+  std::string out;
+  out += title + "\n";
+  out += "  Write Size   % of Writes   % of Data   % of Time\n";
+  out += "  ----------   -----------   ---------   ---------\n";
+  char line[128];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const SizeBucket& b = buckets_[i];
+    std::snprintf(line, sizeof(line), "  %-10s   %11.2f   %9.2f   %9.2f\n",
+                  bucket_label(i).c_str(),
+                  ops > 0 ? 100.0 * static_cast<double>(b.ops) / ops : 0.0,
+                  bytes > 0 ? 100.0 * static_cast<double>(b.bytes) / bytes : 0.0,
+                  secs > 0 ? 100.0 * b.seconds / secs : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+void Log2Histogram::record(std::uint64_t value) {
+  const int idx = value == 0 ? 0 : 64 - std::countl_zero(value);
+  buckets_[static_cast<std::size_t>(idx)] += 1;
+  count_ += 1;
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Midpoint of bucket [2^(i-1), 2^i).
+      return i == 0 ? 0.0 : 1.5 * static_cast<double>(1ULL << (i - 1));
+    }
+  }
+  return static_cast<double>(1ULL << 62);
+}
+
+}  // namespace crfs

@@ -1,0 +1,72 @@
+// Size-bucketed histograms.
+//
+// WriteSizeHistogram reproduces the exact bucket boundaries of the paper's
+// Table I ("Checkpoint Writing Profile"): 0-64, 64-256, 256-1K, 1K-4K,
+// 4K-16K, 16K-64K, 64K-256K, 256K-512K, 512K-1M, >1M. Each bucket
+// accumulates operation count, bytes, and elapsed time so the three
+// percentage columns of Table I fall out directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crfs {
+
+/// One row of a write-size profile (a Table I row).
+struct SizeBucket {
+  std::uint64_t lo = 0;        ///< inclusive lower bound in bytes
+  std::uint64_t hi = 0;        ///< exclusive upper bound; UINT64_MAX for the top bucket
+  std::uint64_t ops = 0;       ///< number of write operations
+  std::uint64_t bytes = 0;     ///< total bytes written
+  double seconds = 0.0;        ///< total elapsed time in the write path
+};
+
+/// Histogram over the paper's Table I size buckets.
+class WriteSizeHistogram {
+ public:
+  static constexpr int kNumBuckets = 10;
+
+  WriteSizeHistogram();
+
+  /// Records one write of `size` bytes that took `seconds`.
+  void record(std::uint64_t size, double seconds);
+
+  /// Merges another histogram into this one (e.g. per-process -> node).
+  void merge(const WriteSizeHistogram& other);
+
+  const std::array<SizeBucket, kNumBuckets>& buckets() const { return buckets_; }
+
+  std::uint64_t total_ops() const;
+  std::uint64_t total_bytes() const;
+  double total_seconds() const;
+
+  /// Renders the Table I layout: bucket label, % of writes, % of data,
+  /// % of time. Percentages are of this histogram's totals.
+  std::string render_table(const std::string& title) const;
+
+  /// Label for bucket `i`, e.g. "4K-16K" or "> 1M".
+  static std::string bucket_label(int i);
+
+  /// Index of the bucket containing `size`.
+  static int bucket_index(std::uint64_t size);
+
+ private:
+  std::array<SizeBucket, kNumBuckets> buckets_;
+};
+
+/// General-purpose log2 histogram for microbench latency distributions.
+class Log2Histogram {
+ public:
+  void record(std::uint64_t value);
+  std::uint64_t count() const { return count_; }
+  /// Approximate quantile (q in [0,1]) from bucket midpoints.
+  double quantile(double q) const;
+
+ private:
+  std::array<std::uint64_t, 64> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace crfs

@@ -1,0 +1,86 @@
+// Result<T>: lightweight expected-style error handling for IO paths.
+//
+// CRFS hot paths (write aggregation, chunk flushing) must not throw:
+// exceptions crossing thread-pool boundaries would tear down IO workers.
+// All fallible filesystem operations return Result<T> / Status instead.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace crfs {
+
+/// An error code plus human-readable context. `code` uses errno values so
+/// backend errors can be surfaced unchanged through the POSIX-style API.
+struct Error {
+  int code = 0;          ///< errno-compatible error code (0 == no error).
+  std::string context;   ///< what operation failed, e.g. "pwrite ckpt.img".
+
+  /// Builds an Error from the current errno.
+  static Error from_errno(std::string ctx) { return Error{errno, std::move(ctx)}; }
+
+  /// Formats as "context: strerror(code)".
+  std::string to_string() const {
+    if (context.empty()) return std::strerror(code);
+    return context + ": " + std::strerror(code);
+  }
+};
+
+/// Result of an operation that yields a T on success or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error err) : v_(std::move(err)) {}            // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok(). The contained success value.
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  /// Rvalue access returns BY VALUE (moved out), so patterns like
+  /// `for (auto& x : f().value())` are lifetime-safe: the materialised
+  /// return value is extended by the range-for, not a dangling reference
+  /// into the destroyed temporary Result.
+  T value() && { return std::get<T>(std::move(v_)); }
+
+  /// Precondition: !ok(). The contained error.
+  const Error& error() const { return std::get<Error>(v_); }
+
+  /// value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result of an operation with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   ///< success
+  Status(Error err) : err_(std::move(err)), failed_(true) {}  // NOLINT
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return err_; }
+
+  static Status success() { return Status{}; }
+
+ private:
+  Error err_{};
+  bool failed_ = false;
+};
+
+/// Propagates an error from an inner call; usable in functions returning
+/// Result<T> or Status.
+#define CRFS_RETURN_IF_ERROR(expr)                       \
+  do {                                                   \
+    auto _crfs_status = (expr);                          \
+    if (!_crfs_status.ok()) return _crfs_status.error(); \
+  } while (0)
+
+}  // namespace crfs

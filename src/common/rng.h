@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this repository (process-image synthesis,
+// DES service-time jitter, workload generators) draws from Xoshiro256**
+// seeded via SplitMix64 so that all experiments are bit-reproducible from
+// a single seed. std::mt19937 is avoided: its state is large and its
+// streams are not cheaply splittable per simulated process.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace crfs {
+
+/// SplitMix64: used to expand a single user seed into generator state and
+/// to derive independent child seeds (one per simulated process).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derives an independent child generator; stream `i` of this seed.
+  Rng child(std::uint64_t i) const {
+    SplitMix64 sm(state_[0] ^ (state_[3] + 0x632be59bd9b4e019ULL * (i + 1)));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method: unbiased.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t t = -n % n;
+      while (lo < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Exponential with the given mean (service-time jitter in the DES).
+  double exponential(double mean) {
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; no caching so the
+  /// stream stays position-independent for reproducibility).
+  double normal(double mean, double stddev) {
+    double u1;
+    do { u1 = next_double(); } while (u1 <= 0.0);
+    const double u2 = next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace crfs

@@ -1,0 +1,52 @@
+// Streaming and batch statistics used by benches and the DES reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crfs {
+
+/// Welford single-pass accumulator: mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;    ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample set with exact percentiles (sorts on demand).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double mean() const;
+  double min();
+  double max();
+  /// Exact percentile by linear interpolation; p in [0,100].
+  double percentile(double p);
+  double median() { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+}  // namespace crfs

@@ -1,0 +1,152 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace crfs {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "  +";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "  |";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+BarChart::BarChart(std::string title, std::string unit, int width)
+    : title_(std::move(title)), unit_(std::move(unit)), width_(width) {}
+
+void BarChart::add(std::string label, double value) {
+  bars_.push_back({std::move(label), value, false});
+}
+
+void BarChart::add_gap() { bars_.push_back({"", 0.0, true}); }
+
+std::string BarChart::render() const {
+  double max_v = 0.0;
+  std::size_t max_label = 0;
+  for (const auto& b : bars_) {
+    if (b.gap) continue;
+    max_v = std::max(max_v, b.value);
+    max_label = std::max(max_label, b.label.size());
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::string out = title_ + "\n";
+  char buf[64];
+  for (const auto& b : bars_) {
+    if (b.gap) { out += "\n"; continue; }
+    const int len = static_cast<int>(std::lround(b.value / max_v * width_));
+    std::snprintf(buf, sizeof(buf), "%8.1f %s", b.value, unit_.c_str());
+    out += "  " + b.label + std::string(max_label - b.label.size(), ' ') + " |" +
+           std::string(static_cast<std::size_t>(std::max(len, b.value > 0 ? 1 : 0)), '#') +
+           buf + "\n";
+  }
+  return out;
+}
+
+ScatterPlot::ScatterPlot(std::string title, int cols, int rows)
+    : title_(std::move(title)), cols_(cols), rows_(rows) {}
+
+void ScatterPlot::add_series(char glyph, const std::vector<std::pair<double, double>>& pts) {
+  series_.push_back({glyph, pts});
+}
+
+void ScatterPlot::set_axis_labels(std::string x, std::string y) {
+  xlabel_ = std::move(x);
+  ylabel_ = std::move(y);
+}
+
+std::string ScatterPlot::render() const {
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series_) {
+    for (auto [x, y] : s.pts) {
+      xmin = std::min(xmin, x); xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y); ymax = std::max(ymax, y);
+    }
+  }
+  if (xmin > xmax) { xmin = 0; xmax = 1; ymin = 0; ymax = 1; }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  auto tx = [&](double x) {
+    if (log_x_) {
+      const double lo = std::log10(std::max(xmin, 1e-12));
+      const double hi = std::log10(std::max(xmax, 1e-12));
+      const double v = std::log10(std::max(x, 1e-12));
+      return (v - lo) / (hi - lo);
+    }
+    return (x - xmin) / (xmax - xmin);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(rows_),
+                                std::string(static_cast<std::size_t>(cols_), ' '));
+  for (const auto& s : series_) {
+    for (auto [x, y] : s.pts) {
+      int cx = static_cast<int>(std::lround(tx(x) * (cols_ - 1)));
+      int cy = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (rows_ - 1)));
+      cx = std::clamp(cx, 0, cols_ - 1);
+      cy = std::clamp(cy, 0, rows_ - 1);
+      grid[static_cast<std::size_t>(rows_ - 1 - cy)][static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  char buf[64];
+  std::string out = title_ + "\n";
+  if (!ylabel_.empty()) out += "  y: " + ylabel_ + "\n";
+  for (int r = 0; r < rows_; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (rows_ - 1);
+    std::snprintf(buf, sizeof(buf), "%9.2f |", yv);
+    out += buf + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += "          +" + std::string(static_cast<std::size_t>(cols_), '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "%.3g", xmin);
+  std::string axis = "           ";
+  axis += buf;
+  std::snprintf(buf, sizeof(buf), "%.3g", xmax);
+  const std::string right = buf;
+  if (axis.size() + right.size() < static_cast<std::size_t>(cols_) + 11) {
+    axis += std::string(static_cast<std::size_t>(cols_) + 11 - axis.size() - right.size(), ' ');
+  }
+  axis += right;
+  out += axis + (log_x_ ? "  (log x)" : "") + "\n";
+  if (!xlabel_.empty()) out += "  x: " + xlabel_ + "\n";
+  return out;
+}
+
+}  // namespace crfs

@@ -1,0 +1,72 @@
+// ASCII table and bar-chart renderers. Every bench binary prints the
+// paper's table/figure in this textual form so the reproduction can be
+// eyeballed against the publication without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crfs {
+
+/// Column-aligned ASCII table. Usage:
+///   TextTable t({"Backend", "Native", "CRFS", "Speedup"});
+///   t.add_row({"ext3", "2.9 s", "0.9 s", "3.2x"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Horizontal bar chart, one bar per (label, value). Used for the paper's
+/// grouped bar figures (Figs 6-9): pass pairs like "ext3 native" / "ext3
+/// CRFS" in sequence.
+class BarChart {
+ public:
+  BarChart(std::string title, std::string unit, int width = 52);
+
+  void add(std::string label, double value);
+  /// Blank separator line between bar groups.
+  void add_gap();
+
+  std::string render() const;
+
+ private:
+  struct Bar { std::string label; double value; bool gap; };
+  std::string title_;
+  std::string unit_;
+  int width_;
+  std::vector<Bar> bars_;
+};
+
+/// Sparse ASCII scatter plot on log-x axis; used for the cumulative
+/// write-time figures (Figs 3/11) and the block-trace figure (Fig 10).
+class ScatterPlot {
+ public:
+  ScatterPlot(std::string title, int cols = 76, int rows = 20);
+
+  /// Adds a point series; `glyph` distinguishes series ('*', 'o', ...).
+  void add_series(char glyph, const std::vector<std::pair<double, double>>& pts);
+  void set_log_x(bool on) { log_x_ = on; }
+  void set_axis_labels(std::string x, std::string y);
+
+  std::string render() const;
+
+ private:
+  struct Series { char glyph; std::vector<std::pair<double, double>> pts; };
+  std::string title_, xlabel_, ylabel_;
+  int cols_, rows_;
+  bool log_x_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace crfs

@@ -1,0 +1,65 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace crfs {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes < KiB) {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(bytes));
+  } else if (bytes < MiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(bytes) / KiB);
+  } else if (bytes < GiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(bytes) / MiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(bytes) / GiB);
+  }
+  return buf;
+}
+
+std::string format_bandwidth_mbps(double bytes_per_second) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", bytes_per_second / 1e6);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_bytes(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  bool any_digit = false;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])); ++i) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+    any_digit = true;
+  }
+  if (!any_digit) return std::nullopt;
+
+  std::uint64_t multiplier = 1;
+  if (i < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': multiplier = KiB; break;
+      case 'M': multiplier = MiB; break;
+      case 'G': multiplier = GiB; break;
+      default: return std::nullopt;
+    }
+    ++i;
+    // Accept an optional trailing "B" / "iB".
+    if (i < text.size() && (text[i] == 'i' || text[i] == 'I')) ++i;
+    if (i < text.size() && (text[i] == 'b' || text[i] == 'B')) ++i;
+  }
+  if (i != text.size()) return std::nullopt;
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) return std::nullopt;
+  return value * multiplier;
+}
+
+}  // namespace crfs

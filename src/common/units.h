@@ -1,0 +1,29 @@
+// Byte-size and duration formatting/parsing helpers used across benches,
+// examples, and the trace/report renderers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace crfs {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Formats a byte count compactly: "512", "4.0K", "16.0M", "1.5G".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a throughput value in MB/s with one decimal.
+std::string format_bandwidth_mbps(double bytes_per_second);
+
+/// Formats seconds as the paper's figures do: "5.5 s", "0.9 s", "159.4 s".
+std::string format_seconds(double seconds);
+
+/// Parses "4096", "128K", "4M", "1G" (case-insensitive suffix, powers of
+/// 1024). Returns nullopt on malformed input.
+std::optional<std::uint64_t> parse_bytes(std::string_view text);
+
+}  // namespace crfs

@@ -1,0 +1,26 @@
+// Thin monotonic-clock helpers for the real (non-simulated) measurement
+// paths: the raw-bandwidth bench and the real checkpoint examples.
+#pragma once
+
+#include <chrono>
+
+namespace crfs {
+
+/// Seconds since an arbitrary monotonic epoch.
+inline double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Scope timer: Stopwatch sw; ... ; double s = sw.elapsed_seconds();
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_seconds()) {}
+  void reset() { start_ = monotonic_seconds(); }
+  double elapsed_seconds() const { return monotonic_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace crfs

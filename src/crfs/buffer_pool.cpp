@@ -1,0 +1,87 @@
+#include "crfs/buffer_pool.h"
+
+#include <algorithm>
+
+namespace crfs {
+
+BufferPool::BufferPool(std::size_t pool_bytes, std::size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  total_chunks_ = std::max<std::size_t>(1, pool_bytes / chunk_bytes);
+  free_.reserve(total_chunks_);
+  for (std::size_t i = 0; i < total_chunks_; ++i) {
+    free_.push_back(std::make_unique<Chunk>(chunk_bytes_));
+  }
+}
+
+BufferPool::~BufferPool() { shutdown(); }
+
+std::unique_ptr<Chunk> BufferPool::acquire(std::uint64_t file_offset) {
+  std::unique_lock lock(mu_);
+  if (free_.empty() && !shutdown_) {
+    contentions_ += 1;
+    available_.wait(lock, [&] { return !free_.empty() || shutdown_; });
+  }
+  if (free_.empty()) return nullptr;  // shutdown
+  auto chunk = std::move(free_.back());
+  free_.pop_back();
+  chunk->reset(file_offset);
+  return chunk;
+}
+
+std::unique_ptr<Chunk> BufferPool::acquire_for(std::uint64_t file_offset,
+                                               std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (free_.empty() && !shutdown_) {
+    contentions_ += 1;
+    available_.wait_for(lock, timeout, [&] { return !free_.empty() || shutdown_; });
+  }
+  if (free_.empty()) return nullptr;  // timeout or shutdown
+  auto chunk = std::move(free_.back());
+  free_.pop_back();
+  chunk->reset(file_offset);
+  return chunk;
+}
+
+std::unique_ptr<Chunk> BufferPool::try_acquire(std::uint64_t file_offset) {
+  std::lock_guard lock(mu_);
+  if (free_.empty()) return nullptr;
+  auto chunk = std::move(free_.back());
+  free_.pop_back();
+  chunk->reset(file_offset);
+  return chunk;
+}
+
+void BufferPool::release(std::unique_ptr<Chunk> chunk) {
+  if (!chunk) return;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;  // drop on the floor during teardown
+    free_.push_back(std::move(chunk));
+  }
+  available_.notify_one();
+}
+
+void BufferPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  available_.notify_all();
+}
+
+std::size_t BufferPool::free_chunks() const {
+  std::lock_guard lock(mu_);
+  return free_.size();
+}
+
+std::uint64_t BufferPool::contention_count() const {
+  std::lock_guard lock(mu_);
+  return contentions_;
+}
+
+bool BufferPool::is_shutdown() const {
+  std::lock_guard lock(mu_);
+  return shutdown_;
+}
+
+}  // namespace crfs

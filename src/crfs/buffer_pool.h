@@ -1,0 +1,70 @@
+// BufferPool: the mount-time pool of aggregation chunks (paper §IV-B).
+//
+// acquire() blocks when the pool is drained; this is CRFS's natural
+// backpressure — writers stall until IO threads return chunks, which is
+// exactly why a larger pool raises aggregation bandwidth in Fig 5 until
+// the pipeline is deep enough to flatten.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "crfs/chunk.h"
+
+namespace crfs {
+
+class BufferPool {
+ public:
+  /// Carves `pool_bytes / chunk_bytes` chunks up front. At least one chunk
+  /// is always created so a misconfigured pool cannot deadlock the mount.
+  BufferPool(std::size_t pool_bytes, std::size_t chunk_bytes);
+
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Blocks until a free chunk is available, then hands it out reset to
+  /// `file_offset`. Returns nullptr only after shutdown().
+  std::unique_ptr<Chunk> acquire(std::uint64_t file_offset);
+
+  /// Non-blocking acquire; nullptr when the pool is empty.
+  std::unique_ptr<Chunk> try_acquire(std::uint64_t file_offset);
+
+  /// Blocking acquire with a deadline; nullptr on timeout or shutdown.
+  std::unique_ptr<Chunk> acquire_for(std::uint64_t file_offset,
+                                     std::chrono::milliseconds timeout);
+
+  /// Returns a chunk to the pool and wakes one blocked acquirer.
+  void release(std::unique_ptr<Chunk> chunk);
+
+  /// Unblocks all waiters; subsequent acquires return nullptr. Used when
+  /// tearing down a mount.
+  void shutdown();
+
+  std::size_t chunk_size() const { return chunk_bytes_; }
+  std::size_t total_chunks() const { return total_chunks_; }
+  std::size_t free_chunks() const;
+
+  /// Number of acquire() calls that had to block (backpressure events).
+  std::uint64_t contention_count() const;
+
+  /// True once shutdown() has been called.
+  bool is_shutdown() const;
+
+ private:
+  const std::size_t chunk_bytes_;
+  std::size_t total_chunks_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<Chunk>> free_;
+  std::uint64_t contentions_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace crfs

@@ -1,0 +1,66 @@
+// Chunk: one fixed-size aggregation buffer from the mount-time pool.
+//
+// Lifecycle (paper §IV-B):
+//   pool --acquire--> current chunk of a file --fill--> work queue
+//        <--release-- IO thread after pwrite to the backend
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace crfs {
+
+class Chunk {
+ public:
+  /// Allocates a chunk with `capacity` bytes of 4 KB-aligned storage
+  /// (alignment keeps backend pwrites page-aligned when fills are).
+  explicit Chunk(std::size_t capacity)
+      : capacity_(capacity),
+        storage_(static_cast<std::byte*>(::operator new(capacity, std::align_val_t{4096}))) {}
+
+  ~Chunk() { ::operator delete(storage_, std::align_val_t{4096}); }
+
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t fill() const { return fill_; }
+  std::size_t remaining() const { return capacity_ - fill_; }
+  bool full() const { return fill_ == capacity_; }
+  bool empty() const { return fill_ == 0; }
+
+  /// Offset within the target file where this chunk's data begins.
+  std::uint64_t file_offset() const { return file_offset_; }
+
+  /// Rewinds the chunk for reuse against a new file position.
+  void reset(std::uint64_t file_offset) {
+    fill_ = 0;
+    file_offset_ = file_offset;
+  }
+
+  /// File offset one past the last byte currently buffered.
+  std::uint64_t append_point() const { return file_offset_ + fill_; }
+
+  /// Copies up to remaining() bytes from `data` into the chunk; returns
+  /// the number of bytes consumed.
+  std::size_t append(std::span<const std::byte> data) {
+    const std::size_t n = data.size() < remaining() ? data.size() : remaining();
+    std::memcpy(storage_ + fill_, data.data(), n);
+    fill_ += n;
+    return n;
+  }
+
+  /// The valid buffered bytes, for the IO thread's backend pwrite.
+  std::span<const std::byte> payload() const { return {storage_, fill_}; }
+
+ private:
+  std::size_t capacity_;
+  std::byte* storage_;
+  std::size_t fill_ = 0;
+  std::uint64_t file_offset_ = 0;
+};
+
+}  // namespace crfs

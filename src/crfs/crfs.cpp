@@ -1,0 +1,282 @@
+#include "crfs/crfs.h"
+
+#include <cerrno>
+
+namespace crfs {
+
+Result<std::unique_ptr<Crfs>> Crfs::mount(std::shared_ptr<BackendFs> backend, Config cfg) {
+  if (backend == nullptr) return Error{EINVAL, "mount: null backend"};
+  CRFS_RETURN_IF_ERROR(cfg.validate());
+  return std::unique_ptr<Crfs>(new Crfs(std::move(backend), cfg));
+}
+
+Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
+    : backend_(std::move(backend)), cfg_(cfg) {
+  pool_ = std::make_unique<BufferPool>(cfg_.pool_size, cfg_.chunk_size);
+  io_pool_ = std::make_unique<IoThreadPool>(cfg_.io_threads, queue_, *pool_, *backend_);
+}
+
+Crfs::~Crfs() {
+  // Flush buffered data of any files the application failed to close, so
+  // unmounting never silently drops bytes.
+  std::vector<std::shared_ptr<FileEntry>> leaked;
+  {
+    std::lock_guard lock(handles_mu_);
+    for (auto& [h, state] : handles_) leaked.push_back(state.entry);
+  }
+  for (auto& entry : leaked) drain(*entry);
+  // Destroy the IO pool first: drains the queue, joins workers.
+  io_pool_.reset();
+  pool_->shutdown();
+}
+
+Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
+  bool reopened = true;
+  auto entry = table_.find_or_create(path, [&]() -> Result<std::shared_ptr<FileEntry>> {
+    reopened = false;
+    auto bf = backend_->open_file(path, flags);
+    if (!bf.ok()) return bf.error();
+    return std::make_shared<FileEntry>(path, bf.value());
+  });
+  if (!entry.ok()) return entry.error();
+  if (reopened) {
+    stats_.reopens.fetch_add(1, std::memory_order_relaxed);
+    if (flags.truncate && flags.write) {
+      // Truncating reopen: discard buffered data and truncate the backend.
+      auto& e = *entry.value();
+      {
+        std::lock_guard agg(e.agg_mu);
+        e.current.reset();
+        e.size_seen.store(0, std::memory_order_relaxed);
+      }
+      const std::uint64_t target = e.write_chunks.load(std::memory_order_acquire);
+      e.wait_for_completion(target);
+      CRFS_RETURN_IF_ERROR(backend_->truncate(e.backend_file(), 0));
+    }
+  }
+
+  std::lock_guard lock(handles_mu_);
+  const FileHandle h = next_handle_++;
+  handles_[h] = HandleState{entry.value(), flags.write};
+  return h;
+}
+
+Result<std::shared_ptr<FileEntry>> Crfs::entry_for(FileHandle handle) {
+  std::lock_guard lock(handles_mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error{EBADF, "unknown CRFS handle"};
+  return it->second.entry;
+}
+
+Result<Crfs::HandleState> Crfs::state_for(FileHandle handle) {
+  std::lock_guard lock(handles_mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error{EBADF, "unknown CRFS handle"};
+  return it->second;
+}
+
+std::uint64_t Crfs::flush_current_locked(FileEntry& entry, bool partial) {
+  if (entry.current != nullptr && !entry.current->empty()) {
+    auto chunk = std::move(entry.current);
+    entry.write_chunks.fetch_add(1, std::memory_order_acq_rel);
+    if (partial) {
+      stats_.partial_flushes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.full_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Find the entry's shared_ptr for the job. The table still holds it
+    // because the file is open.
+    queue_.push(WriteJob{table_.find(entry.path()), std::move(chunk)});
+  } else if (entry.current != nullptr) {
+    // Empty chunk: just return it to the pool.
+    pool_->release(std::move(entry.current));
+  }
+  return entry.write_chunks.load(std::memory_order_acquire);
+}
+
+Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint64_t offset) {
+  auto state_result = state_for(handle);
+  if (!state_result.ok()) return state_result.error();
+  if (!state_result.value().writable) return Error{EBADF, "write on read-only handle"};
+  FileEntry& entry = *state_result.value().entry;
+
+  stats_.app_writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.app_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+
+  std::lock_guard agg(entry.agg_mu);
+  while (!data.empty()) {
+    // Non-contiguous write: flush the current chunk and restart at the new
+    // offset. Checkpoint streams are sequential so this is the cold path.
+    if (entry.current != nullptr && entry.current->append_point() != offset) {
+      flush_current_locked(entry, /*partial=*/true);
+    }
+    if (entry.current == nullptr) {
+      entry.current = acquire_chunk(entry, offset);
+      if (entry.current == nullptr) return Error{EIO, "CRFS shutting down"};
+    }
+    const std::size_t consumed = entry.current->append(data);
+    data = data.subspan(consumed);
+    offset += consumed;
+    if (entry.current->full()) {
+      flush_current_locked(entry, /*partial=*/false);
+    }
+  }
+
+  // Track the furthest byte written for getattr on still-buffered files.
+  std::uint64_t seen = entry.size_seen.load(std::memory_order_relaxed);
+  while (offset > seen &&
+         !entry.size_seen.compare_exchange_weak(seen, offset, std::memory_order_relaxed)) {
+  }
+  return {};
+}
+
+std::unique_ptr<Chunk> Crfs::acquire_chunk(FileEntry& entry, std::uint64_t offset) {
+  // Fast path: a chunk is free, or becomes free quickly (IO threads never
+  // take agg_mu, so they keep draining while we hold this entry's lock).
+  if (auto chunk = pool_->try_acquire(offset)) return chunk;
+
+  for (;;) {
+    // Normal backpressure first: IO threads are draining, a chunk will
+    // come back. Only when the whole pipeline is PROVABLY idle — nothing
+    // queued, nothing being written — can every chunk be parked as some
+    // other file's partial current chunk, which would deadlock.
+    if (auto chunk = pool_->acquire_for(offset, std::chrono::milliseconds(10))) {
+      return chunk;
+    }
+    if (pool_->is_shutdown()) return nullptr;
+    if (pool_->free_chunks() == 0 && queue_.depth() == 0 && io_pool_->in_flight() == 0) {
+      // Exhaustion rescue: flush the fullest parked partial to the work
+      // queue ("steal"). try_lock keeps this deadlock-free: two writers
+      // can never wait on each other's agg_mu.
+      std::shared_ptr<FileEntry> victim;
+      std::size_t victim_fill = 0;
+      for (const auto& other : table_.snapshot()) {
+        if (other.get() == &entry) continue;
+        std::unique_lock other_lock(other->agg_mu, std::try_to_lock);
+        if (!other_lock.owns_lock()) continue;
+        if (other->current != nullptr && other->current->fill() > victim_fill) {
+          victim = other;
+          victim_fill = other->current->fill();
+        }
+      }
+      if (victim != nullptr) {
+        std::unique_lock victim_lock(victim->agg_mu, std::try_to_lock);
+        if (victim_lock.owns_lock() && victim->current != nullptr &&
+            !victim->current->empty()) {
+          flush_current_locked(*victim, /*partial=*/true);
+          stats_.chunk_steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+void Crfs::drain(FileEntry& entry) {
+  std::uint64_t target;
+  {
+    std::lock_guard agg(entry.agg_mu);
+    target = flush_current_locked(entry, /*partial=*/true);
+  }
+  entry.wait_for_completion(target);
+}
+
+Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
+                               std::uint64_t offset) {
+  auto entry_result = entry_for(handle);
+  if (!entry_result.ok()) return entry_result.error();
+  FileEntry& entry = *entry_result.value();
+
+  if (cfg_.flush_before_read) {
+    bool dirty;
+    {
+      std::lock_guard agg(entry.agg_mu);
+      dirty = entry.current != nullptr && !entry.current->empty();
+    }
+    if (dirty) drain(entry);
+  }
+
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  auto r = backend_->pread(entry.backend_file(), data, offset);
+  if (r.ok()) stats_.read_bytes.fetch_add(r.value(), std::memory_order_relaxed);
+  return r;
+}
+
+Status Crfs::fsync(FileHandle handle) {
+  auto entry_result = entry_for(handle);
+  if (!entry_result.ok()) return entry_result.error();
+  FileEntry& entry = *entry_result.value();
+
+  drain(entry);
+  if (auto err = entry.take_error()) return *err;
+  return backend_->fsync(entry.backend_file());
+}
+
+Status Crfs::close(FileHandle handle) {
+  std::shared_ptr<FileEntry> entry;
+  {
+    std::lock_guard lock(handles_mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) return Error{EBADF, "close: unknown CRFS handle"};
+    entry = it->second.entry;
+    handles_.erase(it);
+  }
+
+  // Paper §IV-C: enqueue remaining data, then block until the complete
+  // chunk count equals the write chunk count.
+  drain(*entry);
+
+  Status result;
+  if (auto err = entry->take_error()) result = *err;
+
+  if (auto last = table_.release(entry->path())) {
+    const Status close_status = backend_->close_file(last->backend_file());
+    if (result.ok() && !close_status.ok()) result = close_status;
+  }
+  return result;
+}
+
+Result<BackendStat> Crfs::getattr(const std::string& path) {
+  auto st = backend_->stat(path);
+  if (!st.ok()) return st;
+  // A still-open file may have bytes buffered in its current chunk or in
+  // flight in the work queue; report the logical size the app produced.
+  if (auto entry = table_.find(path)) {
+    const std::uint64_t seen = entry->size_seen.load(std::memory_order_relaxed);
+    if (seen > st.value().size) st.value().size = seen;
+  }
+  return st;
+}
+
+Status Crfs::mkdir(const std::string& path) { return backend_->mkdir(path); }
+Status Crfs::rmdir(const std::string& path) { return backend_->rmdir(path); }
+Status Crfs::unlink(const std::string& path) { return backend_->unlink(path); }
+
+Status Crfs::rename(const std::string& from, const std::string& to) {
+  // Flush buffered data so the renamed file is complete under its new name.
+  if (auto entry = table_.find(from)) drain(*entry);
+  return backend_->rename(from, to);
+}
+
+Result<std::vector<std::string>> Crfs::list_dir(const std::string& path) {
+  return backend_->list_dir(path);
+}
+
+Status Crfs::truncate(const std::string& path, std::uint64_t size) {
+  auto entry = table_.find(path);
+  if (entry != nullptr) {
+    drain(*entry);
+    {
+      std::lock_guard agg(entry->agg_mu);
+      entry->size_seen.store(size, std::memory_order_relaxed);
+    }
+    return backend_->truncate(entry->backend_file(), size);
+  }
+  // Not open: go through a temporary backend handle.
+  auto bf = backend_->open_file(path, OpenFlags{.create = false, .truncate = false, .write = true});
+  if (!bf.ok()) return bf.error();
+  const Status st = backend_->truncate(bf.value(), size);
+  const Status cl = backend_->close_file(bf.value());
+  return st.ok() ? cl : st;
+}
+
+}  // namespace crfs

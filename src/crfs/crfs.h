@@ -1,0 +1,132 @@
+// Crfs: the Checkpoint/Restart Filesystem core (paper §IV).
+//
+// A stackable user-level filesystem: POSIX-shaped operations come in (in
+// the paper via the FUSE kernel module; here via FuseShim or directly),
+// writes are aggregated into pool chunks and flushed asynchronously by an
+// IO thread pool; reads and metadata operations pass through to the
+// backend unchanged. File layout on the backend is identical to what the
+// application wrote, so a checkpoint can be restarted directly from the
+// backend without CRFS mounted (paper §V-F).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "backend/backend_fs.h"
+#include "crfs/buffer_pool.h"
+#include "crfs/config.h"
+#include "crfs/file_table.h"
+#include "crfs/io_pool.h"
+#include "crfs/work_queue.h"
+
+namespace crfs {
+
+/// Counters exposed by a mount; all monotonically increasing.
+struct MountStats {
+  std::atomic<std::uint64_t> app_writes{0};      ///< write() calls received
+  std::atomic<std::uint64_t> app_bytes{0};       ///< bytes received from apps
+  std::atomic<std::uint64_t> full_flushes{0};    ///< chunks enqueued because full
+  std::atomic<std::uint64_t> partial_flushes{0}; ///< chunks enqueued at close/fsync/seek
+  std::atomic<std::uint64_t> reopens{0};         ///< opens that hit an existing entry
+  /// Pool-exhaustion rescues: another file's partial chunk was flushed
+  /// early because every chunk was parked (more open files than chunks).
+  std::atomic<std::uint64_t> chunk_steals{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> read_bytes{0};
+};
+
+class Crfs {
+ public:
+  using FileHandle = std::uint64_t;
+
+  /// Mounts CRFS over `backend`. Fails on invalid configuration.
+  static Result<std::unique_ptr<Crfs>> mount(std::shared_ptr<BackendFs> backend, Config cfg);
+
+  /// Flushes every still-open file's buffered data, drains the IO pool,
+  /// then releases the buffer pool.
+  ~Crfs();
+
+  Crfs(const Crfs&) = delete;
+  Crfs& operator=(const Crfs&) = delete;
+
+  // -- File IO ------------------------------------------------------------
+  /// §IV-A: inserts/bumps the file-table entry, then opens on the backend.
+  Result<FileHandle> open(const std::string& path, OpenFlags flags);
+
+  /// §IV-B: copies `data` into the file's current chunk; full chunks go to
+  /// the work queue. A non-contiguous offset flushes the current chunk and
+  /// starts a new one at `offset` (checkpoint streams never hit this path,
+  /// but correctness does not depend on sequential access).
+  Status write(FileHandle handle, std::span<const std::byte> data, std::uint64_t offset);
+
+  /// §IV-D1: passes through to the backend. With Config::flush_before_read
+  /// (default), dirty buffered data for this file is flushed first.
+  Result<std::size_t> read(FileHandle handle, std::span<std::byte> data, std::uint64_t offset);
+
+  /// §IV-D2: enqueues the current chunk, waits for all outstanding chunk
+  /// writes, then fsyncs the backend file.
+  Status fsync(FileHandle handle);
+
+  /// §IV-C: enqueues remaining buffered data, blocks until complete-chunk
+  /// count equals write-chunk count, then drops the table reference.
+  /// Returns any backend write error encountered for this file.
+  Status close(FileHandle handle);
+
+  // -- Metadata passthrough (§IV-D3) ---------------------------------------
+  Result<BackendStat> getattr(const std::string& path);
+  Status mkdir(const std::string& path);
+  Status rmdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> list_dir(const std::string& path);
+  /// Flushes buffered data for the path (if open) then truncates.
+  Status truncate(const std::string& path, std::uint64_t size);
+
+  // -- Introspection --------------------------------------------------------
+  const Config& config() const { return cfg_; }
+  const MountStats& stats() const { return stats_; }
+  BackendFs& backend() { return *backend_; }
+  BufferPool& buffer_pool() { return *pool_; }
+  std::uint64_t backend_chunks_written() const { return io_pool_->chunks_written(); }
+  std::size_t open_files() const { return table_.open_count(); }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  Crfs(std::shared_ptr<BackendFs> backend, Config cfg);
+
+  struct HandleState {
+    std::shared_ptr<FileEntry> entry;
+    bool writable = false;
+  };
+
+  Result<std::shared_ptr<FileEntry>> entry_for(FileHandle handle);
+  Result<HandleState> state_for(FileHandle handle);
+
+  /// Enqueues `entry`'s current chunk (if any). Caller holds entry->agg_mu.
+  /// Returns the write-chunk count snapshot after the enqueue.
+  std::uint64_t flush_current_locked(FileEntry& entry, bool partial);
+
+  /// Gets a fresh chunk for `entry` (agg_mu held), stealing another
+  /// file's parked partial chunk if the pool is exhausted — without this,
+  /// opening more files than the pool has chunks can deadlock the mount.
+  std::unique_ptr<Chunk> acquire_chunk(FileEntry& entry, std::uint64_t offset);
+
+  /// Flush + wait for all outstanding writes of `entry`.
+  void drain(FileEntry& entry);
+
+  std::shared_ptr<BackendFs> backend_;
+  Config cfg_;
+  std::unique_ptr<BufferPool> pool_;
+  WorkQueue queue_;
+  std::unique_ptr<IoThreadPool> io_pool_;
+  FileTable table_;
+  MountStats stats_;
+
+  std::mutex handles_mu_;
+  std::unordered_map<FileHandle, HandleState> handles_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace crfs

@@ -1,0 +1,100 @@
+// crfs::File — RAII convenience wrapper with a sequential cursor.
+//
+// The checkpoint writer, examples, and tests use this instead of juggling
+// raw handles: the destructor closes the handle (best-effort), and
+// write()/read() advance an internal offset exactly like a POSIX fd
+// cursor. Routing goes through a FuseShim so every byte experiences FUSE
+// request splitting, as it would on a real mount.
+#pragma once
+
+#include <utility>
+
+#include "crfs/fuse_shim.h"
+
+namespace crfs {
+
+class File {
+ public:
+  /// Opens `path` through `shim`. Check ok() before use.
+  static Result<File> open(FuseShim& shim, const std::string& path, OpenFlags flags) {
+    auto h = shim.open(path, flags);
+    if (!h.ok()) return h.error();
+    return File(shim, h.value());
+  }
+
+  File(File&& other) noexcept
+      : shim_(std::exchange(other.shim_, nullptr)),
+        handle_(other.handle_),
+        offset_(other.offset_) {}
+
+  File& operator=(File&& other) noexcept {
+    if (this != &other) {
+      close_quietly();
+      shim_ = std::exchange(other.shim_, nullptr);
+      handle_ = other.handle_;
+      offset_ = other.offset_;
+    }
+    return *this;
+  }
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  ~File() { close_quietly(); }
+
+  /// Appends at the cursor and advances it.
+  Status write(std::span<const std::byte> data) {
+    const Status st = shim_->write(handle_, data, offset_);
+    if (st.ok()) offset_ += data.size();
+    return st;
+  }
+
+  Status write(const void* data, std::size_t size) {
+    return write({static_cast<const std::byte*>(data), size});
+  }
+
+  /// Positioned write; does not move the cursor.
+  Status pwrite(std::span<const std::byte> data, std::uint64_t offset) {
+    return shim_->write(handle_, data, offset);
+  }
+
+  /// Reads at the cursor and advances it by the bytes read.
+  Result<std::size_t> read(std::span<std::byte> data) {
+    auto r = shim_->read(handle_, data, offset_);
+    if (r.ok()) offset_ += r.value();
+    return r;
+  }
+
+  Result<std::size_t> pread(std::span<std::byte> data, std::uint64_t offset) {
+    return shim_->read(handle_, data, offset);
+  }
+
+  Status fsync() { return shim_->fsync(handle_); }
+
+  void seek(std::uint64_t offset) { offset_ = offset; }
+  std::uint64_t tell() const { return offset_; }
+
+  /// Explicit close with error reporting; the destructor ignores errors.
+  Status close() {
+    if (shim_ == nullptr) return {};
+    const Status st = shim_->close(handle_);
+    shim_ = nullptr;
+    return st;
+  }
+
+ private:
+  File(FuseShim& shim, Crfs::FileHandle handle) : shim_(&shim), handle_(handle) {}
+
+  void close_quietly() {
+    if (shim_ != nullptr) {
+      (void)shim_->close(handle_);
+      shim_ = nullptr;
+    }
+  }
+
+  FuseShim* shim_ = nullptr;
+  Crfs::FileHandle handle_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace crfs

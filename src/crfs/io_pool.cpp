@@ -1,0 +1,37 @@
+#include "crfs/io_pool.h"
+
+#include "crfs/file_table.h"
+
+namespace crfs {
+
+IoThreadPool::IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool,
+                           BackendFs& backend)
+    : queue_(queue), pool_(pool), backend_(backend) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+IoThreadPool::~IoThreadPool() {
+  queue_.shutdown();
+  for (auto& w : workers_) w.join();
+}
+
+void IoThreadPool::worker_loop() {
+  while (auto job = queue_.pop()) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    const Status status =
+        backend_.pwrite(job->file->backend_file(), job->chunk->payload(),
+                        job->chunk->file_offset());
+    if (status.ok()) {
+      chunks_written_.fetch_add(1, std::memory_order_relaxed);
+      bytes_written_.fetch_add(job->chunk->fill(), std::memory_order_relaxed);
+    }
+    job->file->complete_one(status);
+    pool_.release(std::move(job->chunk));
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace crfs

@@ -1,0 +1,51 @@
+// IoThreadPool: the pool of worker IO threads draining the work queue
+// (paper §IV-B). Configuring the thread count throttles the number of
+// outstanding chunk writes hitting the backend at once.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "backend/backend_fs.h"
+#include "crfs/buffer_pool.h"
+#include "crfs/work_queue.h"
+
+namespace crfs {
+
+class IoThreadPool {
+ public:
+  /// Starts `threads` workers. Each worker loops: pop a chunk, pwrite it
+  /// to the backend at its recorded offset, bump the owning file's
+  /// complete-chunk count, return the chunk to the pool.
+  IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool, BackendFs& backend);
+
+  /// Drains the queue and joins all workers.
+  ~IoThreadPool();
+
+  IoThreadPool(const IoThreadPool&) = delete;
+  IoThreadPool& operator=(const IoThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Chunks written so far across all workers.
+  std::uint64_t chunks_written() const { return chunks_written_.load(); }
+  std::uint64_t bytes_written() const { return bytes_written_.load(); }
+
+  /// Jobs currently being written by a worker (popped, not yet finished).
+  unsigned in_flight() const { return in_flight_.load(); }
+
+ private:
+  void worker_loop();
+
+  WorkQueue& queue_;
+  BufferPool& pool_;
+  BackendFs& backend_;
+  std::atomic<std::uint64_t> chunks_written_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<unsigned> in_flight_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crfs

@@ -1,0 +1,98 @@
+#include "crfs/mount_options.h"
+
+#include <cerrno>
+#include <charconv>
+
+namespace crfs {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Result<MountOptions> parse_mount_options(std::string_view text) {
+  MountOptions out;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = trim(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (item.empty()) {
+      if (comma == text.size()) break;
+      continue;
+    }
+
+    const std::size_t eq = item.find('=');
+    const std::string_view key = eq == std::string_view::npos ? item : item.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : item.substr(eq + 1);
+
+    auto need_size = [&](std::size_t& dest) -> Status {
+      const auto parsed = parse_bytes(value);
+      if (!parsed) {
+        return Error{EINVAL, "bad size for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      dest = static_cast<std::size_t>(*parsed);
+      return {};
+    };
+
+    if (key == "chunk") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.chunk_size));
+    } else if (key == "pool") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.pool_size));
+    } else if (key == "threads") {
+      unsigned threads = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, threads);
+      if (ec != std::errc{} || ptr != end || threads == 0) {
+        return Error{EINVAL, "bad thread count: '" + std::string(value) + "'"};
+      }
+      out.config.io_threads = threads;
+    } else if (key == "big_writes") {
+      out.fuse.big_writes = true;
+    } else if (key == "no_big_writes") {
+      out.fuse.big_writes = false;
+    } else if (key == "flush_before_read") {
+      out.config.flush_before_read = true;
+    } else if (key == "paper_reads") {
+      out.config.flush_before_read = false;
+    } else {
+      return Error{EINVAL, "unknown mount option: '" + std::string(key) + "'"};
+    }
+    if (comma == text.size()) break;
+  }
+
+  CRFS_RETURN_IF_ERROR(out.config.validate());
+  return out;
+}
+
+namespace {
+
+// Exact (re-parseable) size rendering: "4M", "512K", or raw bytes.
+std::string exact_size(std::size_t bytes) {
+  if (bytes != 0 && bytes % GiB == 0) return std::to_string(bytes / GiB) + "G";
+  if (bytes != 0 && bytes % MiB == 0) return std::to_string(bytes / MiB) + "M";
+  if (bytes != 0 && bytes % KiB == 0) return std::to_string(bytes / KiB) + "K";
+  return std::to_string(bytes);
+}
+
+}  // namespace
+
+std::string format_mount_options(const MountOptions& options) {
+  std::string s = "chunk=" + exact_size(options.config.chunk_size) +
+                  ",pool=" + exact_size(options.config.pool_size) +
+                  ",threads=" + std::to_string(options.config.io_threads);
+  s += options.fuse.big_writes ? ",big_writes" : ",no_big_writes";
+  if (!options.config.flush_before_read) s += ",paper_reads";
+  return s;
+}
+
+}  // namespace crfs

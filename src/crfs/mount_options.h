@@ -1,0 +1,35 @@
+// Mount-option string parsing: "chunk=4M,pool=16M,threads=4,big_writes".
+//
+// The real CRFS is configured through mount options (`-o` on the fuse
+// command line); tools and scripts here use the same convention so a
+// deployment can keep its tuning in one string.
+#pragma once
+
+#include <string_view>
+
+#include "crfs/config.h"
+
+namespace crfs {
+
+/// Parsed mount options: the CRFS Config plus FUSE options.
+struct MountOptions {
+  Config config;
+  FuseOptions fuse;
+};
+
+/// Parses a comma-separated option list. Recognised keys:
+///   chunk=<size>        aggregation chunk size          (default 4M)
+///   pool=<size>         buffer pool size                (default 16M)
+///   threads=<n>         IO thread count                 (default 4)
+///   big_writes          128 KB FUSE requests            (default on)
+///   no_big_writes       4 KB FUSE requests
+///   flush_before_read   reads see buffered data         (default on)
+///   paper_reads         paper-faithful read passthrough (no flush)
+/// Sizes accept K/M/G suffixes. Unknown keys, malformed values, or a
+/// configuration that fails Config::validate() return an error.
+Result<MountOptions> parse_mount_options(std::string_view text);
+
+/// Renders options back to the canonical string form.
+std::string format_mount_options(const MountOptions& options);
+
+}  // namespace crfs

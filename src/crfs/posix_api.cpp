@@ -1,0 +1,181 @@
+#include "crfs/posix_api.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+
+namespace crfs {
+
+std::shared_ptr<PosixApi::Descriptor> PosixApi::get(int fd) {
+  std::lock_guard lock(mu_);
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : it->second;
+}
+
+int PosixApi::open(const char* path, int flags) {
+  const int access = flags & O_ACCMODE;
+  if (access != O_RDONLY && access != O_WRONLY && access != O_RDWR) {
+    return fail(EINVAL);
+  }
+  const bool writable = access != O_RDONLY;
+
+  if ((flags & O_EXCL) != 0) {
+    if ((flags & O_CREAT) == 0) return fail(EINVAL);
+    if (shim_.fs().getattr(path).ok()) return fail(EEXIST);
+  }
+
+  OpenFlags of;
+  of.create = (flags & O_CREAT) != 0;
+  of.truncate = (flags & O_TRUNC) != 0 && writable;
+  of.write = writable;
+  auto handle = shim_.open(path, of);
+  if (!handle.ok()) return fail(handle.error().code);
+
+  auto desc = std::make_shared<Descriptor>();
+  desc->handle = handle.value();
+  desc->path = path;
+  desc->append = (flags & O_APPEND) != 0;
+  desc->writable = writable;
+
+  std::lock_guard lock(mu_);
+  const int fd = next_fd_++;
+  fds_[fd] = std::move(desc);
+  return fd;
+}
+
+int PosixApi::close(int fd) {
+  std::shared_ptr<Descriptor> desc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return fail(EBADF);
+    desc = std::move(it->second);
+    fds_.erase(it);
+  }
+  const Status st = shim_.close(desc->handle);
+  if (!st.ok()) return fail(st.error().code);
+  return 0;
+}
+
+ssize_t PosixApi::write(int fd, const void* buf, std::size_t count) {
+  auto desc = get(fd);
+  if (desc == nullptr) return failz(EBADF);
+  if (!desc->writable) return failz(EBADF);
+
+  std::lock_guard lock(desc->mu);
+  std::uint64_t offset = desc->cursor;
+  if (desc->append) {
+    auto st = shim_.fs().getattr(desc->path);
+    if (!st.ok()) return failz(st.error().code);
+    offset = st.value().size;
+  }
+  const Status st =
+      shim_.write(desc->handle, {static_cast<const std::byte*>(buf), count}, offset);
+  if (!st.ok()) return failz(st.error().code);
+  desc->cursor = offset + count;
+  return static_cast<ssize_t>(count);
+}
+
+ssize_t PosixApi::pwrite(int fd, const void* buf, std::size_t count, off_t offset) {
+  auto desc = get(fd);
+  if (desc == nullptr || !desc->writable) return failz(EBADF);
+  if (offset < 0) return failz(EINVAL);
+  const Status st = shim_.write(desc->handle, {static_cast<const std::byte*>(buf), count},
+                                static_cast<std::uint64_t>(offset));
+  if (!st.ok()) return failz(st.error().code);
+  return static_cast<ssize_t>(count);
+}
+
+ssize_t PosixApi::read(int fd, void* buf, std::size_t count) {
+  auto desc = get(fd);
+  if (desc == nullptr) return failz(EBADF);
+  std::lock_guard lock(desc->mu);
+  auto n = shim_.read(desc->handle, {static_cast<std::byte*>(buf), count}, desc->cursor);
+  if (!n.ok()) return failz(n.error().code);
+  desc->cursor += n.value();
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t PosixApi::pread(int fd, void* buf, std::size_t count, off_t offset) {
+  auto desc = get(fd);
+  if (desc == nullptr) return failz(EBADF);
+  if (offset < 0) return failz(EINVAL);
+  auto n = shim_.read(desc->handle, {static_cast<std::byte*>(buf), count},
+                      static_cast<std::uint64_t>(offset));
+  if (!n.ok()) return failz(n.error().code);
+  return static_cast<ssize_t>(n.value());
+}
+
+off_t PosixApi::lseek(int fd, off_t offset, int whence) {
+  auto desc = get(fd);
+  if (desc == nullptr) return static_cast<off_t>(fail(EBADF));
+  std::lock_guard lock(desc->mu);
+
+  std::int64_t base = 0;
+  switch (whence) {
+    case SEEK_SET: base = 0; break;
+    case SEEK_CUR: base = static_cast<std::int64_t>(desc->cursor); break;
+    case SEEK_END: {
+      auto st = shim_.fs().getattr(desc->path);
+      if (!st.ok()) return static_cast<off_t>(fail(st.error().code));
+      base = static_cast<std::int64_t>(st.value().size);
+      break;
+    }
+    default:
+      return static_cast<off_t>(fail(EINVAL));
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return static_cast<off_t>(fail(EINVAL));
+  desc->cursor = static_cast<std::uint64_t>(target);
+  return static_cast<off_t>(target);
+}
+
+int PosixApi::fsync(int fd) {
+  auto desc = get(fd);
+  if (desc == nullptr) return fail(EBADF);
+  const Status st = shim_.fsync(desc->handle);
+  if (!st.ok()) return fail(st.error().code);
+  return 0;
+}
+
+int PosixApi::mkdir(const char* path) {
+  const Status st = shim_.fs().mkdir(path);
+  return st.ok() ? 0 : fail(st.error().code);
+}
+
+int PosixApi::rmdir(const char* path) {
+  const Status st = shim_.fs().rmdir(path);
+  return st.ok() ? 0 : fail(st.error().code);
+}
+
+int PosixApi::unlink(const char* path) {
+  const Status st = shim_.fs().unlink(path);
+  return st.ok() ? 0 : fail(st.error().code);
+}
+
+int PosixApi::rename(const char* from, const char* to) {
+  const Status st = shim_.fs().rename(from, to);
+  return st.ok() ? 0 : fail(st.error().code);
+}
+
+int PosixApi::truncate(const char* path, off_t length) {
+  if (length < 0) return fail(EINVAL);
+  const Status st = shim_.fs().truncate(path, static_cast<std::uint64_t>(length));
+  return st.ok() ? 0 : fail(st.error().code);
+}
+
+int PosixApi::stat(const char* path, struct ::stat* out) {
+  auto st = shim_.fs().getattr(path);
+  if (!st.ok()) return fail(st.error().code);
+  std::memset(out, 0, sizeof(*out));
+  out->st_size = static_cast<off_t>(st.value().size);
+  out->st_mode = st.value().is_dir ? (S_IFDIR | 0755) : (S_IFREG | 0644);
+  return 0;
+}
+
+std::size_t PosixApi::open_fds() const {
+  std::lock_guard lock(mu_);
+  return fds_.size();
+}
+
+}  // namespace crfs

@@ -1,0 +1,90 @@
+// PosixApi: an errno-style POSIX facade over a CRFS mount.
+//
+// The paper's pitch is transparency: "any software component using
+// standard filesystem interfaces can transparently benefit from CRFS's
+// capabilities". Code written against open/read/write/lseek/close can't
+// consume crfs::Result directly, so this facade provides the classic
+// shapes — int fds, ssize_t returns, errno — over a FuseShim, including a
+// per-mount file-descriptor table with O_APPEND and cursor semantics.
+//
+// Thread-safe: distinct fds may be used concurrently; sharing one fd
+// across threads serialises on that fd's cursor (as POSIX file offsets
+// effectively do).
+#pragma once
+
+#include <fcntl.h>
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "crfs/fuse_shim.h"
+
+namespace crfs {
+
+class PosixApi {
+ public:
+  explicit PosixApi(FuseShim& shim) : shim_(shim) {}
+
+  /// open(2): supported flags are O_RDONLY/O_WRONLY/O_RDWR, O_CREAT,
+  /// O_TRUNC, O_APPEND, O_EXCL. Returns fd >= 0, or -1 with errno set.
+  int open(const char* path, int flags);
+
+  /// close(2).
+  int close(int fd);
+
+  /// write(2): appends at the fd cursor (or end-of-file under O_APPEND).
+  ssize_t write(int fd, const void* buf, std::size_t count);
+
+  /// pwrite(2): positioned; does not move the cursor.
+  ssize_t pwrite(int fd, const void* buf, std::size_t count, off_t offset);
+
+  /// read(2) / pread(2).
+  ssize_t read(int fd, void* buf, std::size_t count);
+  ssize_t pread(int fd, void* buf, std::size_t count, off_t offset);
+
+  /// lseek(2): SEEK_SET / SEEK_CUR / SEEK_END.
+  off_t lseek(int fd, off_t offset, int whence);
+
+  /// fsync(2).
+  int fsync(int fd);
+
+  /// Metadata ops (path-based).
+  int mkdir(const char* path);
+  int rmdir(const char* path);
+  int unlink(const char* path);
+  int rename(const char* from, const char* to);
+  int truncate(const char* path, off_t length);
+  /// stat(2) subset: fills size and directory bit.
+  int stat(const char* path, struct ::stat* out);
+
+  /// Open fd count (diagnostics).
+  std::size_t open_fds() const;
+
+ private:
+  struct Descriptor {
+    Crfs::FileHandle handle = 0;
+    std::string path;
+    std::uint64_t cursor = 0;
+    bool append = false;
+    bool writable = false;
+    std::mutex mu;  // serialises cursor updates on a shared fd
+  };
+
+  std::shared_ptr<Descriptor> get(int fd);
+  static int fail(int err) {
+    errno = err;
+    return -1;
+  }
+  static ssize_t failz(int err) {
+    errno = err;
+    return -1;
+  }
+
+  FuseShim& shim_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<Descriptor>> fds_;
+  int next_fd_ = 3;  // 0-2 reserved, as tradition demands
+};
+
+}  // namespace crfs

@@ -1,0 +1,41 @@
+#include "crfs/work_queue.h"
+
+namespace crfs {
+
+void WorkQueue::push(WriteJob job) {
+  {
+    std::lock_guard lock(mu_);
+    jobs_.push_back(std::move(job));
+    pushed_ += 1;
+  }
+  ready_.notify_one();
+}
+
+std::optional<WriteJob> WorkQueue::pop() {
+  std::unique_lock lock(mu_);
+  ready_.wait(lock, [&] { return !jobs_.empty() || shutdown_; });
+  if (jobs_.empty()) return std::nullopt;
+  WriteJob job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void WorkQueue::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t WorkQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+std::uint64_t WorkQueue::total_pushed() const {
+  std::lock_guard lock(mu_);
+  return pushed_;
+}
+
+}  // namespace crfs

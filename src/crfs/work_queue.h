@@ -1,0 +1,53 @@
+// WorkQueue: FIFO of filled chunks awaiting backend writing (paper §IV-B,
+// "Work Queue and IO Throttling").
+//
+// Producers are application threads (full chunks, and partial chunks at
+// close/fsync); consumers are the IO thread pool. The queue is unbounded:
+// backpressure is applied upstream by the finite BufferPool, never here —
+// a chunk that exists always has a queue slot, so enqueue cannot block
+// and close() cannot deadlock against a full queue.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "crfs/chunk.h"
+
+namespace crfs {
+
+class FileEntry;  // defined in file_table.h
+
+/// One unit of IO work: write `chunk`'s payload to `file`'s backend handle
+/// at the chunk's recorded file offset.
+struct WriteJob {
+  std::shared_ptr<FileEntry> file;
+  std::unique_ptr<Chunk> chunk;
+};
+
+class WorkQueue {
+ public:
+  /// Appends a job and wakes one IO thread.
+  void push(WriteJob job);
+
+  /// Blocks for the next job; nullopt after shutdown once drained.
+  std::optional<WriteJob> pop();
+
+  /// Lets pop() return nullopt once the queue is empty. Already-queued
+  /// jobs are still handed out so teardown never loses buffered data.
+  void shutdown();
+
+  std::size_t depth() const;
+  std::uint64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<WriteJob> jobs_;
+  std::uint64_t pushed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace crfs

@@ -1,0 +1,100 @@
+#include "mpi/job.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <mutex>
+#include <thread>
+
+#include "blcr/process_image.h"
+#include "common/wall_clock.h"
+
+namespace crfs::mpi {
+
+double JobReport::spread() const {
+  if (ranks.empty()) return 1.0;
+  double lo = ranks.front().write_seconds, hi = lo;
+  for (const auto& r : ranks) {
+    lo = std::min(lo, r.write_seconds);
+    hi = std::max(hi, r.write_seconds);
+  }
+  return lo > 0 ? hi / lo : 1.0;
+}
+
+JobReport run_checkpoint(const JobConfig& config, CheckpointTarget& target) {
+  JobReport report;
+  report.ranks.resize(config.nprocs);
+
+  const std::uint64_t image_bytes =
+      config.image_bytes_override != 0
+          ? config.image_bytes_override
+          : image_bytes_per_process(config.stack, config.lu_class, config.nprocs);
+
+  // Phase boundaries. One extra participant: the coordinator thread that
+  // timestamps the global cycle.
+  std::barrier phase_start(static_cast<std::ptrdiff_t>(config.nprocs) + 1);
+  std::barrier phase_end(static_cast<std::ptrdiff_t>(config.nprocs) + 1);
+
+  std::mutex error_mu;
+  auto record_failure = [&](const std::string& what) {
+    std::lock_guard lock(error_mu);
+    report.ok = false;
+    if (report.error.empty()) report.error = what;
+  };
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(config.nprocs);
+  for (unsigned rank = 0; rank < config.nprocs; ++rank) {
+    ranks.emplace_back([&, rank] {
+      RankReport& out = report.ranks[rank];
+      out.rank = rank;
+      out.image_bytes = image_bytes;
+      if (config.record_writes) out.recorder = trace::WriteRecorder(static_cast<int>(rank));
+
+      // Phase 1: communication flushed; all ranks aligned.
+      phase_start.arrive_and_wait();
+
+      const Stopwatch sw;
+      const auto image = blcr::ProcessImage::synthesize(
+          rank, image_bytes, config.seed ^ (0x5151ULL * (rank + 1)));
+
+      auto sink = target.open_rank(rank);
+      if (!sink.ok()) {
+        record_failure("open rank " + std::to_string(rank) + ": " + sink.error().to_string());
+      } else {
+        auto crc = blcr::CheckpointWriter::write_image(
+            image, *sink.value(), config.record_writes ? &out.recorder : nullptr);
+        if (!crc.ok()) {
+          record_failure("write rank " + std::to_string(rank) + ": " + crc.error().to_string());
+        } else {
+          out.payload_crc = crc.value();
+        }
+        const Status fin = target.finish_rank(rank);
+        if (!fin.ok()) {
+          record_failure("close rank " + std::to_string(rank) + ": " + fin.error().to_string());
+        }
+      }
+      // Measured time includes the close (paper: "the time for BLCR to
+      // write the checkpointed data and the time to close the file (so
+      // there is no pending data in CRFS)").
+      out.write_seconds = sw.elapsed_seconds();
+
+      // Phase 3: wait for the slowest rank, then resume.
+      phase_end.arrive_and_wait();
+    });
+  }
+
+  phase_start.arrive_and_wait();
+  const Stopwatch cycle;
+  phase_end.arrive_and_wait();
+  report.checkpoint_seconds = cycle.elapsed_seconds();
+
+  for (auto& t : ranks) t.join();
+
+  double sum = 0;
+  for (const auto& r : report.ranks) sum += r.write_seconds;
+  report.mean_rank_seconds = config.nprocs ? sum / config.nprocs : 0.0;
+  return report;
+}
+
+}  // namespace crfs::mpi

@@ -1,0 +1,88 @@
+#include "mpi/stack_model.h"
+
+#include "common/units.h"
+
+namespace crfs::mpi {
+namespace {
+
+// Per-rank runtime footprint (transport state, library buffers) in MB.
+// IB stacks pin channel memory per connection; TCP is leaner (§V-C).
+double runtime_base_mb(Stack s) {
+  switch (s) {
+    case Stack::kMvapich2: return 3.0;
+    case Stack::kOpenMpi: return 3.2;
+    case Stack::kMpich2: return 0.7;
+  }
+  return 0.0;
+}
+
+// Table II per-process image sizes (MB) at 128 processes.
+double table2_image_mb(Stack s, LuClass c) {
+  switch (s) {
+    case Stack::kMvapich2:
+      switch (c) {
+        case LuClass::kB: return 7.1;
+        case LuClass::kC: return 15.1;
+        case LuClass::kD: return 106.7;
+      }
+      break;
+    case Stack::kOpenMpi:
+      switch (c) {
+        case LuClass::kB: return 7.1;
+        case LuClass::kC: return 13.7;
+        case LuClass::kD: return 108.3;
+      }
+      break;
+    case Stack::kMpich2:
+      switch (c) {
+        case LuClass::kB: return 3.9;
+        case LuClass::kC: return 10.7;
+        case LuClass::kD: return 103.6;
+      }
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* stack_name(Stack s) {
+  switch (s) {
+    case Stack::kMvapich2: return "MVAPICH2";
+    case Stack::kOpenMpi: return "OpenMPI";
+    case Stack::kMpich2: return "MPICH2";
+  }
+  return "?";
+}
+
+const char* stack_transport(Stack s) {
+  return s == Stack::kMpich2 ? "TCP" : "IB";
+}
+
+const char* lu_class_name(LuClass c) {
+  switch (c) {
+    case LuClass::kB: return "LU.B";
+    case LuClass::kC: return "LU.C";
+    case LuClass::kD: return "LU.D";
+  }
+  return "?";
+}
+
+std::uint64_t image_bytes_per_process(Stack stack, LuClass cls, unsigned nprocs) {
+  // image(n) = app_data / n + runtime_base, anchored so image(128)
+  // reproduces Table II exactly.
+  const double base = runtime_base_mb(stack);
+  const double app_data_mb = (table2_image_mb(stack, cls) - base) * 128.0;
+  const double image_mb = app_data_mb / static_cast<double>(nprocs) + base;
+  return static_cast<std::uint64_t>(image_mb * static_cast<double>(MiB));
+}
+
+std::uint64_t total_checkpoint_bytes(Stack stack, LuClass cls, unsigned nprocs) {
+  return image_bytes_per_process(stack, cls, nprocs) * nprocs;
+}
+
+std::string benchmark_tag(LuClass cls, unsigned nprocs) {
+  return std::string(lu_class_name(cls)) + "." + std::to_string(nprocs);
+}
+
+}  // namespace crfs::mpi

@@ -1,0 +1,42 @@
+// MPI stack models: the three C/R-capable MPI implementations the paper
+// evaluates (§V, Table II), reduced to what distinguishes them for
+// checkpoint IO — the per-process image size for each NAS LU class.
+//
+// Table II (measured at 128 processes):
+//   LU.B.128  MVAPICH2-IB 7.1 MB/proc   OpenMPI-IB 7.1   MPICH2-TCP 3.9
+//   LU.C.128  MVAPICH2-IB 15.1          OpenMPI-IB 13.7  MPICH2-TCP 10.7
+//   LU.D.128  MVAPICH2-IB 106.7         OpenMPI-IB 108.3 MPICH2-TCP 103.6
+//
+// "MVAPICH2 and OpenMPI produce checkpoint images slightly bigger than
+// MPICH2 ... because they use InfiniBand transport which requires more
+// memory to maintain the communication channels."
+//
+// The model decomposes each image into application data (divided across
+// ranks) plus a per-rank runtime footprint (transport-dependent), so
+// image sizes extrapolate to other process counts (Fig 9 runs LU.D on
+// 16-128 processes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crfs::mpi {
+
+enum class Stack { kMvapich2, kOpenMpi, kMpich2 };
+enum class LuClass { kB, kC, kD };
+
+const char* stack_name(Stack s);       ///< "MVAPICH2", "OpenMPI", "MPICH2"
+const char* stack_transport(Stack s);  ///< "IB" or "TCP"
+const char* lu_class_name(LuClass c);  ///< "LU.B", "LU.C", "LU.D"
+
+/// Per-process checkpoint image size in bytes for `nprocs` total ranks.
+/// Exact Table II values at nprocs == 128.
+std::uint64_t image_bytes_per_process(Stack stack, LuClass cls, unsigned nprocs);
+
+/// Total checkpoint bytes across the job.
+std::uint64_t total_checkpoint_bytes(Stack stack, LuClass cls, unsigned nprocs);
+
+/// "LU.C.128"-style benchmark tag.
+std::string benchmark_tag(LuClass cls, unsigned nprocs);
+
+}  // namespace crfs::mpi

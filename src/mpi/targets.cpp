@@ -1,0 +1,53 @@
+#include "mpi/targets.h"
+
+namespace crfs::mpi {
+
+CrfsTarget::CrfsTarget(FuseShim& shim, std::string prefix)
+    : shim_(shim), prefix_(std::move(prefix)) {}
+
+Result<std::unique_ptr<blcr::ByteSink>> CrfsTarget::open_rank(unsigned rank) {
+  const std::string path = prefix_ + "rank" + std::to_string(rank) + ".ckpt";
+  auto file = File::open(shim_, path, {.create = true, .truncate = true, .write = true});
+  if (!file.ok()) return file.error();
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = files_.insert_or_assign(rank, std::move(file.value()));
+  return std::unique_ptr<blcr::ByteSink>(new blcr::CrfsFileSink(it->second));
+}
+
+Status CrfsTarget::finish_rank(unsigned rank) {
+  std::unique_lock lock(mu_);
+  auto it = files_.find(rank);
+  if (it == files_.end()) return Error{EBADF, "finish_rank: rank not open"};
+  File file = std::move(it->second);
+  files_.erase(it);
+  lock.unlock();
+  return file.close();  // blocks until CRFS drains this file's chunks
+}
+
+NativeTarget::NativeTarget(std::shared_ptr<BackendFs> backend, std::string prefix)
+    : backend_(std::move(backend)), prefix_(std::move(prefix)) {}
+
+Result<std::unique_ptr<blcr::ByteSink>> NativeTarget::open_rank(unsigned rank) {
+  const std::string path = prefix_ + "rank" + std::to_string(rank) + ".ckpt";
+  auto bf = backend_->open_file(path, {.create = true, .truncate = true, .write = true});
+  if (!bf.ok()) return bf.error();
+  {
+    std::lock_guard lock(mu_);
+    handles_[rank] = bf.value();
+  }
+  return std::unique_ptr<blcr::ByteSink>(new blcr::BackendSink(*backend_, bf.value()));
+}
+
+Status NativeTarget::finish_rank(unsigned rank) {
+  BackendFile handle;
+  {
+    std::lock_guard lock(mu_);
+    auto it = handles_.find(rank);
+    if (it == handles_.end()) return Error{EBADF, "finish_rank: rank not open"};
+    handle = it->second;
+    handles_.erase(it);
+  }
+  return backend_->close_file(handle);
+}
+
+}  // namespace crfs::mpi

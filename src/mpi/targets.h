@@ -1,0 +1,48 @@
+// CheckpointTarget implementations: through a CRFS mount, or natively to
+// a backend (the paper's two measured paths).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "backend/backend_fs.h"
+#include "blcr/sinks.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+#include "mpi/job.h"
+
+namespace crfs::mpi {
+
+/// Ranks checkpoint through a FUSE-shimmed CRFS mount ("Using CRFS").
+class CrfsTarget final : public CheckpointTarget {
+ public:
+  /// Files are created as `<prefix>rank<i>.ckpt` in the mount.
+  CrfsTarget(FuseShim& shim, std::string prefix = "");
+
+  Result<std::unique_ptr<blcr::ByteSink>> open_rank(unsigned rank) override;
+  Status finish_rank(unsigned rank) override;
+
+ private:
+  FuseShim& shim_;
+  std::string prefix_;
+  std::mutex mu_;
+  std::unordered_map<unsigned, File> files_;
+};
+
+/// Ranks checkpoint straight to the backend ("Native"): every BLCR write
+/// is an individual backend pwrite, no aggregation.
+class NativeTarget final : public CheckpointTarget {
+ public:
+  NativeTarget(std::shared_ptr<BackendFs> backend, std::string prefix = "");
+
+  Result<std::unique_ptr<blcr::ByteSink>> open_rank(unsigned rank) override;
+  Status finish_rank(unsigned rank) override;
+
+ private:
+  std::shared_ptr<BackendFs> backend_;
+  std::string prefix_;
+  std::mutex mu_;
+  std::unordered_map<unsigned, BackendFile> handles_;
+};
+
+}  // namespace crfs::mpi

@@ -1,0 +1,64 @@
+// BackendSim: a simulated backend filesystem under checkpoint load.
+//
+// The three implementations model the paper's evaluation targets:
+//   Ext3Sim    node-local ext3 (journal-coupled writers, page cache with
+//              dirty throttling, SATA disk with seeks, blktrace capture)
+//   LustreSim  1 MDS + 3 OSTs over IB (per-op client costs, grant-limited
+//              client cache, striped RPCs to OST stations)
+//   NfsSim     single NFSv3 server over IPoIB (client cache, flush +
+//              commit on close, server disk with seeks)
+//
+// The client-visible contract mirrors what CRFS and native writers see on
+// a real mount: write_call() completes when the write() syscall would
+// return; close_file() completes when close() would return (for NFS that
+// includes the flush/commit storm).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/calibration.h"
+#include "sim/engine.h"
+#include "trace/block_trace.h"
+
+namespace crfs::sim {
+
+/// Identifies one checkpoint file (one rank) within the experiment.
+using FileId = int;
+
+class BackendSim {
+ public:
+  virtual ~BackendSim() = default;
+
+  /// One client-visible write of `len` bytes at `offset` of `file`,
+  /// issued from `node`. `via_crfs` selects the CRFS-shaped access
+  /// pattern costs (large aligned writes, no metadata storm) vs the
+  /// native BLCR pattern.
+  virtual Task write_call(unsigned node, FileId file, std::uint64_t offset,
+                          std::uint64_t len, bool via_crfs) = 0;
+
+  /// Client-visible close().
+  virtual Task close_file(unsigned node, FileId file, bool via_crfs) = 0;
+
+  /// Tells background daemons (writeback, servers) to exit once idle so
+  /// Simulation::run() terminates.
+  virtual void stop() = 0;
+
+  /// Node-local disk trace (ext3 only; null otherwise).
+  virtual const trace::BlockTrace* disk_trace(unsigned node) const {
+    (void)node;
+    return nullptr;
+  }
+
+  virtual std::uint64_t disk_seeks(unsigned node) const {
+    (void)node;
+    return 0;
+  }
+};
+
+/// Effective per-stream copy bandwidth with `ppn` active writers on a
+/// node (memory-bandwidth contention).
+inline double contended_copy_bw(const Calibration& cal, unsigned ppn) {
+  return cal.copy_bw / (1.0 + cal.copy_contention * (ppn > 0 ? ppn - 1 : 0));
+}
+
+}  // namespace crfs::sim

@@ -1,0 +1,132 @@
+#include "sim/crfs_sim.h"
+
+#include <algorithm>
+
+namespace crfs::sim {
+
+CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& backend,
+                         unsigned node, crfs::Config config, crfs::FuseOptions fuse,
+                         unsigned ppn)
+    : sim_(sim),
+      cal_(cal),
+      backend_(backend),
+      node_(node),
+      config_(config),
+      fuse_(fuse),
+      ppn_(ppn),
+      free_chunks_(static_cast<unsigned>(config.num_chunks() > 0 ? config.num_chunks() : 1)),
+      fuse_station_(sim, 1),
+      chunk_available_(sim),
+      job_ready_(sim) {}
+
+void CrfsSimNode::start() {
+  for (unsigned i = 0; i < config_.io_threads; ++i) {
+    sim_.spawn(io_worker());
+  }
+}
+
+CrfsSimNode::FileState& CrfsSimNode::state(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    it = files_.emplace(file, FileState{}).first;
+    it->second.completion = std::make_unique<Event>(sim_);
+  }
+  return it->second;
+}
+
+void CrfsSimNode::flush_chunk(FileState& st, FileId file) {
+  if (!st.has_chunk || st.chunk_fill == 0) return;
+  queue_.push_back(Job{file, st.chunk_offset, st.chunk_fill});
+  st.write_chunks += 1;
+  st.has_chunk = false;
+  st.chunk_fill = 0;
+  chunks_flushed_ += 1;
+  job_ready_.pulse();
+}
+
+Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
+  FileState& st = state(file);
+  const std::uint64_t max_req = fuse_.max_write();
+
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t req = std::min(remaining, max_req);
+    // The FUSE request queue serializes all writers on the node: each
+    // request pays the user<->kernel crossing plus the payload copy into
+    // the chunk buffer (the paper's "multiple buffer copies" overhead).
+    const double cost = cal_.fuse_request_cost + cal_.syscall_overhead +
+                        static_cast<double>(req) * (1.0 + cal_.crfs_extra_copies) /
+                            (cal_.fuse_station_bw * (1.0 + cal_.crfs_extra_copies));
+    co_await fuse_station_.acquire();
+    co_await sim_.delay(cost);
+    fuse_station_.release();
+
+    std::uint64_t req_remaining = req;
+    while (req_remaining > 0) {
+      if (!st.has_chunk) {
+        // Buffer-pool acquire: may block until an IO worker releases.
+        while (free_chunks_ == 0) {
+          pool_waits_ += 1;
+          co_await chunk_available_.wait();
+        }
+        free_chunks_ -= 1;
+        st.has_chunk = true;
+        st.chunk_offset = st.append;
+        st.chunk_fill = 0;
+      }
+      const std::uint64_t space = config_.chunk_size - st.chunk_fill;
+      const std::uint64_t take = std::min(space, req_remaining);
+      st.chunk_fill += take;
+      st.append += take;
+      req_remaining -= take;
+      if (st.chunk_fill == config_.chunk_size) {
+        flush_chunk(st, file);
+      }
+    }
+    remaining -= req;
+  }
+}
+
+Task CrfsSimNode::io_worker() {
+  for (;;) {
+    while (queue_.empty()) {
+      if (stopping_) co_return;
+      co_await job_ready_.wait();
+    }
+    const Job job = queue_.front();
+    queue_.pop_front();
+
+    co_await sim_.delay(cal_.crfs_chunk_overhead);
+    co_await backend_.write_call(node_, job.file, job.offset, job.len, /*via_crfs=*/true);
+
+    FileState& st = state(job.file);
+    st.complete_chunks += 1;
+    st.completion->pulse();
+
+    free_chunks_ += 1;
+    chunk_available_.pulse();
+  }
+}
+
+Task CrfsSimNode::close_file(FileId file) {
+  FileState& st = state(file);
+  flush_chunk(st, file);
+  // Releasing an empty current chunk (open but never filled).
+  if (st.has_chunk) {
+    st.has_chunk = false;
+    free_chunks_ += 1;
+    chunk_available_.pulse();
+  }
+  const std::uint64_t target = st.write_chunks;
+  while (st.complete_chunks < target) {
+    co_await st.completion->wait();
+  }
+  co_await backend_.close_file(node_, file, /*via_crfs=*/true);
+}
+
+void CrfsSimNode::stop() {
+  stopping_ = true;
+  job_ready_.pulse();
+}
+
+}  // namespace crfs::sim

@@ -1,0 +1,89 @@
+// CrfsSimNode: the CRFS pipeline in virtual time.
+//
+// One instance per simulated node, mirroring the real implementation in
+// src/crfs: a FUSE request path (write splitting at max_write), a finite
+// buffer pool (blocking acquire = backpressure), a work queue, and a pool
+// of IO threads issuing chunk-sized writes to the backend. close_file()
+// implements the paper's §IV-C contract: flush the partial chunk, then
+// block until complete-chunk count equals write-chunk count.
+//
+// Costs come from Calibration: per-FUSE-request crossing cost, the extra
+// buffer copy, per-chunk bookkeeping. Everything else (how long a chunk
+// pwrite takes) is the backend model's business.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "crfs/config.h"
+#include "sim/backend_sim.h"
+
+namespace crfs::sim {
+
+class CrfsSimNode {
+ public:
+  CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& backend,
+              unsigned node, crfs::Config config, crfs::FuseOptions fuse, unsigned ppn);
+
+  /// Spawns the IO worker tasks. Call once before any app_write.
+  void start();
+
+  /// Application write of `len` bytes appended to `file` (checkpoint
+  /// streams are sequential). Completes when the app's write() returns —
+  /// i.e. after FUSE routing and the copy into the current chunk, having
+  /// possibly blocked on buffer-pool backpressure.
+  Task app_write(FileId file, std::uint64_t len);
+
+  /// §IV-C close: enqueue the partial chunk, wait for all outstanding
+  /// chunk writes of this file, then close on the backend.
+  Task close_file(FileId file);
+
+  /// Lets IO workers exit once the queue drains (end of experiment).
+  void stop();
+
+  std::uint64_t chunks_flushed() const { return chunks_flushed_; }
+  std::uint64_t pool_waits() const { return pool_waits_; }
+
+ private:
+  struct FileState {
+    std::uint64_t append = 0;        ///< next file offset
+    bool has_chunk = false;
+    std::uint64_t chunk_offset = 0;  ///< file offset of current chunk
+    std::uint64_t chunk_fill = 0;
+    std::uint64_t write_chunks = 0;
+    std::uint64_t complete_chunks = 0;
+    std::unique_ptr<Event> completion;
+  };
+
+  struct Job {
+    FileId file;
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+
+  Task io_worker();
+  FileState& state(FileId file);
+  /// Enqueues the file's current chunk (if non-empty).
+  void flush_chunk(FileState& st, FileId file);
+
+  Simulation& sim_;
+  const Calibration& cal_;
+  BackendSim& backend_;
+  unsigned node_;
+  crfs::Config config_;
+  crfs::FuseOptions fuse_;
+  unsigned ppn_;
+
+  unsigned free_chunks_;
+  Resource fuse_station_;   ///< the node's serialized FUSE request queue
+  Event chunk_available_;
+  std::deque<Job> queue_;
+  Event job_ready_;
+  bool stopping_ = false;
+  std::uint64_t chunks_flushed_ = 0;
+  std::uint64_t pool_waits_ = 0;
+  std::unordered_map<FileId, FileState> files_;
+};
+
+}  // namespace crfs::sim

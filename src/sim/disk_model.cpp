@@ -1,0 +1,37 @@
+#include "sim/disk_model.h"
+
+#include <cmath>
+
+namespace crfs::sim {
+
+DiskSim::DiskSim(Simulation& sim, double seq_bw, double seek, double jitter_sigma,
+                 std::uint64_t rng_seed)
+    : sim_(sim),
+      station_(sim, 1),
+      seq_bw_(seq_bw),
+      seek_(seek),
+      jitter_sigma_(jitter_sigma),
+      rng_(rng_seed) {}
+
+Task DiskSim::write(std::uint64_t offset, std::uint64_t len) {
+  co_await station_.acquire();
+
+  double service = static_cast<double>(len) / seq_bw_;
+  if (offset != head_) {
+    service += seek_;
+    seeks_ += 1;
+  }
+  if (jitter_sigma_ > 0) {
+    service *= std::exp(rng_.normal(0.0, jitter_sigma_));
+  }
+
+  trace_.record(sim_.now(), offset, len);
+  head_ = offset + len;
+  bytes_ += len;
+  requests_ += 1;
+
+  co_await sim_.delay(service);
+  station_.release();
+}
+
+}  // namespace crfs::sim

@@ -1,0 +1,69 @@
+// DiskSim: a single rotational disk as a capacity-1 FCFS station.
+//
+// Service time = (seek + rotational latency if the request is not
+// contiguous with the previous head position) + bytes / sequential_bw,
+// with a small lognormal jitter. Each serviced request is recorded in a
+// BlockTrace, which is exactly what the paper's blktrace capture in
+// Fig 10 shows.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "trace/block_trace.h"
+
+namespace crfs::sim {
+
+class DiskSim {
+ public:
+  /// `seq_bw` bytes/s sequential bandwidth; `seek` seconds per
+  /// non-contiguous request; `jitter_sigma` lognormal sigma on service.
+  DiskSim(Simulation& sim, double seq_bw, double seek, double jitter_sigma,
+          std::uint64_t rng_seed);
+
+  /// Writes [offset, offset+len) — completes when the request has been
+  /// serviced. FCFS across all callers.
+  Task write(std::uint64_t offset, std::uint64_t len);
+
+  /// Total bytes serviced so far.
+  std::uint64_t bytes_written() const { return bytes_; }
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t seeks() const { return seeks_; }
+
+  const trace::BlockTrace& block_trace() const { return trace_; }
+
+ private:
+  Simulation& sim_;
+  Resource station_;
+  double seq_bw_;
+  double seek_;
+  double jitter_sigma_;
+  Rng rng_;
+
+  std::uint64_t head_ = 0;  ///< disk head position (byte address)
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t seeks_ = 0;
+  trace::BlockTrace trace_;
+};
+
+/// Maps file extents to "disk addresses". Models ext3's per-file block-
+/// group preference: every file's blocks are laid out contiguously inside
+/// its own allocation region, and different files live in different
+/// regions. Writeback that alternates between files therefore jumps
+/// between far-apart regions (head seeks — Fig 10a), while draining one
+/// file in large runs stays sequential (Fig 10b).
+class BlockAllocator {
+ public:
+  /// Size of each file's allocation region (distance between regions).
+  static constexpr std::uint64_t kRegion = 2ULL * 1024 * 1024 * 1024;
+
+  /// Disk address of [offset, offset+len) within `file`. Contiguous
+  /// appends within one file yield contiguous addresses.
+  std::uint64_t address(int file, std::uint64_t offset) const {
+    return static_cast<std::uint64_t>(file) * kRegion + offset;
+  }
+};
+
+}  // namespace crfs::sim

@@ -1,0 +1,31 @@
+#include "sim/engine.h"
+
+namespace crfs::sim {
+
+void Simulation::spawn(Task task) {
+  schedule(task.handle_, now_);
+  tasks_.push_back(std::move(task));
+}
+
+void Simulation::schedule(std::coroutine_handle<> h, double time) {
+  queue_.push(Scheduled{time, seq_++, h});
+}
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    Scheduled next = queue_.top();
+    queue_.pop();
+    now_ = next.time;
+    events_ += 1;
+    next.handle.resume();
+  }
+  return now_;
+}
+
+Task Resource::use(double seconds) {
+  co_await acquire();
+  co_await sim_.delay(seconds);
+  release();
+}
+
+}  // namespace crfs::sim

@@ -1,0 +1,230 @@
+// Coroutine-based discrete-event simulation engine.
+//
+// The cluster-scale experiments (Figs 3, 6-11, Table I timing) run on a
+// virtual clock: simulated processes are C++20 coroutines that co_await
+// delays, FCFS resources, and events. The engine is single-threaded and
+// fully deterministic — two runs with the same seed produce identical
+// traces, which the reproduction relies on.
+//
+// Concepts:
+//   Task        lazy coroutine; co_await it to run it as a sub-routine,
+//               or Simulation::spawn() it as a top-level process.
+//   Delay       co_await sim.delay(seconds)
+//   Resource    FCFS server with fixed capacity; co_await res.acquire(),
+//               then res.release() (or use res.use(seconds) for both).
+//   Event       broadcast condition: co_await ev.wait(); ev.set() wakes
+//               all current waiters (and, once set, future ones).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace crfs::sim {
+
+class Simulation;
+
+/// Lazy coroutine task. Awaiting a Task starts it and resumes the awaiter
+/// when the task completes (symmetric transfer, no recursion growth).
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }  // sim code must not throw
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting: start the child, resume us when it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+        child.promise().continuation = caller;
+        return child;
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+  bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// The virtual-time event loop.
+class Simulation {
+ public:
+  double now() const { return now_; }
+
+  /// Awaitable advancing virtual time by `seconds` (>= 0).
+  auto delay(double seconds) {
+    struct Awaiter {
+      Simulation* sim;
+      double dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule(h, sim->now_ + (dt > 0 ? dt : 0));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, seconds};
+  }
+
+  /// Registers a top-level process; it starts when run() reaches the
+  /// current virtual time. The simulation keeps the task alive.
+  void spawn(Task task);
+
+  /// Runs until no events remain. Returns the final virtual time.
+  double run();
+
+  /// Number of events processed by run() so far (debug/perf metric).
+  std::uint64_t events_processed() const { return events_; }
+
+  // -- used by awaitables -------------------------------------------------
+  void schedule(std::coroutine_handle<> h, double time);
+
+ private:
+  struct Scheduled {
+    double time;
+    std::uint64_t seq;  // FIFO tiebreak for determinism
+    std::coroutine_handle<> handle;
+    bool operator>(const Scheduled& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  std::vector<Task> tasks_;
+};
+
+/// FCFS resource with integer capacity (a queueing station).
+class Resource {
+ public:
+  Resource(Simulation& sim, unsigned capacity) : sim_(sim), capacity_(capacity) {}
+
+  /// Awaitable: completes when a slot is granted (FIFO order).
+  auto acquire() {
+    struct Awaiter {
+      Resource* res;
+      bool await_ready() noexcept {
+        if (res->in_use_ < res->capacity_) {
+          res->in_use_ += 1;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { res->waiters_.push_back(h); }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases a slot; the longest waiter (if any) is resumed at the
+  /// current virtual time and inherits the slot.
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule(h, sim_.now());  // slot transfers to the waiter
+    } else {
+      in_use_ -= 1;
+    }
+  }
+
+  /// acquire + delay(seconds) + release as one task.
+  Task use(double seconds);
+
+  unsigned in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  unsigned capacity_;
+  unsigned in_use_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Broadcast event. Once set, all waiters (current and future) proceed.
+/// reset() re-arms it.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void set() {
+    set_ = true;
+    for (auto h : waiters_) sim_->schedule(h, sim_->now());
+    waiters_.clear();
+  }
+
+  /// Wakes current waiters without latching (condition-variable pulse).
+  void pulse() {
+    for (auto h : waiters_) sim_->schedule(h, sim_->now());
+    waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+ private:
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace crfs::sim

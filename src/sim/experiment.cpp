@@ -1,0 +1,170 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "sim/crfs_sim.h"
+#include "sim/ext3_sim.h"
+#include "sim/lustre_sim.h"
+#include "sim/nfs_sim.h"
+#include "sim/pvfs2_sim.h"
+
+namespace crfs::sim {
+namespace {
+
+struct RankOutcome {
+  double seconds = 0.0;
+  trace::WriteRecorder recorder;
+};
+
+// One rank's checkpoint: replay the BLCR write plan, then close.
+Task rank_proc(Simulation& sim, BackendSim& backend, CrfsSimNode* crfs_node,
+               unsigned node, FileId file, std::vector<blcr::PlannedWrite> plan,
+               bool record, RankOutcome& out) {
+  const double start = sim.now();
+  std::uint64_t offset = 0;
+  for (const auto& op : plan) {
+    const double t0 = sim.now();
+    if (crfs_node != nullptr) {
+      co_await crfs_node->app_write(file, op.size);
+    } else {
+      co_await backend.write_call(node, file, offset, op.size, /*via_crfs=*/false);
+    }
+    if (record) out.recorder.record(op.size, t0 - start, sim.now() - t0);
+    offset += op.size;
+  }
+  if (crfs_node != nullptr) {
+    co_await crfs_node->close_file(file);
+  } else {
+    co_await backend.close_file(node, file, /*via_crfs=*/false);
+  }
+  out.seconds = sim.now() - start;
+}
+
+std::unique_ptr<BackendSim> make_backend(const ExperimentConfig& cfg, Simulation& sim,
+                                         unsigned sim_nodes) {
+  switch (cfg.backend) {
+    case BackendKind::kExt3:
+      return std::make_unique<Ext3Sim>(sim, cfg.cal, sim_nodes, cfg.ppn, cfg.seed);
+    case BackendKind::kLustre:
+      return std::make_unique<LustreSim>(sim, cfg.cal, sim_nodes, cfg.ppn, cfg.seed);
+    case BackendKind::kNfs:
+      return std::make_unique<NfsSim>(sim, cfg.cal, sim_nodes, cfg.ppn, cfg.seed);
+    case BackendKind::kPvfs2:
+      return std::make_unique<Pvfs2Sim>(sim, cfg.cal, sim_nodes, cfg.ppn, cfg.seed);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kExt3: return "ext3";
+    case BackendKind::kLustre: return "lustre";
+    case BackendKind::kNfs: return "nfs";
+    case BackendKind::kPvfs2: return "pvfs2";
+  }
+  return "?";
+}
+
+const char* mode_name(FsMode m) { return m == FsMode::kNative ? "Native" : "CRFS"; }
+
+std::string ExperimentConfig::describe() const {
+  return std::string(mpi::stack_name(stack)) + " " +
+         mpi::benchmark_tag(lu_class, total_processes()) + " on " + backend_name(backend) +
+         " [" + mode_name(mode) + "] " + std::to_string(nodes) + "x" + std::to_string(ppn);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Simulation sim;
+
+  // ext3 shortcut: nodes are independent, so simulate one.
+  const bool shortcut = cfg.backend == BackendKind::kExt3 && cfg.ext3_single_node;
+  const unsigned sim_nodes = shortcut ? 1 : cfg.nodes;
+  const unsigned nprocs_global = cfg.total_processes();
+  const std::uint64_t image_bytes =
+      mpi::image_bytes_per_process(cfg.stack, cfg.lu_class, nprocs_global);
+
+  auto backend = make_backend(cfg, sim, sim_nodes);
+
+  std::vector<std::unique_ptr<CrfsSimNode>> crfs_nodes;
+  if (cfg.mode == FsMode::kCrfs) {
+    crfs_nodes.reserve(sim_nodes);
+    for (unsigned n = 0; n < sim_nodes; ++n) {
+      crfs_nodes.push_back(std::make_unique<CrfsSimNode>(
+          sim, cfg.cal, *backend, n, cfg.crfs_config, cfg.fuse, cfg.ppn));
+      crfs_nodes.back()->start();
+    }
+  }
+
+  const unsigned sim_ranks = sim_nodes * cfg.ppn;
+  std::vector<RankOutcome> outcomes(sim_ranks);
+
+  for (unsigned node = 0; node < sim_nodes; ++node) {
+    for (unsigned p = 0; p < cfg.ppn; ++p) {
+      const unsigned rank = node * cfg.ppn + p;
+      const auto image = blcr::ProcessImage::synthesize(
+          rank, image_bytes, cfg.seed ^ (0x5151ULL * (rank + 1)));
+      auto plan = blcr::CheckpointWriter::plan(image);
+      CrfsSimNode* crfs_node = cfg.mode == FsMode::kCrfs ? crfs_nodes[node].get() : nullptr;
+      outcomes[rank].recorder = trace::WriteRecorder(static_cast<int>(rank));
+      sim.spawn(rank_proc(sim, *backend, crfs_node, node, static_cast<FileId>(rank),
+                          std::move(plan), cfg.record_writes, outcomes[rank]));
+    }
+  }
+
+  // The rank tasks were all spawned at t=0 (phase-1 barrier). run() ends
+  // when no scheduled events remain: every rank has then closed, and any
+  // daemon coroutine still parked on an idle-wait is simply destroyed
+  // with the simulation (destroying a suspended coroutine is well-
+  // defined; nothing resumes it afterwards).
+  sim.run();
+
+  ExperimentResult result;
+  result.rank_seconds.reserve(sim_ranks);
+  double sum = 0;
+  for (auto& o : outcomes) {
+    result.rank_seconds.push_back(o.seconds);
+    sum += o.seconds;
+    if (cfg.record_writes) result.profile.add(o.recorder);
+  }
+  result.mean_rank_seconds = sim_ranks ? sum / sim_ranks : 0.0;
+  result.max_rank_seconds =
+      *std::max_element(result.rank_seconds.begin(), result.rank_seconds.end());
+  result.min_rank_seconds =
+      *std::min_element(result.rank_seconds.begin(), result.rank_seconds.end());
+  result.total_bytes = static_cast<std::uint64_t>(image_bytes) * nprocs_global;
+
+  if (const auto* trace = backend->disk_trace(0)) {
+    result.disk_summary = trace->summarize();
+    result.disk_scatter = trace->scatter_points();
+  } else if (cfg.backend == BackendKind::kNfs) {
+    const auto* server = static_cast<NfsSim*>(backend.get())->server_disk_trace();
+    result.disk_summary = server->summarize();
+    result.disk_scatter = server->scatter_points();
+  }
+  return result;
+}
+
+CellResult run_cell(mpi::Stack stack, mpi::LuClass cls, BackendKind backend,
+                    unsigned nodes, unsigned ppn, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.stack = stack;
+  cfg.lu_class = cls;
+  cfg.nodes = nodes;
+  cfg.ppn = ppn;
+  cfg.backend = backend;
+  cfg.seed = seed;
+
+  cfg.mode = FsMode::kNative;
+  CellResult cell;
+  cell.native_seconds = run_experiment(cfg).mean_rank_seconds;
+  cfg.mode = FsMode::kCrfs;
+  cell.crfs_seconds = run_experiment(cfg).mean_rank_seconds;
+  return cell;
+}
+
+}  // namespace crfs::sim

@@ -1,0 +1,87 @@
+// Experiment driver: runs one coordinated checkpoint of an MPI job in the
+// DES and reports what the paper's figures report.
+//
+// A run is (stack, LU class, nodes x ppn, backend, native-or-CRFS). Every
+// rank replays the BLCR write plan of its synthesized process image; all
+// ranks start at t=0 (phase 1 is a barrier) and a rank's checkpoint
+// writing time is write-plan replay + close (the paper's measured
+// quantity). The job's checkpoint time is the slowest rank (phase 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crfs/config.h"
+#include "mpi/stack_model.h"
+#include "sim/calibration.h"
+#include "trace/block_trace.h"
+#include "trace/write_recorder.h"
+
+namespace crfs::sim {
+
+enum class BackendKind { kExt3, kLustre, kNfs, kPvfs2 };
+enum class FsMode { kNative, kCrfs };
+
+const char* backend_name(BackendKind k);
+const char* mode_name(FsMode m);
+
+struct ExperimentConfig {
+  mpi::Stack stack = mpi::Stack::kMvapich2;
+  mpi::LuClass lu_class = mpi::LuClass::kC;
+  unsigned nodes = 16;
+  unsigned ppn = 8;
+  BackendKind backend = BackendKind::kExt3;
+  FsMode mode = FsMode::kNative;
+
+  crfs::Config crfs_config{};     ///< paper defaults: 4M chunk, 16M pool, 4 threads
+  crfs::FuseOptions fuse{};       ///< big_writes on
+
+  std::uint64_t seed = 42;
+  Calibration cal = Calibration{};
+
+  /// Record every write op per rank (Table I / Figs 3, 11). Costs memory
+  /// on big runs; off by default.
+  bool record_writes = false;
+
+  /// ext3 nodes are independent: simulating one node with ppn ranks gives
+  /// the same per-rank statistics as simulating all of them. Shared
+  /// backends (Lustre/NFS) always simulate every node.
+  bool ext3_single_node = true;
+
+  unsigned total_processes() const { return nodes * ppn; }
+  std::string describe() const;
+};
+
+struct ExperimentResult {
+  std::vector<double> rank_seconds;       ///< per simulated rank
+  double mean_rank_seconds = 0.0;         ///< the figures' y-axis value
+  double max_rank_seconds = 0.0;          ///< job checkpoint time (barrier)
+  double min_rank_seconds = 0.0;
+  std::uint64_t total_bytes = 0;          ///< checkpoint bytes simulated
+
+  trace::WriteProfile profile;            ///< populated when record_writes
+
+  // Node-0 disk behaviour (ext3) or server disk (NFS).
+  trace::BlockTraceSummary disk_summary{};
+  std::vector<std::pair<double, double>> disk_scatter;  ///< (time, offset MB)
+
+  double spread() const {
+    return min_rank_seconds > 0 ? max_rank_seconds / min_rank_seconds : 1.0;
+  }
+};
+
+/// Runs the experiment to completion (deterministic in config.seed).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Convenience: the paper's headline comparison — mean checkpoint time
+/// native vs CRFS for one (stack, class, backend) cell of Figs 6-8.
+struct CellResult {
+  double native_seconds = 0.0;
+  double crfs_seconds = 0.0;
+  double speedup() const { return crfs_seconds > 0 ? native_seconds / crfs_seconds : 0.0; }
+};
+CellResult run_cell(mpi::Stack stack, mpi::LuClass cls, BackendKind backend,
+                    unsigned nodes = 16, unsigned ppn = 8, std::uint64_t seed = 42);
+
+}  // namespace crfs::sim

@@ -1,0 +1,89 @@
+// Ext3Sim: node-local ext3 (data=ordered) under checkpoint load.
+//
+// Mechanisms (paper §III and §V-E):
+//  * In-call cost. Every page-allocating write (>= 4 KB) pays a VFS/
+//    journal-handle cost that grows with the number of concurrently
+//    writing processes — the paper's "severe contentions in the VFS
+//    layer". Sub-page writes are absorbed by the page cache for almost
+//    nothing (Table I: half the ops, ~0.2% of the time).
+//  * Journal coupling (native only). BLCR's stream of block allocations
+//    forces frequent ordered-mode commits, so a native writer stalls
+//    whenever more than a small window of its node's dirty data is
+//    waiting on the disk. CRFS's few large writes don't couple; its
+//    writers only stall at the kernel dirty limit (class D).
+//  * Writeback + disk. A per-node daemon drains dirty extents to a seek-
+//    modelled SATA disk. Native appends from P processes interleave, so
+//    per-file contiguous runs are short and the head seeks between file
+//    regions (Fig 10a). CRFS hands over whole 4 MB chunks (Fig 10b).
+//  * Unfairness. Journal blocking is systematically unfair across
+//    processes; each native writer draws a persistent luck factor, which
+//    reproduces Fig 3's 2x completion-time spread.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/backend_sim.h"
+#include "sim/disk_model.h"
+
+namespace crfs::sim {
+
+class Ext3Sim final : public BackendSim {
+ public:
+  /// One independent ext3 instance per node. `ppn` is the number of
+  /// writer processes per node (sets contention factors).
+  Ext3Sim(Simulation& sim, const Calibration& cal, unsigned nodes, unsigned ppn,
+          std::uint64_t seed);
+
+  Task write_call(unsigned node, FileId file, std::uint64_t offset, std::uint64_t len,
+                  bool via_crfs) override;
+  Task close_file(unsigned node, FileId file, bool via_crfs) override;
+  void stop() override;
+
+  const trace::BlockTrace* disk_trace(unsigned node) const override;
+  std::uint64_t disk_seeks(unsigned node) const override;
+
+  /// Per-op VFS cost for a page-allocating write with `ppn` writers.
+  static double vfs_op_cost(const Calibration& cal, unsigned ppn);
+
+ private:
+  struct Extent {
+    FileId file;
+    std::uint64_t offset;
+    std::uint64_t len;
+    bool crfs = false;  ///< arrived as a CRFS chunk pwrite
+  };
+
+  struct Node {
+    explicit Node(Simulation& sim, const Calibration& cal, std::uint64_t seed)
+        : disk(sim, cal.disk_seq_bw, cal.disk_seek, cal.jitter_sigma, seed),
+          dirty_changed(sim),
+          work(sim) {}
+
+    DiskSim disk;
+    BlockAllocator allocator;
+    std::uint64_t dirty = 0;
+    std::unordered_map<FileId, std::uint64_t> file_dirty;  ///< per-file unflushed bytes
+    Event dirty_changed;  ///< pulsed when writeback retires an extent
+    Event work;           ///< pulsed when dirty data arrives
+    // Per-file queues of dirty extents; round-robin drained.
+    std::unordered_map<FileId, std::deque<Extent>> dirty_files;
+    std::deque<FileId> rr;  ///< files with dirty data, in arrival order
+    bool daemon_running = false;
+  };
+
+  Task writeback_daemon(unsigned node);
+  double unluck(FileId file);
+
+  Simulation& sim_;
+  const Calibration& cal_;
+  unsigned ppn_;
+  bool stopping_ = false;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<FileId, double> unluck_;
+};
+
+}  // namespace crfs::sim

@@ -1,0 +1,153 @@
+#include "sim/nfs_sim.h"
+
+#include <algorithm>
+
+namespace crfs::sim {
+
+NfsSim::NfsSim(Simulation& sim, const Calibration& cal, unsigned nodes, unsigned ppn,
+               std::uint64_t seed)
+    : sim_(sim),
+      cal_(cal),
+      ppn_(ppn),
+      rng_(seed),
+      wire_(sim, 1),
+      server_disk_(sim, cal.nfs_server_disk_seq_bw, cal.nfs_server_disk_seek,
+                   cal.jitter_sigma, seed ^ 0xF5F5ULL) {
+  if (cal.nfs_coordinated_flushers > 0) {
+    flush_tokens_ = std::make_unique<Resource>(sim, cal.nfs_coordinated_flushers);
+  }
+  nodes_.reserve(nodes);
+  for (unsigned n = 0; n < nodes; ++n) nodes_.push_back(std::make_unique<Node>(sim));
+}
+
+Task NfsSim::server_request(FileId file, std::uint64_t offset, std::uint64_t len,
+                            bool committed) {
+  (void)committed;
+  // Wire: shared NIC, FCFS.
+  co_await wire_.acquire();
+  co_await sim_.delay(cal_.nfs_rpc_overhead + static_cast<double>(len) / cal_.nfs_wire_bw);
+  wire_.release();
+  // Server disk (write-through; the server must commit before close
+  // returns, and the disk is the bottleneck either way).
+  server_requests_ += 1;
+  co_await server_disk_.write(allocator_.address(file, offset), len);
+}
+
+Task NfsSim::client_writeback(unsigned node_id) {
+  Node& node = *nodes_[node_id];
+  for (;;) {
+    // Background writeback runs only while the node is over the
+    // background threshold (streaming mode); below it, dirty data waits
+    // for close-time flushing.
+    while (node.rr.empty() || node.dirty <= cal_.nfs_background) {
+      if (stopping_ && node.rr.empty()) co_return;
+      if (stopping_ && node.dirty <= cal_.nfs_background) co_return;
+      co_await node.work.wait();
+    }
+    const FileId file = node.rr.front();
+    node.rr.pop_front();
+    PerFile& pf = node.files[file];
+    if (pf.dirty.empty()) continue;
+    Extent head = pf.dirty.front();
+    // Streaming writeback coalesces big sequential runs.
+    const std::uint64_t run = std::min<std::uint64_t>(head.len, cal_.nfs_stream_run);
+    pf.dirty.front().offset += run;
+    pf.dirty.front().len -= run;
+    if (pf.dirty.front().len == 0) pf.dirty.pop_front();
+    if (!pf.dirty.empty()) node.rr.push_back(file);
+    pf.dirty_bytes -= run;
+    pf.in_flight += run;
+
+    co_await server_request(file, head.offset, run, /*committed=*/false);
+
+    pf.in_flight -= run;
+    node.dirty -= run;
+    node.drained.pulse();
+    if (pf.flushed != nullptr) pf.flushed->pulse();
+    node.work.pulse();  // re-evaluate streaming predicate
+  }
+}
+
+Task NfsSim::flush_file(unsigned node_id, FileId file, std::uint64_t run_size) {
+  Node& node = *nodes_[node_id];
+  PerFile& pf = node.files[file];
+  while (!pf.dirty.empty()) {
+    Extent head = pf.dirty.front();
+    const std::uint64_t run = std::min<std::uint64_t>(head.len, run_size);
+    pf.dirty.front().offset += run;
+    pf.dirty.front().len -= run;
+    if (pf.dirty.front().len == 0) pf.dirty.pop_front();
+    pf.dirty_bytes -= run;
+    pf.in_flight += run;
+
+    co_await server_request(file, head.offset, run, /*committed=*/true);
+
+    pf.in_flight -= run;
+    node.dirty -= run;
+    node.drained.pulse();
+    if (pf.flushed != nullptr) pf.flushed->pulse();
+  }
+}
+
+Task NfsSim::write_call(unsigned node_id, FileId file, std::uint64_t offset,
+                        std::uint64_t len, bool via_crfs) {
+  Node& node = *nodes_[node_id];
+  (void)via_crfs;
+
+  // Client-side cost: copy into the client page cache.
+  const double cost = cal_.syscall_overhead +
+                      static_cast<double>(len) / contended_copy_bw(cal_, ppn_);
+  co_await sim_.delay(cost);
+
+  PerFile& pf = node.files[file];
+  if (!pf.dirty.empty() && pf.dirty.back().offset + pf.dirty.back().len == offset) {
+    pf.dirty.back().len += len;
+  } else {
+    if (pf.dirty.empty()) node.rr.push_back(file);
+    pf.dirty.push_back(Extent{file, offset, len});
+  }
+  pf.dirty_bytes += len;
+  node.dirty += len;
+  if (!node.daemon_running) {
+    node.daemon_running = true;
+    sim_.spawn(client_writeback(node_id));
+  }
+  node.work.pulse();
+
+  // Hard client-cache limit: writers stall (class D becomes drain-bound).
+  // Crossing it is what puts the node into sustained-streaming mode: from
+  // then on, close-triggered flushes ride the large coalesced writeback
+  // instead of cold-flushing fragmented pages.
+  while (node.dirty > cal_.nfs_client_cache) {
+    node.streaming = true;
+    co_await node.drained.wait();
+  }
+}
+
+Task NfsSim::close_file(unsigned node_id, FileId file, bool via_crfs) {
+  Node& node = *nodes_[node_id];
+  PerFile& pf = node.files[file];
+  if (pf.flushed == nullptr) pf.flushed = std::make_unique<Event>(sim_);
+
+  // Close-to-open consistency: flush + COMMIT everything dirty. CRFS's
+  // 4 MB chunk extents go out as large sequential requests. The native
+  // pattern's cold fragmented pages flush in small runs (the class B/C
+  // "commit storm") — unless the node is already in streaming writeback
+  // (class D), where close piggybacks on the large coalesced runs.
+  const std::uint64_t run = (via_crfs || node.streaming) ? cal_.nfs_crfs_commit_run
+                                                         : cal_.nfs_native_commit_run;
+  // Extension: serialize the commit storm across nodes. Holding a token
+  // while flushing keeps the server's request stream per-file sequential,
+  // which the seek-modelled disk rewards.
+  if (flush_tokens_ != nullptr) co_await flush_tokens_->acquire();
+  co_await flush_file(node_id, file, run);
+  while (pf.in_flight > 0) co_await pf.flushed->wait();
+  if (flush_tokens_ != nullptr) flush_tokens_->release();
+}
+
+void NfsSim::stop() {
+  stopping_ = true;
+  for (auto& n : nodes_) n->work.pulse();
+}
+
+}  // namespace crfs::sim

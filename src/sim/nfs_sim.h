@@ -1,0 +1,89 @@
+// NfsSim: a single NFSv3 server over IPoIB.
+//
+// Mechanisms:
+//  * Client cache + close-to-open consistency. Writes land in the client
+//    cache; close() flushes every dirty byte of the file to the server
+//    and COMMITs it (server fsync). Small checkpoints (class B/C) thus
+//    flush in a synchronized "commit storm" across all nodes; class D
+//    streams during the run because the cache fills.
+//  * Single server. One wire (server NIC) and one seek-modelled disk
+//    serve the whole cluster — "its single server design doesn't match
+//    the intensive concurrent IO requirements" (§V-C).
+//  * Request sizes. Commit-storm flushes of interleaved small files go
+//    out in small runs (seek-bound on the server disk: native LU.B
+//    35.5 s ~ 25 MB/s); CRFS chunks and streaming writeback form large
+//    sequential runs (~87 MB/s). At class D both paths stream large runs
+//    and the server is the bottleneck either way, so CRFS's extra copies
+//    make it slightly WORSE than native — the paper's NFS outlier.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/backend_sim.h"
+#include "sim/disk_model.h"
+
+namespace crfs::sim {
+
+class NfsSim final : public BackendSim {
+ public:
+  NfsSim(Simulation& sim, const Calibration& cal, unsigned nodes, unsigned ppn,
+         std::uint64_t seed);
+
+  Task write_call(unsigned node, FileId file, std::uint64_t offset, std::uint64_t len,
+                  bool via_crfs) override;
+  Task close_file(unsigned node, FileId file, bool via_crfs) override;
+  void stop() override;
+
+  std::uint64_t server_requests() const { return server_requests_; }
+  const trace::BlockTrace* server_disk_trace() const { return &server_disk_.block_trace(); }
+
+ private:
+  struct Extent {
+    FileId file;
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+
+  struct PerFile {
+    std::deque<Extent> dirty;
+    std::uint64_t dirty_bytes = 0;
+    std::uint64_t in_flight = 0;   ///< bytes currently in RPCs
+    std::unique_ptr<Event> flushed;  ///< pulsed when in-flight/dirty shrink
+  };
+
+  struct Node {
+    explicit Node(Simulation& sim) : drained(sim), work(sim) {}
+    std::uint64_t dirty = 0;  ///< total un-sent bytes on this client
+    Event drained;
+    Event work;
+    std::unordered_map<FileId, PerFile> files;
+    std::deque<FileId> rr;
+    bool daemon_running = false;
+    bool streaming = false;  ///< cache overflowed: background writeback on
+  };
+
+  /// One wire+server+disk round trip for `len` bytes of `file`.
+  Task server_request(FileId file, std::uint64_t offset, std::uint64_t len,
+                      bool committed);
+  Task client_writeback(unsigned node);
+  /// Sends up to `budget` dirty bytes of one file (used by close-flush).
+  Task flush_file(unsigned node, FileId file, std::uint64_t run_size);
+
+  Simulation& sim_;
+  const Calibration& cal_;
+  unsigned ppn_;
+  bool stopping_ = false;
+  Rng rng_;
+  Resource wire_;        ///< server NIC, shared by all clients
+  /// Inter-node flush coordination (extension; see calibration.h).
+  std::unique_ptr<Resource> flush_tokens_;
+  DiskSim server_disk_;
+  std::uint64_t server_requests_ = 0;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  BlockAllocator allocator_;
+};
+
+}  // namespace crfs::sim

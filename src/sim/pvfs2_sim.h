@@ -1,0 +1,55 @@
+// Pvfs2Sim: PVFS2, the fourth backend the paper names ("CRFS can be
+// mounted on top of any existing filesystem, such as ext3, PVFS2, NFS,
+// and Lustre"), though its evaluation only covers the other three.
+//
+// PVFS2's defining property for checkpoint IO is that it has NO client-
+// side data cache: every write() is a network round trip to the stripe's
+// IO server. That makes the native BLCR pattern pathological (thousands
+// of latency-bound small RPCs per rank) and write aggregation maximally
+// effective (few large RPCs at near-wire throughput) — a useful extreme
+// point between ext3 (all cache) and NFS (cache + commit storm).
+//
+// Model: N IO servers, file data striped in 64 KB units round-robin; a
+// write_call issues one blocking RPC per touched stripe server; servers
+// are FCFS stations with per-RPC overhead + payload at server bandwidth.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/backend_sim.h"
+
+namespace crfs::sim {
+
+class Pvfs2Sim final : public BackendSim {
+ public:
+  Pvfs2Sim(Simulation& sim, const Calibration& cal, unsigned nodes, unsigned ppn,
+           std::uint64_t seed);
+
+  Task write_call(unsigned node, FileId file, std::uint64_t offset, std::uint64_t len,
+                  bool via_crfs) override;
+  Task close_file(unsigned node, FileId file, bool via_crfs) override;
+  void stop() override {}
+
+  std::uint64_t server_rpcs(unsigned server) const { return servers_[server]->rpcs; }
+  std::uint64_t server_bytes(unsigned server) const { return servers_[server]->bytes; }
+
+ private:
+  struct Server {
+    explicit Server(Simulation& sim) : station(sim, 1) {}
+    Resource station;
+    std::uint64_t rpcs = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Task rpc(unsigned server, std::uint64_t len);
+
+  Simulation& sim_;
+  const Calibration& cal_;
+  unsigned ppn_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+}  // namespace crfs::sim

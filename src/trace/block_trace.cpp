@@ -1,0 +1,44 @@
+#include "trace/block_trace.h"
+
+#include <cmath>
+
+namespace crfs::trace {
+
+BlockTraceSummary BlockTrace::summarize() const {
+  BlockTraceSummary s;
+  s.requests = ios_.size();
+  if (ios_.empty()) return s;
+
+  double seek_sum = 0.0;
+  std::uint64_t head = ios_.front().offset;  // disk head position proxy
+  bool first = true;
+  for (const auto& io : ios_) {
+    s.bytes += io.length;
+    if (!first) {
+      if (io.offset != head) {
+        s.seeks += 1;
+        seek_sum += std::abs(static_cast<double>(io.offset) - static_cast<double>(head));
+      }
+    }
+    head = io.offset + io.length;
+    first = false;
+  }
+  const std::uint64_t transitions = s.requests > 1 ? s.requests - 1 : 0;
+  s.sequential_fraction =
+      transitions == 0 ? 1.0
+                       : static_cast<double>(transitions - s.seeks) / static_cast<double>(transitions);
+  s.seek_distance_bytes = s.seeks > 0 ? seek_sum / static_cast<double>(s.seeks) : 0.0;
+  s.duration = ios_.back().time - ios_.front().time;
+  return s;
+}
+
+std::vector<std::pair<double, double>> BlockTrace::scatter_points() const {
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(ios_.size());
+  for (const auto& io : ios_) {
+    pts.emplace_back(io.time, static_cast<double>(io.offset) / (1024.0 * 1024.0));
+  }
+  return pts;
+}
+
+}  // namespace crfs::trace

@@ -1,0 +1,61 @@
+#include "trace/write_recorder.h"
+
+#include <algorithm>
+
+namespace crfs::trace {
+
+std::uint64_t WriteRecorder::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& op : ops_) n += op.size;
+  return n;
+}
+
+double WriteRecorder::total_write_seconds() const {
+  double s = 0;
+  for (const auto& op : ops_) s += op.duration;
+  return s;
+}
+
+WriteSizeHistogram WriteRecorder::histogram() const {
+  WriteSizeHistogram h;
+  for (const auto& op : ops_) h.record(op.size, op.duration);
+  return h;
+}
+
+std::vector<std::pair<double, double>> WriteRecorder::cumulative_time_by_size() const {
+  // Fig 3 plots, for each process, cumulative write time as a function of
+  // write size: ops are ordered by size, and the curve accumulates their
+  // durations.
+  std::vector<WriteOp> sorted = ops_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WriteOp& a, const WriteOp& b) { return a.size < b.size; });
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(sorted.size());
+  double cum = 0;
+  for (const auto& op : sorted) {
+    cum += op.duration;
+    curve.emplace_back(static_cast<double>(op.size ? op.size : 1), cum);
+  }
+  return curve;
+}
+
+void WriteProfile::add(const WriteRecorder& recorder) {
+  merged_.merge(recorder.histogram());
+  per_process_.push_back(recorder);
+}
+
+std::vector<double> WriteProfile::completion_times() const {
+  std::vector<double> times;
+  times.reserve(per_process_.size());
+  for (const auto& r : per_process_) times.push_back(r.total_write_seconds());
+  return times;
+}
+
+double WriteProfile::completion_spread() const {
+  const auto times = completion_times();
+  if (times.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(times.begin(), times.end());
+  return *lo > 0 ? *hi / *lo : 1.0;
+}
+
+}  // namespace crfs::trace

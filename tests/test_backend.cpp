@@ -1,0 +1,320 @@
+// Unit tests for the BackendFs implementations: MemBackend (full
+// semantics), PosixBackend (against a temp dir), NullBackend, and the
+// Faulty/Throttled decorators.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "backend/mem_backend.h"
+#include "backend/null_backend.h"
+#include "backend/posix_backend.h"
+#include "backend/wrappers.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace crfs {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string to_string(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+// Shared conformance suite run against every backend that stores data.
+class BackendConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      backend_ = std::make_shared<MemBackend>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("crfs_backend_test_" + std::to_string(::getpid()));
+      std::filesystem::create_directories(dir_);
+      auto b = PosixBackend::create(dir_.string());
+      ASSERT_TRUE(b.ok()) << b.error().to_string();
+      backend_ = std::move(b.value());
+    }
+  }
+
+  void TearDown() override {
+    backend_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::shared_ptr<BackendFs> backend_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(BackendConformance, CreateWriteReadBack) {
+  auto f = backend_->open_file("a.txt", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok()) << f.error().to_string();
+  const std::string msg = "hello backend";
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes(msg), 0).ok());
+
+  std::vector<std::byte> buf(msg.size());
+  auto n = backend_->pread(f.value(), buf, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), msg.size());
+  EXPECT_EQ(to_string(buf), msg);
+  EXPECT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+TEST_P(BackendConformance, OpenMissingFails) {
+  auto f = backend_->open_file("missing.txt", {.create = false, .truncate = false, .write = false});
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, ENOENT);
+}
+
+TEST_P(BackendConformance, PositionalWritesWithHole) {
+  auto f = backend_->open_file("holes.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("tail"), 100).ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("head"), 0).ok());
+
+  auto st = backend_->stat("holes.bin");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 104u);
+
+  std::vector<std::byte> buf(104);
+  auto n = backend_->pread(f.value(), buf, 0);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), 104u);
+  EXPECT_EQ(to_string(std::span(buf).first(4)), "head");
+  EXPECT_EQ(static_cast<char>(buf[50]), '\0');  // hole reads as zero
+  EXPECT_EQ(to_string(std::span(buf).subspan(100)), "tail");
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+TEST_P(BackendConformance, ReadPastEofReturnsShort) {
+  auto f = backend_->open_file("short.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("abc"), 0).ok());
+  std::vector<std::byte> buf(10);
+  auto n = backend_->pread(f.value(), buf, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);
+  auto n2 = backend_->pread(f.value(), buf, 100);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n2.value(), 0u);
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+TEST_P(BackendConformance, TruncateShrinksAndGrows) {
+  auto f = backend_->open_file("t.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("0123456789"), 0).ok());
+  ASSERT_TRUE(backend_->truncate(f.value(), 4).ok());
+  EXPECT_EQ(backend_->stat("t.bin").value().size, 4u);
+  ASSERT_TRUE(backend_->truncate(f.value(), 8).ok());
+  EXPECT_EQ(backend_->stat("t.bin").value().size, 8u);
+  std::vector<std::byte> buf(8);
+  ASSERT_EQ(backend_->pread(f.value(), buf, 0).value(), 8u);
+  EXPECT_EQ(to_string(std::span(buf).first(4)), "0123");
+  EXPECT_EQ(static_cast<char>(buf[6]), '\0');
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+TEST_P(BackendConformance, MkdirListUnlinkRmdir) {
+  ASSERT_TRUE(backend_->mkdir("d").ok());
+  ASSERT_TRUE(backend_->mkdir("d/sub").ok());
+  auto f = backend_->open_file("d/file", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+
+  auto names = backend_->list_dir("d");
+  ASSERT_TRUE(names.ok());
+  std::sort(names.value().begin(), names.value().end());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"file", "sub"}));
+
+  EXPECT_FALSE(backend_->rmdir("d").ok());  // non-empty
+  ASSERT_TRUE(backend_->unlink("d/file").ok());
+  ASSERT_TRUE(backend_->rmdir("d/sub").ok());
+  ASSERT_TRUE(backend_->rmdir("d").ok());
+  EXPECT_FALSE(backend_->stat("d").ok());
+}
+
+TEST_P(BackendConformance, RenameMovesContent) {
+  auto f = backend_->open_file("old", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("data"), 0).ok());
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+
+  ASSERT_TRUE(backend_->rename("old", "new").ok());
+  EXPECT_FALSE(backend_->stat("old").ok());
+  EXPECT_EQ(backend_->stat("new").value().size, 4u);
+}
+
+TEST_P(BackendConformance, StatDirectory) {
+  ASSERT_TRUE(backend_->mkdir("somedir").ok());
+  auto st = backend_->stat("somedir");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st.value().is_dir);
+}
+
+TEST_P(BackendConformance, MkdirExistingFails) {
+  ASSERT_TRUE(backend_->mkdir("dup").ok());
+  auto st = backend_->mkdir("dup");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, EEXIST);
+}
+
+TEST_P(BackendConformance, FsyncSucceedsOnOpenFile) {
+  auto f = backend_->open_file("s.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(backend_->pwrite(f.value(), as_bytes("x"), 0).ok());
+  EXPECT_TRUE(backend_->fsync(f.value()).ok());
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+TEST_P(BackendConformance, LargeWriteRoundTrip) {
+  auto f = backend_->open_file("big.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  std::vector<std::byte> data(4 * MiB);
+  Rng r(7);
+  for (auto& b : data) b = static_cast<std::byte>(r.next_u64());
+  ASSERT_TRUE(backend_->pwrite(f.value(), data, 0).ok());
+
+  std::vector<std::byte> back(data.size());
+  ASSERT_EQ(backend_->pread(f.value(), back, 0).value(), data.size());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
+                         ::testing::Values("mem", "posix"),
+                         [](const auto& param_info) { return param_info.param; });
+
+// ------------------------------------------------------------ MemBackend
+
+TEST(MemBackend, UnlinkedFileStaysReadableThroughOpenHandle) {
+  MemBackend mem;
+  auto f = mem.open_file("ghost", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(mem.pwrite(f.value(), as_bytes("boo"), 0).ok());
+  ASSERT_TRUE(mem.unlink("ghost").ok());
+  EXPECT_FALSE(mem.stat("ghost").ok());
+  std::vector<std::byte> buf(3);
+  EXPECT_EQ(mem.pread(f.value(), buf, 0).value(), 3u);
+  EXPECT_TRUE(mem.close_file(f.value()).ok());
+}
+
+TEST(MemBackend, CountsPwrites) {
+  MemBackend mem;
+  auto f = mem.open_file("c", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mem.pwrite(f.value(), as_bytes("x"), static_cast<std::uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(mem.total_pwrites(), 5u);
+  EXPECT_EQ(mem.total_pwritten_bytes(), 5u);
+  ASSERT_TRUE(mem.close_file(f.value()).ok());
+}
+
+TEST(MemBackend, FsyncCounterVisible) {
+  MemBackend mem;
+  auto f = mem.open_file("s", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(mem.fsync(f.value()).ok());
+  ASSERT_TRUE(mem.fsync(f.value()).ok());
+  EXPECT_EQ(mem.fsync_count("s"), 2u);
+  ASSERT_TRUE(mem.close_file(f.value()).ok());
+}
+
+TEST(MemBackend, WriteOnReadOnlyHandleFails) {
+  MemBackend mem;
+  {
+    auto f = mem.open_file("ro", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(mem.close_file(f.value()).ok());
+  }
+  auto f = mem.open_file("ro", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(mem.pwrite(f.value(), as_bytes("no"), 0).ok());
+  ASSERT_TRUE(mem.close_file(f.value()).ok());
+}
+
+// ---------------------------------------------------------- PosixBackend
+
+TEST(PosixBackend, RejectsEscapingPaths) {
+  auto dir = std::filesystem::temp_directory_path() / "crfs_posix_escape";
+  std::filesystem::create_directories(dir);
+  auto b = PosixBackend::create(dir.string());
+  ASSERT_TRUE(b.ok());
+  auto f = b.value()->open_file("../etc/passwd", {.create = false, .truncate = false, .write = false});
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, EINVAL);
+  EXPECT_FALSE(b.value()->stat("a/../../b").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PosixBackend, CreateFailsOnMissingRoot) {
+  auto b = PosixBackend::create("/nonexistent_root_dir_for_crfs_test");
+  EXPECT_FALSE(b.ok());
+}
+
+// ----------------------------------------------------------- NullBackend
+
+TEST(NullBackend, DiscardsButCounts) {
+  NullBackend null;
+  auto f = null.open_file("whatever", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  std::vector<std::byte> data(1 * MiB);
+  ASSERT_TRUE(null.pwrite(f.value(), data, 0).ok());
+  ASSERT_TRUE(null.pwrite(f.value(), data, 1 * MiB).ok());
+  EXPECT_EQ(null.bytes_discarded(), 2 * MiB);
+  EXPECT_EQ(null.writes_observed(), 2u);
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(null.pread(f.value(), buf, 0).value(), 0u);  // always EOF
+  EXPECT_TRUE(null.close_file(f.value()).ok());
+}
+
+// -------------------------------------------------------- FaultyBackend
+
+TEST(FaultyBackend, FailsAfterNWrites) {
+  auto mem = std::make_shared<MemBackend>();
+  FaultyBackend faulty(mem);
+  faulty.fail_writes_after(2);
+
+  auto f = faulty.open_file("f", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(faulty.pwrite(f.value(), as_bytes("a"), 0).ok());
+  EXPECT_TRUE(faulty.pwrite(f.value(), as_bytes("b"), 1).ok());
+  auto third = faulty.pwrite(f.value(), as_bytes("c"), 2);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code, EIO);
+}
+
+TEST(FaultyBackend, FsyncAndOpenInjection) {
+  auto mem = std::make_shared<MemBackend>();
+  FaultyBackend faulty(mem);
+  auto f = faulty.open_file("f", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  faulty.fail_fsync(true);
+  EXPECT_FALSE(faulty.fsync(f.value()).ok());
+  faulty.fail_open(true);
+  EXPECT_FALSE(faulty.open_file("g", {.create = true, .truncate = false, .write = true}).ok());
+}
+
+// ------------------------------------------------------ ThrottledBackend
+
+TEST(ThrottledBackend, SlowsWrites) {
+  auto mem = std::make_shared<MemBackend>();
+  // 1 MB/s: a 100 KB write must take >= ~0.1 s.
+  ThrottledBackend slow(mem, 1e6);
+  auto f = slow.open_file("s", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  std::vector<std::byte> data(100 * 1024);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(slow.pwrite(f.value(), data, 0).ok());
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 0.09);
+  // Data still lands in the inner backend.
+  EXPECT_EQ(mem->contents("s").value().size(), data.size());
+}
+
+}  // namespace
+}  // namespace crfs

@@ -1,0 +1,284 @@
+// Tests for the BLCR-analogue checkpoint engine: image synthesis, write
+// plan vs actual writes, Table I distribution conformance, and
+// checkpoint/restart round trips (direct and through CRFS).
+#include <gtest/gtest.h>
+
+#include "backend/mem_backend.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/restart_reader.h"
+#include "blcr/sinks.h"
+#include "common/units.h"
+#include "crfs/crfs.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+namespace crfs::blcr {
+namespace {
+
+// In-memory sink/source pair for format round trips.
+class VectorSink final : public ByteSink {
+ public:
+  Status write(std::span<const std::byte> data) override {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    writes_ += 1;
+    return {};
+  }
+  std::vector<std::byte> bytes_;
+  std::uint64_t writes_ = 0;
+};
+
+class VectorSource final : public ByteSource {
+ public:
+  explicit VectorSource(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+  Result<std::size_t> read(std::span<std::byte> data) override {
+    const std::size_t n = std::min(data.size(), bytes_.size() - pos_);
+    std::memcpy(data.data(), bytes_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  std::vector<std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ProcessImage, SizesLandNearTarget) {
+  for (const std::uint64_t target : {7 * MiB, 23 * MiB, 107 * MiB}) {
+    const auto img = ProcessImage::synthesize(1, target, 42);
+    EXPECT_NEAR(static_cast<double>(img.content_bytes()),
+                static_cast<double>(target), static_cast<double>(target) * 0.02)
+        << "target " << target;
+  }
+}
+
+TEST(ProcessImage, DeterministicInSeed) {
+  const auto a = ProcessImage::synthesize(3, 10 * MiB, 7);
+  const auto b = ProcessImage::synthesize(3, 10 * MiB, 7);
+  ASSERT_EQ(a.vmas.size(), b.vmas.size());
+  for (std::size_t i = 0; i < a.vmas.size(); ++i) {
+    EXPECT_EQ(a.vmas[i].start, b.vmas[i].start);
+    EXPECT_EQ(a.vmas[i].length, b.vmas[i].length);
+    EXPECT_EQ(a.vmas[i].content_seed, b.vmas[i].content_seed);
+  }
+  const auto c = ProcessImage::synthesize(3, 10 * MiB, 8);
+  EXPECT_NE(a.vmas[0].content_seed, c.vmas[0].content_seed);
+}
+
+TEST(ProcessImage, HasExpectedVmaPopulation) {
+  const auto img = ProcessImage::synthesize(1, 23 * MiB, 11);
+  int libs = 0, heaps = 0, stacks = 0;
+  for (const auto& v : img.vmas) {
+    if (v.type == VmaType::kLibrary) ++libs;
+    if (v.type == VmaType::kHeap) ++heaps;
+    if (v.type == VmaType::kStack) ++stacks;
+  }
+  EXPECT_GE(libs, 50) << "library mappings drive the medium-write buckets";
+  EXPECT_GE(heaps, 1);
+  EXPECT_EQ(stacks, 1);
+}
+
+TEST(ProcessImage, PayloadDeterministicAndCrcStable) {
+  const auto img = ProcessImage::synthesize(1, 1 * MiB, 5);
+  std::vector<std::byte> a, b;
+  const auto crc_a = generate_vma_payload(img.vmas[0], a);
+  const auto crc_b = generate_vma_payload(img.vmas[0], b);
+  EXPECT_EQ(crc_a, crc_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), img.vmas[0].length);
+}
+
+TEST(CheckpointWriter, PlanMatchesActualWriteSizes) {
+  const auto img = ProcessImage::synthesize(9, 5 * MiB, 123);
+  const auto plan = CheckpointWriter::plan(img);
+
+  std::vector<std::uint64_t> actual;
+  FnSink sink([&](std::span<const std::byte> data) -> Status {
+    actual.push_back(data.size());
+    return {};
+  });
+  auto crc = CheckpointWriter::write_image(img, sink);
+  ASSERT_TRUE(crc.ok());
+
+  ASSERT_EQ(plan.size(), actual.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].size, actual[i]) << "write op " << i;
+  }
+}
+
+TEST(CheckpointWriter, TotalBytesMatchImagePlusMetadata) {
+  const auto img = ProcessImage::synthesize(2, 8 * MiB, 77);
+  VectorSink sink;
+  ASSERT_TRUE(CheckpointWriter::write_image(img, sink).ok());
+  EXPECT_GT(sink.bytes_.size(), img.content_bytes());
+  // Metadata overhead is tiny (headers only).
+  EXPECT_LT(sink.bytes_.size(), img.content_bytes() + 64 * KiB);
+}
+
+// The headline §III reproduction: for the paper's reference case (a
+// ~23 MB image, as in LU.C.64), the generated write stream must match
+// Table I's distribution: ~51% tiny ops, ~37% ops in 4K-16K carrying
+// ~11% of data, and >80% of data in the >=256K buckets.
+TEST(CheckpointWriter, WritePatternMatchesTableOne) {
+  WriteSizeHistogram hist;
+  // Aggregate over 8 processes as the paper does (8 per node).
+  for (std::uint32_t pid = 0; pid < 8; ++pid) {
+    const auto img = ProcessImage::synthesize(pid, 23 * MiB, 1000 + pid);
+    for (const auto& op : CheckpointWriter::plan(img)) {
+      hist.record(op.size, 0.0);
+    }
+  }
+  const double ops = static_cast<double>(hist.total_ops());
+  const double bytes = static_cast<double>(hist.total_bytes());
+  auto ops_pct = [&](int bucket) {
+    return 100.0 * static_cast<double>(hist.buckets()[static_cast<std::size_t>(bucket)].ops) / ops;
+  };
+  auto data_pct = [&](int bucket) {
+    return 100.0 * static_cast<double>(hist.buckets()[static_cast<std::size_t>(bucket)].bytes) / bytes;
+  };
+
+  // Paper: ~7800 write() calls for 8 processes.
+  EXPECT_GT(hist.total_ops(), 4000u);
+  EXPECT_LT(hist.total_ops(), 14000u);
+
+  // Bucket 0 (0-64): paper 50.86% of writes, ~0.04% of data.
+  EXPECT_NEAR(ops_pct(0), 50.9, 8.0);
+  EXPECT_LT(data_pct(0), 0.5);
+
+  // Bucket 4 (4K-16K): paper 36.49% of writes, 11.36% of data.
+  EXPECT_NEAR(ops_pct(4), 36.5, 8.0);
+  EXPECT_NEAR(data_pct(4), 11.4, 5.0);
+
+  // Buckets 7-9 (>=256K): paper carries 82.5% of the data in <1.2% of ops.
+  const double big_data = data_pct(7) + data_pct(8) + data_pct(9);
+  const double big_ops = ops_pct(7) + ops_pct(8) + ops_pct(9);
+  EXPECT_NEAR(big_data, 82.5, 8.0);
+  EXPECT_LT(big_ops, 3.0);
+
+  // Bucket 9 (>1M) dominates the data as in the paper (61.21%).
+  EXPECT_NEAR(data_pct(9), 61.2, 12.0);
+}
+
+TEST(RestartReader, RoundTripInMemory) {
+  const auto img = ProcessImage::synthesize(17, 6 * MiB, 55);
+  VectorSink sink;
+  auto crc = CheckpointWriter::write_image(img, sink);
+  ASSERT_TRUE(crc.ok());
+
+  VectorSource source(std::move(sink.bytes_));
+  auto restored = RestartReader::read_image(source);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().pid, 17u);
+  EXPECT_EQ(restored.value().vma_count, img.vmas.size());
+  EXPECT_EQ(restored.value().image_bytes, img.content_bytes());
+  EXPECT_EQ(restored.value().payload_crc, crc.value());
+  ASSERT_EQ(restored.value().vmas.size(), img.vmas.size());
+  for (std::size_t i = 0; i < img.vmas.size(); ++i) {
+    EXPECT_EQ(restored.value().vmas[i].start, img.vmas[i].start);
+    EXPECT_EQ(restored.value().vmas[i].type, img.vmas[i].type);
+  }
+}
+
+TEST(RestartReader, DetectsCorruption) {
+  const auto img = ProcessImage::synthesize(1, 2 * MiB, 66);
+  VectorSink sink;
+  ASSERT_TRUE(CheckpointWriter::write_image(img, sink).ok());
+
+  // Flip one payload byte somewhere in the middle.
+  auto corrupted = sink.bytes_;
+  corrupted[corrupted.size() / 2] ^= std::byte{0x01};
+  VectorSource source(std::move(corrupted));
+  auto restored = RestartReader::read_image(source);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.error().context.find("CRC"), std::string::npos);
+}
+
+TEST(RestartReader, DetectsBadMagic) {
+  std::vector<std::byte> junk(64, std::byte{0x77});
+  VectorSource source(std::move(junk));
+  auto restored = RestartReader::read_image(source);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.error().context.find("magic"), std::string::npos);
+}
+
+TEST(RestartReader, DetectsTruncation) {
+  const auto img = ProcessImage::synthesize(1, 1 * MiB, 66);
+  VectorSink sink;
+  ASSERT_TRUE(CheckpointWriter::write_image(img, sink).ok());
+  auto truncated = sink.bytes_;
+  truncated.resize(truncated.size() / 2);
+  VectorSource source(std::move(truncated));
+  EXPECT_FALSE(RestartReader::read_image(source).ok());
+}
+
+// -------- the full paper cycle: checkpoint through CRFS, restart from
+// -------- the backend WITHOUT CRFS mounted (paper §V-F).
+
+TEST(CheckpointCycle, ThroughCrfsRestartFromBackendDirectly) {
+  auto mem = std::make_shared<MemBackend>();
+  const auto img = ProcessImage::synthesize(4, 9 * MiB, 99);
+  std::uint64_t written_crc = 0;
+
+  {
+    auto fs = Crfs::mount(mem, Config{});  // paper defaults: 4M chunks, 16M pool
+    ASSERT_TRUE(fs.ok());
+    FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+    auto file = File::open(shim, "rank4.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(file.ok());
+    CrfsFileSink sink(file.value());
+    auto crc = CheckpointWriter::write_image(img, sink);
+    ASSERT_TRUE(crc.ok());
+    written_crc = crc.value();
+    ASSERT_TRUE(file.value().close().ok());
+  }  // CRFS unmounted here
+
+  // "An application can be restarted directly from the back-end
+  // filesystem, without the need to mount CRFS."
+  auto bf = mem->open_file("rank4.ckpt", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf.ok());
+  BackendSource source(*mem, bf.value());
+  auto restored = RestartReader::read_image(source);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().payload_crc, written_crc);
+  EXPECT_EQ(restored.value().image_bytes, img.content_bytes());
+  ASSERT_TRUE(mem->close_file(bf.value()).ok());
+}
+
+TEST(CheckpointCycle, RestartThroughCrfsAlsoWorks) {
+  auto mem = std::make_shared<MemBackend>();
+  const auto img = ProcessImage::synthesize(5, 3 * MiB, 101);
+  auto fs = Crfs::mount(mem, Config{.chunk_size = 256 * KiB, .pool_size = 1 * MiB});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  std::uint64_t crc = 0;
+  {
+    auto file = File::open(shim, "r5.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(file.ok());
+    CrfsFileSink sink(file.value());
+    auto r = CheckpointWriter::write_image(img, sink);
+    ASSERT_TRUE(r.ok());
+    crc = r.value();
+    ASSERT_TRUE(file.value().close().ok());
+  }
+  {
+    auto file = File::open(shim, "r5.ckpt", {.create = false, .truncate = false, .write = false});
+    ASSERT_TRUE(file.ok());
+    CrfsFileSource source(file.value());
+    auto restored = RestartReader::read_image(source);
+    ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+    EXPECT_EQ(restored.value().payload_crc, crc);
+  }
+}
+
+TEST(CheckpointWriter, RecorderCapturesEveryWrite) {
+  const auto img = ProcessImage::synthesize(6, 2 * MiB, 33);
+  VectorSink sink;
+  trace::WriteRecorder recorder(6);
+  ASSERT_TRUE(CheckpointWriter::write_image(img, sink, &recorder).ok());
+  EXPECT_EQ(recorder.count(), sink.writes_);
+  EXPECT_EQ(recorder.total_bytes(), sink.bytes_.size());
+  // Histogram buckets cover all ops.
+  EXPECT_EQ(recorder.histogram().total_ops(), recorder.count());
+}
+
+}  // namespace
+}  // namespace crfs::blcr

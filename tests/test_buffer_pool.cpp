@@ -1,0 +1,143 @@
+// Unit tests for Chunk and BufferPool: pool carving, blocking acquire
+// backpressure, shutdown semantics, and chunk append mechanics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/units.h"
+#include "crfs/buffer_pool.h"
+
+namespace crfs {
+namespace {
+
+TEST(Chunk, AppendTracksFillAndOffset) {
+  Chunk c(1024);
+  c.reset(5000);
+  EXPECT_EQ(c.capacity(), 1024u);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.file_offset(), 5000u);
+  EXPECT_EQ(c.append_point(), 5000u);
+
+  std::vector<std::byte> data(100, std::byte{0x42});
+  EXPECT_EQ(c.append(data), 100u);
+  EXPECT_EQ(c.fill(), 100u);
+  EXPECT_EQ(c.append_point(), 5100u);
+  EXPECT_EQ(c.remaining(), 924u);
+  EXPECT_FALSE(c.full());
+}
+
+TEST(Chunk, AppendConsumesOnlyWhatFits) {
+  Chunk c(64);
+  c.reset(0);
+  std::vector<std::byte> data(100, std::byte{1});
+  EXPECT_EQ(c.append(data), 64u);
+  EXPECT_TRUE(c.full());
+  EXPECT_EQ(c.append(data), 0u);
+}
+
+TEST(Chunk, PayloadReflectsWrittenBytes) {
+  Chunk c(128);
+  c.reset(0);
+  const std::string msg = "payload bytes";
+  c.append({reinterpret_cast<const std::byte*>(msg.data()), msg.size()});
+  auto p = c.payload();
+  ASSERT_EQ(p.size(), msg.size());
+  EXPECT_EQ(std::memcmp(p.data(), msg.data(), msg.size()), 0);
+}
+
+TEST(Chunk, ResetClearsFill) {
+  Chunk c(64);
+  c.reset(0);
+  std::vector<std::byte> data(10);
+  c.append(data);
+  c.reset(999);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.file_offset(), 999u);
+}
+
+TEST(BufferPool, CarvesPoolIntoChunks) {
+  BufferPool pool(16 * MiB, 4 * MiB);
+  EXPECT_EQ(pool.total_chunks(), 4u);
+  EXPECT_EQ(pool.free_chunks(), 4u);
+  EXPECT_EQ(pool.chunk_size(), 4 * MiB);
+}
+
+TEST(BufferPool, AtLeastOneChunkEvenWhenPoolTooSmall) {
+  BufferPool pool(1024, 4096);
+  EXPECT_EQ(pool.total_chunks(), 1u);
+}
+
+TEST(BufferPool, AcquireReleaseCycle) {
+  BufferPool pool(8192, 4096);
+  auto a = pool.acquire(0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.free_chunks(), 1u);
+  auto b = pool.acquire(4096);
+  EXPECT_EQ(pool.free_chunks(), 0u);
+  EXPECT_EQ(pool.try_acquire(0), nullptr);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.free_chunks(), 1u);
+  auto c = pool.try_acquire(123);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->file_offset(), 123u);
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+}
+
+TEST(BufferPool, AcquireBlocksUntilRelease) {
+  BufferPool pool(4096, 4096);  // exactly one chunk
+  auto held = pool.acquire(0);
+  ASSERT_NE(held, nullptr);
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto c = pool.acquire(0);
+    acquired.store(c != nullptr);
+    pool.release(std::move(c));
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  EXPECT_GE(pool.contention_count(), 1u);
+
+  pool.release(std::move(held));
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(BufferPool, ShutdownUnblocksWaiters) {
+  BufferPool pool(4096, 4096);
+  auto held = pool.acquire(0);
+
+  std::atomic<bool> got_null{false};
+  std::thread waiter([&] { got_null.store(pool.acquire(0) == nullptr); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.shutdown();
+  waiter.join();
+  EXPECT_TRUE(got_null.load());
+  pool.release(std::move(held));  // safe no-op after shutdown
+}
+
+TEST(BufferPool, ManyThreadsChurnWithoutLoss) {
+  BufferPool pool(16 * 4096, 4096);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto c = pool.acquire(static_cast<std::uint64_t>(i));
+        ASSERT_NE(c, nullptr);
+        std::vector<std::byte> junk(64);
+        c->append(junk);
+        pool.release(std::move(c));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.free_chunks(), 16u);  // nothing leaked
+}
+
+}  // namespace
+}  // namespace crfs

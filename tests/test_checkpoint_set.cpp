@@ -1,0 +1,271 @@
+// Tests for CheckpointSet (epoch management, atomic publish, crash
+// recovery, pruning) and the mount-option parser.
+#include <gtest/gtest.h>
+
+#include "backend/mem_backend.h"
+#include "blcr/checkpoint_set.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "common/units.h"
+#include "crfs/mount_options.h"
+
+namespace crfs::blcr {
+namespace {
+
+class CheckpointSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = std::make_shared<MemBackend>();
+    auto fs = Crfs::mount(mem_, Config{.chunk_size = 256 * KiB, .pool_size = 1 * MiB});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs.value());
+    shim_ = std::make_unique<FuseShim>(*fs_, FuseOptions{});
+  }
+
+  // Writes one full epoch with `ranks` small images; returns its id.
+  unsigned write_epoch(CheckpointSet& set, unsigned ranks, std::uint64_t seed) {
+    auto writer = set.begin_epoch(ranks);
+    EXPECT_TRUE(writer.ok());
+    for (unsigned r = 0; r < ranks; ++r) {
+      const auto image = ProcessImage::synthesize(r, 512 * KiB, seed + r);
+      auto file = writer.value().open_rank(r);
+      EXPECT_TRUE(file.ok());
+      CrfsFileSink sink(file.value());
+      auto crc = CheckpointWriter::write_image(image, sink);
+      EXPECT_TRUE(crc.ok());
+      EXPECT_TRUE(file.value().close().ok());
+      writer.value().record(r, image.content_bytes(), crc.value());
+    }
+    EXPECT_TRUE(writer.value().commit().ok());
+    return writer.value().epoch();
+  }
+
+  std::shared_ptr<MemBackend> mem_;
+  std::unique_ptr<Crfs> fs_;
+  std::unique_ptr<FuseShim> shim_;
+};
+
+TEST_F(CheckpointSetTest, OpenCreatesBaseDirectory) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(fs_->getattr("ckpts").value().is_dir);
+  EXPECT_TRUE(set.value().epochs().value().empty());
+  EXPECT_FALSE(set.value().latest().value().has_value());
+}
+
+TEST_F(CheckpointSetTest, CommitPublishesEpochAtomically) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  const unsigned epoch = write_epoch(set.value(), 3, 100);
+  EXPECT_EQ(epoch, 0u);
+
+  auto epochs = set.value().epochs();
+  ASSERT_TRUE(epochs.ok());
+  EXPECT_EQ(epochs.value(), std::vector<unsigned>{0});
+  EXPECT_EQ(set.value().latest().value().value(), 0u);
+
+  auto info = set.value().inspect(0);
+  ASSERT_TRUE(info.ok()) << info.error().to_string();
+  EXPECT_EQ(info.value().epoch, 0u);
+  EXPECT_EQ(info.value().ranks, 3u);
+  EXPECT_EQ(info.value().rank_files.size(), 3u);
+
+  EXPECT_TRUE(set.value().verify(0).ok());
+  // No staging leftovers.
+  auto names = fs_->list_dir("ckpts");
+  ASSERT_TRUE(names.ok());
+  for (const auto& name : names.value()) {
+    EXPECT_FALSE(name.ends_with(".tmp")) << name;
+  }
+}
+
+TEST_F(CheckpointSetTest, EpochIdsIncrease) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(write_epoch(set.value(), 2, 1), 0u);
+  EXPECT_EQ(write_epoch(set.value(), 2, 2), 1u);
+  EXPECT_EQ(write_epoch(set.value(), 2, 3), 2u);
+  EXPECT_EQ(set.value().latest().value().value(), 2u);
+}
+
+TEST_F(CheckpointSetTest, CommitRefusesMissingRanks) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  auto writer = set.value().begin_epoch(2);
+  ASSERT_TRUE(writer.ok());
+  {
+    auto file = writer.value().open_rank(0);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().write("x", 1).ok());
+    ASSERT_TRUE(file.value().close().ok());
+  }
+  writer.value().record(0, 1, 42);
+  // rank 1 never recorded:
+  const Status st = writer.value().commit();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, EINVAL);
+  ASSERT_TRUE(writer.value().abort().ok());
+  EXPECT_TRUE(set.value().epochs().value().empty());
+}
+
+TEST_F(CheckpointSetTest, AbandonedStagingIsInvisibleAndPrunable) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  write_epoch(set.value(), 2, 5);
+  {
+    // Simulate a crash mid-checkpoint: writer destroyed without commit
+    // after writing partial data.
+    auto writer = set.value().begin_epoch(2);
+    ASSERT_TRUE(writer.ok());
+    auto file = writer.value().open_rank(0);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().write("partial", 7).ok());
+    ASSERT_TRUE(file.value().close().ok());
+    // EpochWriter's destructor aborts (removes staging).
+  }
+  // Restart sees only the committed epoch.
+  EXPECT_EQ(set.value().epochs().value(), std::vector<unsigned>{0});
+  EXPECT_TRUE(set.value().verify(0).ok());
+}
+
+TEST_F(CheckpointSetTest, StaleStagingFromHardCrashIsPrunedNotListed) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  write_epoch(set.value(), 1, 5);
+  // Hard crash: staging directory left on disk (bypass EpochWriter).
+  ASSERT_TRUE(fs_->mkdir("ckpts/.epoch_000001.tmp").ok());
+  {
+    auto h = fs_->open("ckpts/.epoch_000001.tmp/rank_0.ckpt",
+                       {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(fs_->close(h.value()).ok());
+  }
+  EXPECT_EQ(set.value().epochs().value(), std::vector<unsigned>{0});  // ignored
+  // Before pruning, the stale staging directory reserves its id.
+  {
+    auto writer = set.value().begin_epoch(1);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer.value().epoch(), 2u);
+    ASSERT_TRUE(writer.value().abort().ok());
+  }
+  ASSERT_TRUE(set.value().prune(10).ok());
+  // Staging gone; ids continue from the committed epochs.
+  EXPECT_FALSE(fs_->getattr("ckpts/.epoch_000001.tmp").ok());
+  EXPECT_EQ(write_epoch(set.value(), 1, 6), 1u);
+}
+
+TEST_F(CheckpointSetTest, PruneKeepsNewest) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  for (int i = 0; i < 5; ++i) write_epoch(set.value(), 1, 10 + i);
+  auto removed = set.value().prune(2);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 3u);
+  EXPECT_EQ(set.value().epochs().value(), (std::vector<unsigned>{3, 4}));
+  EXPECT_TRUE(set.value().verify(3).ok());
+  EXPECT_TRUE(set.value().verify(4).ok());
+}
+
+TEST_F(CheckpointSetTest, VerifyDetectsCorruptedRankFile) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  write_epoch(set.value(), 2, 7);
+  // Corrupt rank 1's file directly in the backend.
+  auto bf = mem_->open_file("ckpts/epoch_000000/rank_1.ckpt",
+                            {.create = false, .truncate = false, .write = true});
+  ASSERT_TRUE(bf.ok());
+  const std::byte junk{0xFF};
+  ASSERT_TRUE(mem_->pwrite(bf.value(), {&junk, 1}, 100 * KiB).ok());
+  ASSERT_TRUE(mem_->close_file(bf.value()).ok());
+
+  const Status st = set.value().verify(0);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST_F(CheckpointSetTest, RestartFromLatestEpoch) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  write_epoch(set.value(), 2, 20);
+  const unsigned latest_epoch = write_epoch(set.value(), 2, 30);
+
+  auto info = set.value().inspect(latest_epoch);
+  ASSERT_TRUE(info.ok());
+  for (const auto& rank : info.value().rank_files) {
+    auto file = set.value().open_rank_for_restart(latest_epoch, rank.rank);
+    ASSERT_TRUE(file.ok());
+    CrfsFileSource source(file.value());
+    auto restored = RestartReader::read_image(source);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().payload_crc, rank.payload_crc);
+    EXPECT_EQ(restored.value().image_bytes, rank.bytes);
+  }
+}
+
+TEST_F(CheckpointSetTest, InspectRejectsGarbageManifest) {
+  auto set = CheckpointSet::open(*shim_, "ckpts");
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(fs_->mkdir("ckpts/epoch_000000").ok());
+  auto h = fs_->open("ckpts/epoch_000000/MANIFEST",
+                     {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(h.ok());
+  const std::string junk = "not a manifest\n";
+  ASSERT_TRUE(fs_->write(h.value(), {reinterpret_cast<const std::byte*>(junk.data()),
+                                     junk.size()}, 0).ok());
+  ASSERT_TRUE(fs_->close(h.value()).ok());
+  EXPECT_FALSE(set.value().inspect(0).ok());
+}
+
+}  // namespace
+}  // namespace crfs::blcr
+
+namespace crfs {
+namespace {
+
+TEST(MountOptions, DefaultsWhenEmpty) {
+  auto opts = parse_mount_options("");
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.value().config.chunk_size, 4 * MiB);
+  EXPECT_EQ(opts.value().config.pool_size, 16 * MiB);
+  EXPECT_EQ(opts.value().config.io_threads, 4u);
+  EXPECT_TRUE(opts.value().fuse.big_writes);
+}
+
+TEST(MountOptions, ParsesFullString) {
+  auto opts = parse_mount_options("chunk=1M, pool=8M ,threads=2,no_big_writes,paper_reads");
+  ASSERT_TRUE(opts.ok()) << opts.error().to_string();
+  EXPECT_EQ(opts.value().config.chunk_size, 1 * MiB);
+  EXPECT_EQ(opts.value().config.pool_size, 8 * MiB);
+  EXPECT_EQ(opts.value().config.io_threads, 2u);
+  EXPECT_FALSE(opts.value().fuse.big_writes);
+  EXPECT_FALSE(opts.value().config.flush_before_read);
+}
+
+TEST(MountOptions, RejectsUnknownKey) {
+  EXPECT_FALSE(parse_mount_options("chnk=4M").ok());
+}
+
+TEST(MountOptions, RejectsBadValues) {
+  EXPECT_FALSE(parse_mount_options("chunk=banana").ok());
+  EXPECT_FALSE(parse_mount_options("threads=0").ok());
+  EXPECT_FALSE(parse_mount_options("threads=abc").ok());
+}
+
+TEST(MountOptions, RejectsInvalidCombination) {
+  // pool smaller than chunk fails Config::validate().
+  EXPECT_FALSE(parse_mount_options("chunk=16M,pool=4M").ok());
+}
+
+TEST(MountOptions, RoundTripsThroughFormat) {
+  auto opts = parse_mount_options("chunk=2M,pool=32M,threads=8,no_big_writes");
+  ASSERT_TRUE(opts.ok());
+  const std::string text = format_mount_options(opts.value());
+  auto again = parse_mount_options(text);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ(again.value().config.chunk_size, 2 * MiB);
+  EXPECT_EQ(again.value().config.pool_size, 32 * MiB);
+  EXPECT_EQ(again.value().config.io_threads, 8u);
+  EXPECT_FALSE(again.value().fuse.big_writes);
+}
+
+}  // namespace
+}  // namespace crfs

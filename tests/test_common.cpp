@@ -1,0 +1,329 @@
+// Unit tests for src/common: result, rng, units, histogram, stats,
+// checksum, table renderers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/checksum.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace crfs {
+namespace {
+
+// ---------------------------------------------------------------- Result
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{ENOENT, "missing"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ENOENT);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_NE(r.error().to_string().find("missing"), std::string::npos);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s = Error{EIO, "boom"};
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, EIO);
+}
+
+Status fails() { return Error{EACCES, "inner"}; }
+Status propagates() {
+  CRFS_RETURN_IF_ERROR(fails());
+  return {};
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  const Status s = propagates();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, EACCES);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+  Rng parent(7);
+  Rng c0 = parent.child(0);
+  Rng c1 = parent.child(1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+  // Children are reproducible.
+  Rng c0_again = Rng(7).child(0);
+  c0 = Rng(7).child(0);
+  EXPECT_EQ(c0.next_u64(), c0_again.next_u64());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(17);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+// ----------------------------------------------------------------- Units
+
+TEST(Units, ParseBytesPlain) {
+  EXPECT_EQ(parse_bytes("4096").value(), 4096u);
+  EXPECT_EQ(parse_bytes("0").value(), 0u);
+}
+
+TEST(Units, ParseBytesSuffixes) {
+  EXPECT_EQ(parse_bytes("128K").value(), 128 * KiB);
+  EXPECT_EQ(parse_bytes("4M").value(), 4 * MiB);
+  EXPECT_EQ(parse_bytes("1G").value(), 1 * GiB);
+  EXPECT_EQ(parse_bytes("4m").value(), 4 * MiB);
+  EXPECT_EQ(parse_bytes("16MiB").value(), 16 * MiB);
+  EXPECT_EQ(parse_bytes("2KB").value(), 2 * KiB);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("abc").has_value());
+  EXPECT_FALSE(parse_bytes("12Q").has_value());
+  EXPECT_FALSE(parse_bytes("4M4").has_value());
+  EXPECT_FALSE(parse_bytes("99999999999999999999999").has_value());
+}
+
+TEST(Units, FormatBytesRoundTripsMagnitude) {
+  EXPECT_EQ(format_bytes(512), "512");
+  EXPECT_EQ(format_bytes(4 * KiB), "4.0K");
+  EXPECT_EQ(format_bytes(16 * MiB), "16.0M");
+  EXPECT_EQ(format_bytes(3 * GiB / 2), "1.5G");
+}
+
+TEST(Units, FormatSeconds) { EXPECT_EQ(format_seconds(5.53), "5.5 s"); }
+
+// ------------------------------------------------------------- Histogram
+
+TEST(WriteSizeHistogram, BucketIndexMatchesTableOne) {
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(0), 0);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(63), 0);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(64), 1);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(255), 1);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(1023), 2);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(4 * KiB - 1), 3);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(4 * KiB), 4);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(16 * KiB), 5);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(64 * KiB), 6);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(256 * KiB), 7);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(512 * KiB), 8);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(1 * MiB), 9);
+  EXPECT_EQ(WriteSizeHistogram::bucket_index(100 * MiB), 9);
+}
+
+TEST(WriteSizeHistogram, AccumulatesAndMerges) {
+  WriteSizeHistogram a, b;
+  a.record(10, 0.001);
+  a.record(8 * KiB, 0.010);
+  b.record(2 * MiB, 0.100);
+  a.merge(b);
+  EXPECT_EQ(a.total_ops(), 3u);
+  EXPECT_EQ(a.total_bytes(), 10 + 8 * KiB + 2 * MiB);
+  EXPECT_NEAR(a.total_seconds(), 0.111, 1e-9);
+}
+
+TEST(WriteSizeHistogram, RenderContainsAllBuckets) {
+  WriteSizeHistogram h;
+  h.record(100, 0.5);
+  const std::string table = h.render_table("profile");
+  for (int i = 0; i < WriteSizeHistogram::kNumBuckets; ++i) {
+    EXPECT_NE(table.find(WriteSizeHistogram::bucket_label(i)), std::string::npos)
+        << "missing bucket " << i;
+  }
+}
+
+TEST(WriteSizeHistogram, LabelsMatchPaper) {
+  EXPECT_EQ(WriteSizeHistogram::bucket_label(0), "0-64");
+  EXPECT_EQ(WriteSizeHistogram::bucket_label(4), "4K-16K");
+  EXPECT_EQ(WriteSizeHistogram::bucket_label(9), "> 1M");
+}
+
+TEST(Log2Histogram, QuantileMonotone) {
+  Log2Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Samples, SingleElement) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_EQ(s.median(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+// -------------------------------------------------------------- Checksum
+
+TEST(Crc64, KnownValueStable) {
+  const char* msg = "123456789";
+  const auto d1 = Crc64::of(msg, 9);
+  const auto d2 = Crc64::of(msg, 9);
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, 0u);
+}
+
+TEST(Crc64, ChunkingIndependent) {
+  std::vector<std::byte> data(100000);
+  Rng r(44);
+  for (auto& b : data) b = static_cast<std::byte>(r.next_u64());
+
+  const auto whole = Crc64::of(data.data(), data.size());
+
+  Crc64 pieces;
+  std::size_t pos = 0;
+  Rng sizes(45);
+  while (pos < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(sizes.uniform(1, 4096), data.size() - pos);
+    pieces.update(data.data() + pos, n);
+    pos += n;
+  }
+  EXPECT_EQ(pieces.digest(), whole);
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  std::vector<unsigned char> data(4096, 0xAB);
+  const auto before = Crc64::of(data.data(), data.size());
+  data[1234] ^= 0x01;
+  EXPECT_NE(Crc64::of(data.data(), data.size()), before);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"hello", "1"});
+  t.add_rule();
+  t.add_row({"x", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = nl + 1;
+  }
+}
+
+TEST(BarChart, RendersValues) {
+  BarChart c("title", "s");
+  c.add("native", 6.0);
+  c.add("crfs", 1.1);
+  const std::string out = c.render();
+  EXPECT_NE(out.find("native"), std::string::npos);
+  EXPECT_NE(out.find("6.0 s"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(ScatterPlot, RendersGlyphs) {
+  ScatterPlot p("plot");
+  p.add_series('*', {{1, 1}, {10, 2}, {100, 3}});
+  p.set_log_x(true);
+  const std::string out = p.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("(log x)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crfs

@@ -1,0 +1,247 @@
+// Tests for incremental (delta) checkpoints: change detection, delta
+// composition, reference verification against the parent, chained
+// epochs, and corruption/mismatch failure modes.
+#include <gtest/gtest.h>
+
+#include "backend/mem_backend.h"
+#include "blcr/incremental.h"
+#include "blcr/sinks.h"
+#include "common/units.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+namespace crfs::blcr {
+namespace {
+
+class VecSink final : public ByteSink {
+ public:
+  Status write(std::span<const std::byte> data) override {
+    bytes.insert(bytes.end(), data.begin(), data.end());
+    return {};
+  }
+  std::vector<std::byte> bytes;
+};
+
+class VecSource final : public ByteSource {
+ public:
+  explicit VecSource(std::vector<std::byte> b) : bytes_(std::move(b)) {}
+  Result<std::size_t> read(std::span<std::byte> out) override {
+    const std::size_t n = std::min(out.size(), bytes_.size() - pos_);
+    std::memcpy(out.data(), bytes_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  std::vector<std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Writes a full image, returns its serialised bytes + digest.
+std::pair<std::vector<std::byte>, ImageDigest> full_image_bytes(const ProcessImage& img) {
+  VecSink sink;
+  EXPECT_TRUE(CheckpointWriter::write_image(img, sink).ok());
+  return {std::move(sink.bytes), digest_image(img)};
+}
+
+TEST(Incremental, DigestDetectsContentChanges) {
+  const auto base = ProcessImage::synthesize(1, 4 * MiB, 5);
+  const auto same = digest_image(base);
+  const auto again = digest_image(base);
+  ASSERT_EQ(same.size(), again.size());
+  for (std::size_t i = 0; i < same.size(); ++i) {
+    EXPECT_EQ(same[i].payload_crc, again[i].payload_crc);
+  }
+  const auto mutated = mutate_image(base, 0.3, 99);
+  const auto changed = digest_image(mutated);
+  int diffs = 0;
+  for (std::size_t i = 0; i < same.size(); ++i) {
+    diffs += same[i].payload_crc != changed[i].payload_crc;
+  }
+  EXPECT_GT(diffs, 0);
+  EXPECT_LT(diffs, static_cast<int>(same.size()));  // some unchanged
+}
+
+TEST(Incremental, ReadImagePayloadsMaterialises) {
+  const auto img = ProcessImage::synthesize(2, 2 * MiB, 6);
+  auto [bytes, digest] = full_image_bytes(img);
+  VecSource source(std::move(bytes));
+  auto mat = read_image_payloads(source);
+  ASSERT_TRUE(mat.ok()) << mat.error().to_string();
+  EXPECT_EQ(mat.value().pid, 2u);
+  EXPECT_EQ(mat.value().vmas.size(), img.vmas.size());
+  std::uint64_t total = 0;
+  for (const auto& [start, payload] : mat.value().payloads) total += payload.size();
+  EXPECT_EQ(total, img.content_bytes());
+  // digest_of(materialised) == digest_image(original).
+  const auto dm = digest_of(mat.value());
+  ASSERT_EQ(dm.size(), digest.size());
+  for (std::size_t i = 0; i < dm.size(); ++i) {
+    EXPECT_EQ(dm[i].payload_crc, digest[i].payload_crc);
+  }
+}
+
+TEST(Incremental, DeltaWritesOnlyChangedVmas) {
+  const auto base = ProcessImage::synthesize(3, 8 * MiB, 7);
+  const auto next = mutate_image(base, 0.25, 11);
+  const auto parent_digest = digest_image(base);
+
+  VecSink delta;
+  auto stats = write_delta_image(next, parent_digest, delta);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_GT(stats.value().unchanged_vmas, 0u);
+  EXPECT_GT(stats.value().changed_vmas, 0u);
+  EXPECT_EQ(stats.value().changed_vmas + stats.value().unchanged_vmas, next.vmas.size());
+
+  // The delta must be much smaller than a full image when most VMAs are
+  // unchanged... here ~25% changed by count; compare against full size.
+  VecSink full;
+  ASSERT_TRUE(CheckpointWriter::write_image(next, full).ok());
+  EXPECT_LT(delta.bytes.size(), full.bytes.size());
+}
+
+TEST(Incremental, DeltaComposesOverParentAndVerifies) {
+  const auto base = ProcessImage::synthesize(4, 6 * MiB, 8);
+  const auto next = mutate_image(base, 0.3, 12);
+
+  auto [base_bytes, base_digest] = full_image_bytes(base);
+  VecSource base_source(std::move(base_bytes));
+  auto parent = read_image_payloads(base_source);
+  ASSERT_TRUE(parent.ok());
+
+  VecSink delta;
+  auto stats = write_delta_image(next, base_digest, delta);
+  ASSERT_TRUE(stats.ok());
+
+  VecSource delta_source(std::move(delta.bytes));
+  auto composed = read_delta_image(delta_source, parent.value());
+  ASSERT_TRUE(composed.ok()) << composed.error().to_string();
+  EXPECT_EQ(composed.value().payload_crc, stats.value().full_image_crc);
+  EXPECT_EQ(composed.value().vmas.size(), next.vmas.size());
+
+  // The composed image must equal a direct full write of `next`.
+  VecSink full;
+  auto full_crc = CheckpointWriter::write_image(next, full);
+  ASSERT_TRUE(full_crc.ok());
+  EXPECT_EQ(composed.value().payload_crc, full_crc.value());
+}
+
+TEST(Incremental, ChainedEpochs) {
+  // epoch0 full, epoch1 delta(epoch0), epoch2 delta(epoch1).
+  const auto e0 = ProcessImage::synthesize(5, 4 * MiB, 20);
+  const auto e1 = mutate_image(e0, 0.2, 21);
+  const auto e2 = mutate_image(e1, 0.2, 22);
+
+  auto [b0, d0] = full_image_bytes(e0);
+  VecSource s0(std::move(b0));
+  auto m0 = read_image_payloads(s0);
+  ASSERT_TRUE(m0.ok());
+
+  VecSink delta1;
+  ASSERT_TRUE(write_delta_image(e1, digest_of(m0.value()), delta1).ok());
+  VecSource ds1(std::move(delta1.bytes));
+  auto m1 = read_delta_image(ds1, m0.value());
+  ASSERT_TRUE(m1.ok());
+
+  VecSink delta2;
+  auto stats2 = write_delta_image(e2, digest_of(m1.value()), delta2);
+  ASSERT_TRUE(stats2.ok());
+  VecSource ds2(std::move(delta2.bytes));
+  auto m2 = read_delta_image(ds2, m1.value());
+  ASSERT_TRUE(m2.ok()) << m2.error().to_string();
+
+  VecSink full2;
+  auto full_crc = CheckpointWriter::write_image(e2, full2);
+  ASSERT_TRUE(full_crc.ok());
+  EXPECT_EQ(m2.value().payload_crc, full_crc.value());
+}
+
+TEST(Incremental, WrongParentIsRejected) {
+  const auto base = ProcessImage::synthesize(6, 2 * MiB, 30);
+  const auto other = ProcessImage::synthesize(6, 2 * MiB, 31);  // different content
+  const auto next = mutate_image(base, 0.2, 32);
+
+  VecSink delta;
+  ASSERT_TRUE(write_delta_image(next, digest_image(base), delta).ok());
+
+  // Materialise the WRONG parent and try to compose.
+  auto [wrong_bytes, wd] = full_image_bytes(other);
+  VecSource ws(std::move(wrong_bytes));
+  auto wrong_parent = read_image_payloads(ws);
+  ASSERT_TRUE(wrong_parent.ok());
+
+  VecSource ds(std::move(delta.bytes));
+  auto composed = read_delta_image(ds, wrong_parent.value());
+  ASSERT_FALSE(composed.ok()) << "composing over a wrong parent must fail";
+}
+
+TEST(Incremental, CorruptDeltaDetected) {
+  const auto base = ProcessImage::synthesize(7, 2 * MiB, 40);
+  const auto next = mutate_image(base, 0.5, 41);
+  auto [bb, bd] = full_image_bytes(base);
+  VecSource bs(std::move(bb));
+  auto parent = read_image_payloads(bs);
+  ASSERT_TRUE(parent.ok());
+
+  VecSink delta;
+  ASSERT_TRUE(write_delta_image(next, bd, delta).ok());
+  delta.bytes[delta.bytes.size() / 2] ^= std::byte{0x10};
+  VecSource ds(std::move(delta.bytes));
+  EXPECT_FALSE(read_delta_image(ds, parent.value()).ok());
+}
+
+TEST(Incremental, NoChangesMakesTinyDelta) {
+  const auto base = ProcessImage::synthesize(8, 8 * MiB, 50);
+  VecSink delta;
+  auto stats = write_delta_image(base, digest_image(base), delta);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().changed_vmas, 0u);
+  EXPECT_EQ(stats.value().payload_bytes_written, 0u);
+  // Header + context + per-VMA references only: a few KB for an 8 MB image.
+  EXPECT_LT(delta.bytes.size(), 16 * KiB);
+}
+
+TEST(Incremental, DeltaThroughCrfsMount) {
+  // The practical flow: full epoch then delta epoch, both through CRFS;
+  // restore composes from the backend without CRFS.
+  auto mem = std::make_shared<MemBackend>();
+  const auto e0 = ProcessImage::synthesize(9, 6 * MiB, 60);
+  const auto e1 = mutate_image(e0, 0.25, 61);
+  {
+    auto fs = Crfs::mount(mem, Config{.chunk_size = 512 * KiB, .pool_size = 2 * MiB});
+    ASSERT_TRUE(fs.ok());
+    FuseShim shim(*fs.value(), FuseOptions{});
+    {
+      auto f = File::open(shim, "e0.full", {.create = true, .truncate = true, .write = true});
+      ASSERT_TRUE(f.ok());
+      CrfsFileSink sink(f.value());
+      ASSERT_TRUE(CheckpointWriter::write_image(e0, sink).ok());
+      ASSERT_TRUE(f.value().close().ok());
+    }
+    {
+      auto f = File::open(shim, "e1.delta", {.create = true, .truncate = true, .write = true});
+      ASSERT_TRUE(f.ok());
+      CrfsFileSink sink(f.value());
+      ASSERT_TRUE(write_delta_image(e1, digest_image(e0), sink).ok());
+      ASSERT_TRUE(f.value().close().ok());
+    }
+  }
+  // Restore from the raw backend.
+  auto bf0 = mem->open_file("e0.full", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf0.ok());
+  BackendSource s0(*mem, bf0.value());
+  auto parent = read_image_payloads(s0);
+  ASSERT_TRUE(parent.ok()) << parent.error().to_string();
+
+  auto bf1 = mem->open_file("e1.delta", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf1.ok());
+  BackendSource s1(*mem, bf1.value());
+  auto composed = read_delta_image(s1, parent.value());
+  ASSERT_TRUE(composed.ok()) << composed.error().to_string();
+
+  VecSink full1;
+  auto expect = CheckpointWriter::write_image(e1, full1);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(composed.value().payload_crc, expect.value());
+}
+
+}  // namespace
+}  // namespace crfs::blcr

@@ -1,0 +1,216 @@
+// Integration tests: whole-system scenarios across module boundaries —
+// coordinated checkpoint through CRFS over a real directory with restart
+// verification, concurrent checkpoint + metadata traffic, failure
+// recovery mid-checkpoint, and checkpoint-over-checkpoint cycles.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "backend/mem_backend.h"
+#include "backend/posix_backend.h"
+#include "backend/wrappers.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/restart_reader.h"
+#include "blcr/sinks.h"
+#include "common/units.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+#include "mpi/job.h"
+#include "mpi/targets.h"
+
+namespace crfs {
+namespace {
+
+class Integration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("crfs_integration_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(Integration, CoordinatedCheckpointToRealDiskThenRestart) {
+  mpi::JobConfig job;
+  job.nprocs = 3;
+  job.lu_class = mpi::LuClass::kB;
+  job.image_bytes_override = 4 * MiB;
+
+  std::vector<std::uint64_t> crcs;
+  {
+    auto backend = PosixBackend::create(dir_.string());
+    ASSERT_TRUE(backend.ok());
+    auto fs = Crfs::mount(std::move(backend.value()), Config{.chunk_size = 1 * MiB,
+                                                             .pool_size = 4 * MiB});
+    ASSERT_TRUE(fs.ok());
+    FuseShim shim(*fs.value(), FuseOptions{.big_writes = true});
+    mpi::CrfsTarget target(shim);
+    const auto report = mpi::run_checkpoint(job, target);
+    ASSERT_TRUE(report.ok) << report.error;
+    for (const auto& r : report.ranks) crcs.push_back(r.payload_crc);
+  }  // unmounted
+
+  // Restart every rank from the raw directory, no CRFS.
+  auto backend = PosixBackend::create(dir_.string());
+  ASSERT_TRUE(backend.ok());
+  for (unsigned r = 0; r < job.nprocs; ++r) {
+    auto bf = backend.value()->open_file("rank" + std::to_string(r) + ".ckpt",
+                                         {.create = false, .truncate = false, .write = false});
+    ASSERT_TRUE(bf.ok()) << "rank " << r;
+    blcr::BackendSource source(*backend.value(), bf.value());
+    auto restored = blcr::RestartReader::read_image(source);
+    ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+    EXPECT_EQ(restored.value().payload_crc, crcs[r]);
+    ASSERT_TRUE(backend.value()->close_file(bf.value()).ok());
+  }
+}
+
+TEST_F(Integration, CheckpointSurvivesConcurrentMetadataTraffic) {
+  // A checkpoint stream and a metadata-heavy workload share the mount.
+  auto mem = std::make_shared<MemBackend>();
+  auto fs = Crfs::mount(mem, Config{.chunk_size = 256 * KiB, .pool_size = 1 * MiB});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  std::atomic<bool> stop{false};
+  std::thread metadata([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const std::string d = "meta" + std::to_string(i++ % 16);
+      (void)fs.value()->mkdir(d);
+      (void)fs.value()->getattr(d);
+      (void)fs.value()->list_dir("/");
+      (void)fs.value()->rmdir(d);
+    }
+  });
+
+  const auto image = blcr::ProcessImage::synthesize(1, 8 * MiB, 3);
+  auto file = File::open(shim, "busy.ckpt", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(file.ok());
+  blcr::CrfsFileSink sink(file.value());
+  auto crc = blcr::CheckpointWriter::write_image(image, sink);
+  ASSERT_TRUE(crc.ok());
+  ASSERT_TRUE(file.value().close().ok());
+  stop.store(true);
+  metadata.join();
+
+  auto bf = mem->open_file("busy.ckpt", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf.ok());
+  blcr::BackendSource source(*mem, bf.value());
+  auto restored = blcr::RestartReader::read_image(source);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().payload_crc, crc.value());
+}
+
+TEST_F(Integration, MidCheckpointBackendFailureIsReportedAndRecoverable) {
+  auto mem = std::make_shared<MemBackend>();
+  auto faulty = std::make_shared<FaultyBackend>(mem);
+  auto fs = Crfs::mount(faulty, Config{.chunk_size = 256 * KiB, .pool_size = 1 * MiB});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  // First attempt: the backend dies after a few chunk writes.
+  faulty->fail_writes_after(3);
+  {
+    const auto image = blcr::ProcessImage::synthesize(1, 4 * MiB, 9);
+    auto file = File::open(shim, "attempt1.ckpt",
+                           {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(file.ok());
+    blcr::CrfsFileSink sink(file.value());
+    (void)blcr::CheckpointWriter::write_image(image, sink);  // may or may not fail inline
+    const Status st = file.value().close();
+    EXPECT_FALSE(st.ok()) << "the failure must surface by close()";
+  }
+
+  // Backend recovers; the retry must produce a valid image.
+  faulty->fail_writes_after(-1);
+  const auto image = blcr::ProcessImage::synthesize(1, 4 * MiB, 9);
+  auto file = File::open(shim, "attempt2.ckpt",
+                         {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(file.ok());
+  blcr::CrfsFileSink sink(file.value());
+  auto crc = blcr::CheckpointWriter::write_image(image, sink);
+  ASSERT_TRUE(crc.ok());
+  ASSERT_TRUE(file.value().close().ok());
+
+  auto bf = mem->open_file("attempt2.ckpt", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf.ok());
+  blcr::BackendSource source(*mem, bf.value());
+  auto restored = blcr::RestartReader::read_image(source);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().payload_crc, crc.value());
+}
+
+TEST_F(Integration, RepeatedCheckpointCyclesOverwriteCleanly) {
+  // Periodic checkpointing truncates and rewrites the same files.
+  auto mem = std::make_shared<MemBackend>();
+  auto fs = Crfs::mount(mem, Config{.chunk_size = 512 * KiB, .pool_size = 2 * MiB});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  std::uint64_t last_crc = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const auto image = blcr::ProcessImage::synthesize(
+        7, (2 + static_cast<std::uint64_t>(cycle)) * MiB, 100 + static_cast<unsigned>(cycle));
+    auto file = File::open(shim, "periodic.ckpt",
+                           {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(file.ok());
+    blcr::CrfsFileSink sink(file.value());
+    auto crc = blcr::CheckpointWriter::write_image(image, sink);
+    ASSERT_TRUE(crc.ok());
+    ASSERT_TRUE(file.value().close().ok());
+    last_crc = crc.value();
+  }
+
+  auto bf = mem->open_file("periodic.ckpt", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(bf.ok());
+  blcr::BackendSource source(*mem, bf.value());
+  auto restored = blcr::RestartReader::read_image(source);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().payload_crc, last_crc);
+  EXPECT_EQ(restored.value().image_bytes, 6 * MiB);  // the last cycle's size
+}
+
+TEST_F(Integration, CheckpointWhileReadingPreviousCheckpoint) {
+  // Restart of generation N-1 runs concurrently with checkpoint N.
+  auto mem = std::make_shared<MemBackend>();
+  auto fs = Crfs::mount(mem, Config{.chunk_size = 256 * KiB, .pool_size = 1 * MiB});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  const auto old_image = blcr::ProcessImage::synthesize(1, 3 * MiB, 50);
+  std::uint64_t old_crc = 0;
+  {
+    auto file = File::open(shim, "gen0.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(file.ok());
+    blcr::CrfsFileSink sink(file.value());
+    old_crc = blcr::CheckpointWriter::write_image(old_image, sink).value();
+    ASSERT_TRUE(file.value().close().ok());
+  }
+
+  std::atomic<bool> reader_ok{false};
+  std::thread reader([&] {
+    auto file = File::open(shim, "gen0.ckpt", {.create = false, .truncate = false, .write = false});
+    if (!file.ok()) return;
+    blcr::CrfsFileSource source(file.value());
+    auto restored = blcr::RestartReader::read_image(source);
+    reader_ok.store(restored.ok() && restored.value().payload_crc == old_crc);
+  });
+
+  const auto new_image = blcr::ProcessImage::synthesize(1, 3 * MiB, 51);
+  auto file = File::open(shim, "gen1.ckpt", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(file.ok());
+  blcr::CrfsFileSink sink(file.value());
+  auto crc = blcr::CheckpointWriter::write_image(new_image, sink);
+  ASSERT_TRUE(crc.ok());
+  ASSERT_TRUE(file.value().close().ok());
+  reader.join();
+  EXPECT_TRUE(reader_ok.load());
+}
+
+}  // namespace
+}  // namespace crfs

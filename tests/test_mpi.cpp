@@ -1,0 +1,177 @@
+// Tests for the MPI stack models and the coordinated checkpoint job
+// driver (real-thread mode), including full native-vs-CRFS cycles.
+#include <gtest/gtest.h>
+
+#include "backend/mem_backend.h"
+#include "backend/wrappers.h"
+#include "common/units.h"
+#include "mpi/job.h"
+#include "mpi/stack_model.h"
+#include "mpi/targets.h"
+
+namespace crfs::mpi {
+namespace {
+
+TEST(StackModel, Table2ValuesExactAt128) {
+  // Table II per-process image sizes, 128 processes.
+  struct Case { Stack s; LuClass c; double mb; };
+  const Case cases[] = {
+      {Stack::kMvapich2, LuClass::kB, 7.1},  {Stack::kMvapich2, LuClass::kC, 15.1},
+      {Stack::kMvapich2, LuClass::kD, 106.7}, {Stack::kOpenMpi, LuClass::kB, 7.1},
+      {Stack::kOpenMpi, LuClass::kC, 13.7},  {Stack::kOpenMpi, LuClass::kD, 108.3},
+      {Stack::kMpich2, LuClass::kB, 3.9},    {Stack::kMpich2, LuClass::kC, 10.7},
+      {Stack::kMpich2, LuClass::kD, 103.6},
+  };
+  for (const auto& tc : cases) {
+    const double got =
+        static_cast<double>(image_bytes_per_process(tc.s, tc.c, 128)) / static_cast<double>(MiB);
+    EXPECT_NEAR(got, tc.mb, 0.01) << stack_name(tc.s) << " " << lu_class_name(tc.c);
+  }
+}
+
+TEST(StackModel, IbStacksBiggerThanTcp) {
+  for (const LuClass c : {LuClass::kB, LuClass::kC, LuClass::kD}) {
+    EXPECT_GT(image_bytes_per_process(Stack::kMvapich2, c, 128),
+              image_bytes_per_process(Stack::kMpich2, c, 128));
+  }
+}
+
+TEST(StackModel, FewerProcsMeanBiggerImages) {
+  // Fixed problem size divided across fewer ranks (Fig 9's setup).
+  const auto at16 = image_bytes_per_process(Stack::kMvapich2, LuClass::kD, 16);
+  const auto at128 = image_bytes_per_process(Stack::kMvapich2, LuClass::kD, 128);
+  EXPECT_GT(at16, 6 * at128);  // ~8x the data share, minus the fixed base
+  // Total data is conserved up to the per-rank base.
+  const auto total16 = total_checkpoint_bytes(Stack::kMvapich2, LuClass::kD, 16);
+  const auto total128 = total_checkpoint_bytes(Stack::kMvapich2, LuClass::kD, 128);
+  EXPECT_NEAR(static_cast<double>(total16) / static_cast<double>(total128), 1.0, 0.05);
+}
+
+TEST(StackModel, Names) {
+  EXPECT_STREQ(stack_name(Stack::kMvapich2), "MVAPICH2");
+  EXPECT_STREQ(stack_transport(Stack::kMvapich2), "IB");
+  EXPECT_STREQ(stack_transport(Stack::kMpich2), "TCP");
+  EXPECT_EQ(benchmark_tag(LuClass::kC, 64), "LU.C.64");
+}
+
+// ---------------------------------------------------------------- driver
+
+class JobDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = std::make_shared<MemBackend>();
+    auto fs = Crfs::mount(mem_, Config{.chunk_size = 1 * MiB, .pool_size = 8 * MiB});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs.value());
+    shim_ = std::make_unique<FuseShim>(*fs_, FuseOptions{.big_writes = true});
+  }
+
+  // Tiny synthetic job: 4 ranks, smallest class, scaled-down images by
+  // using a large nprocs in the size model but few actual ranks.
+  JobConfig small_config() {
+    JobConfig cfg;
+    cfg.stack = Stack::kMpich2;
+    cfg.lu_class = LuClass::kB;
+    cfg.nprocs = 4;
+    cfg.seed = 7;
+    return cfg;
+  }
+
+  std::shared_ptr<MemBackend> mem_;
+  std::unique_ptr<Crfs> fs_;
+  std::unique_ptr<FuseShim> shim_;
+};
+
+TEST_F(JobDriver, CrfsCheckpointProducesAllRankFiles) {
+  CrfsTarget target(*shim_, "job/");
+  ASSERT_TRUE(fs_->mkdir("job").ok());
+  auto report = run_checkpoint(small_config(), target);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.ranks.size(), 4u);
+  for (unsigned r = 0; r < 4; ++r) {
+    auto c = mem_->contents("job/rank" + std::to_string(r) + ".ckpt");
+    ASSERT_TRUE(c.ok()) << "rank " << r;
+    EXPECT_GT(c.value().size(), report.ranks[r].image_bytes);  // payload + headers
+    EXPECT_GT(report.ranks[r].write_seconds, 0.0);
+    EXPECT_NE(report.ranks[r].payload_crc, 0u);
+  }
+  EXPECT_GT(report.checkpoint_seconds, 0.0);
+  // The coordinated cycle is at least as long as the slowest rank.
+  double slowest = 0;
+  for (const auto& r : report.ranks) slowest = std::max(slowest, r.write_seconds);
+  EXPECT_GE(report.checkpoint_seconds * 1.05, slowest);
+}
+
+TEST_F(JobDriver, NativeCheckpointEquivalentContent) {
+  // The same job, native vs CRFS, must produce byte-identical rank files
+  // (CRFS "doesn't change any file layout").
+  CrfsTarget crfs_target(*shim_, "crfs_");
+  NativeTarget native_target(mem_, "native_");
+  const auto cfg = small_config();
+  auto r1 = run_checkpoint(cfg, crfs_target);
+  auto r2 = run_checkpoint(cfg, native_target);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  for (unsigned r = 0; r < cfg.nprocs; ++r) {
+    auto a = mem_->contents("crfs_rank" + std::to_string(r) + ".ckpt");
+    auto b = mem_->contents("native_rank" + std::to_string(r) + ".ckpt");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << "rank " << r;
+    EXPECT_EQ(r1.ranks[r].payload_crc, r2.ranks[r].payload_crc);
+  }
+}
+
+TEST_F(JobDriver, RecordersAttachWhenRequested) {
+  CrfsTarget target(*shim_);
+  auto cfg = small_config();
+  cfg.record_writes = true;
+  auto report = run_checkpoint(cfg, target);
+  ASSERT_TRUE(report.ok);
+  for (const auto& r : report.ranks) {
+    EXPECT_GT(r.recorder.count(), 100u);  // BLCR's many small writes
+    EXPECT_EQ(r.recorder.total_bytes() > r.image_bytes, true);
+  }
+}
+
+TEST_F(JobDriver, FailedRankPropagatesToJobReport) {
+  auto faulty_backend = std::make_shared<FaultyBackend>(mem_);
+  faulty_backend->fail_open(true);
+  NativeTarget target(faulty_backend, "bad_");
+  auto report = run_checkpoint(small_config(), target);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST_F(JobDriver, ImageSizesFollowStackModel) {
+  CrfsTarget target(*shim_, "sz_");
+  JobConfig cfg = small_config();
+  cfg.stack = Stack::kMvapich2;
+  auto report = run_checkpoint(cfg, target);
+  ASSERT_TRUE(report.ok);
+  const auto expected = image_bytes_per_process(cfg.stack, cfg.lu_class, cfg.nprocs);
+  for (const auto& r : report.ranks) {
+    EXPECT_EQ(r.image_bytes, expected);
+    // Actual file content ~= image + format metadata (within 2%+64K).
+    auto c = mem_->contents("sz_rank" + std::to_string(r.rank) + ".ckpt");
+    ASSERT_TRUE(c.ok());
+    EXPECT_NEAR(static_cast<double>(c.value().size()), static_cast<double>(expected),
+                static_cast<double>(expected) * 0.03 + 64 * KiB);
+  }
+}
+
+TEST_F(JobDriver, DeterministicAcrossRuns) {
+  NativeTarget t1(mem_, "d1_");
+  NativeTarget t2(mem_, "d2_");
+  const auto cfg = small_config();
+  auto r1 = run_checkpoint(cfg, t1);
+  auto r2 = run_checkpoint(cfg, t2);
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  for (unsigned r = 0; r < cfg.nprocs; ++r) {
+    EXPECT_EQ(r1.ranks[r].payload_crc, r2.ranks[r].payload_crc);
+  }
+}
+
+}  // namespace
+}  // namespace crfs::mpi

@@ -1,0 +1,228 @@
+// Tests for the errno-style POSIX facade (fd table, cursors, O_APPEND,
+// lseek semantics, errno propagation).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "backend/mem_backend.h"
+#include "backend/wrappers.h"
+#include "common/units.h"
+#include "crfs/posix_api.h"
+
+namespace crfs {
+namespace {
+
+class PosixApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = std::make_shared<MemBackend>();
+    auto fs = Crfs::mount(mem_, Config{.chunk_size = 4096, .pool_size = 8 * 4096});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs.value());
+    shim_ = std::make_unique<FuseShim>(*fs_, FuseOptions{});
+    api_ = std::make_unique<PosixApi>(*shim_);
+  }
+
+  std::string backend_content(const std::string& path) {
+    auto c = mem_->contents(path);
+    if (!c.ok()) return "<missing>";
+    return {reinterpret_cast<const char*>(c.value().data()), c.value().size()};
+  }
+
+  std::shared_ptr<MemBackend> mem_;
+  std::unique_ptr<Crfs> fs_;
+  std::unique_ptr<FuseShim> shim_;
+  std::unique_ptr<PosixApi> api_;
+};
+
+TEST_F(PosixApiTest, OpenWriteCloseRoundTrip) {
+  const int fd = api_->open("a.txt", O_CREAT | O_WRONLY | O_TRUNC);
+  ASSERT_GE(fd, 3);
+  EXPECT_EQ(api_->write(fd, "hello", 5), 5);
+  EXPECT_EQ(api_->write(fd, " world", 6), 6);  // cursor advanced
+  EXPECT_EQ(api_->close(fd), 0);
+  EXPECT_EQ(backend_content("a.txt"), "hello world");
+}
+
+TEST_F(PosixApiTest, ReadWithCursor) {
+  const int wfd = api_->open("r.txt", O_CREAT | O_WRONLY);
+  ASSERT_GE(wfd, 0);
+  EXPECT_EQ(api_->write(wfd, "0123456789", 10), 10);
+  EXPECT_EQ(api_->close(wfd), 0);
+
+  const int fd = api_->open("r.txt", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  char buf[4];
+  EXPECT_EQ(api_->read(fd, buf, 4), 4);
+  EXPECT_EQ(std::memcmp(buf, "0123", 4), 0);
+  EXPECT_EQ(api_->read(fd, buf, 4), 4);
+  EXPECT_EQ(std::memcmp(buf, "4567", 4), 0);
+  EXPECT_EQ(api_->read(fd, buf, 4), 2);  // short read at EOF
+  EXPECT_EQ(api_->read(fd, buf, 4), 0);  // EOF
+  EXPECT_EQ(api_->close(fd), 0);
+}
+
+TEST_F(PosixApiTest, LseekAllWhences) {
+  const int fd = api_->open("s.txt", O_CREAT | O_RDWR);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->write(fd, "abcdefgh", 8), 8);
+  ASSERT_EQ(api_->fsync(fd), 0);
+
+  EXPECT_EQ(api_->lseek(fd, 2, SEEK_SET), 2);
+  char c;
+  EXPECT_EQ(api_->read(fd, &c, 1), 1);
+  EXPECT_EQ(c, 'c');
+  EXPECT_EQ(api_->lseek(fd, 1, SEEK_CUR), 4);
+  EXPECT_EQ(api_->lseek(fd, -1, SEEK_END), 7);
+  EXPECT_EQ(api_->read(fd, &c, 1), 1);
+  EXPECT_EQ(c, 'h');
+  errno = 0;
+  EXPECT_EQ(api_->lseek(fd, -100, SEEK_SET), -1);
+  EXPECT_EQ(errno, EINVAL);
+  EXPECT_EQ(api_->close(fd), 0);
+}
+
+TEST_F(PosixApiTest, OAppendAlwaysWritesAtEnd) {
+  const int fd = api_->open("log", O_CREAT | O_WRONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->write(fd, "line1\n", 6), 6);
+  EXPECT_EQ(api_->close(fd), 0);
+
+  const int afd = api_->open("log", O_WRONLY | O_APPEND);
+  ASSERT_GE(afd, 0);
+  EXPECT_EQ(api_->write(afd, "line2\n", 6), 6);
+  EXPECT_EQ(api_->lseek(afd, 0, SEEK_SET), 0);
+  EXPECT_EQ(api_->write(afd, "line3\n", 6), 6);  // O_APPEND ignores cursor
+  EXPECT_EQ(api_->close(afd), 0);
+  EXPECT_EQ(backend_content("log"), "line1\nline2\nline3\n");
+}
+
+TEST_F(PosixApiTest, PwritePreadDoNotMoveCursor) {
+  const int fd = api_->open("p.bin", O_CREAT | O_RDWR);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->pwrite(fd, "XXXX", 4, 10), 4);
+  EXPECT_EQ(api_->write(fd, "head", 4), 4);  // cursor still at 0
+  ASSERT_EQ(api_->fsync(fd), 0);
+  char buf[4];
+  EXPECT_EQ(api_->pread(fd, buf, 4, 10), 4);
+  EXPECT_EQ(std::memcmp(buf, "XXXX", 4), 0);
+  EXPECT_EQ(api_->close(fd), 0);
+  EXPECT_EQ(backend_content("p.bin").substr(0, 4), "head");
+}
+
+TEST_F(PosixApiTest, OExclSemantics) {
+  const int fd = api_->open("x", O_CREAT | O_EXCL | O_WRONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->close(fd), 0);
+  errno = 0;
+  EXPECT_EQ(api_->open("x", O_CREAT | O_EXCL | O_WRONLY), -1);
+  EXPECT_EQ(errno, EEXIST);
+  errno = 0;
+  EXPECT_EQ(api_->open("y", O_EXCL | O_WRONLY), -1);  // O_EXCL without O_CREAT
+  EXPECT_EQ(errno, EINVAL);
+}
+
+TEST_F(PosixApiTest, ErrnoOnBadFd) {
+  errno = 0;
+  EXPECT_EQ(api_->write(99, "x", 1), -1);
+  EXPECT_EQ(errno, EBADF);
+  errno = 0;
+  EXPECT_EQ(api_->close(99), -1);
+  EXPECT_EQ(errno, EBADF);
+  errno = 0;
+  char c;
+  EXPECT_EQ(api_->read(99, &c, 1), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST_F(PosixApiTest, WriteOnReadOnlyFdFails) {
+  const int fd = api_->open("ro", O_CREAT | O_WRONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->close(fd), 0);
+  const int rfd = api_->open("ro", O_RDONLY);
+  ASSERT_GE(rfd, 0);
+  errno = 0;
+  EXPECT_EQ(api_->write(rfd, "no", 2), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(api_->close(rfd), 0);
+}
+
+TEST_F(PosixApiTest, MetadataOps) {
+  EXPECT_EQ(api_->mkdir("d"), 0);
+  struct ::stat st{};
+  ASSERT_EQ(api_->stat("d", &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+
+  const int fd = api_->open("d/f", O_CREAT | O_WRONLY);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->write(fd, "data", 4), 4);
+  EXPECT_EQ(api_->close(fd), 0);
+  ASSERT_EQ(api_->stat("d/f", &st), 0);
+  EXPECT_EQ(st.st_size, 4);
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+
+  EXPECT_EQ(api_->rename("d/f", "d/g"), 0);
+  errno = 0;
+  EXPECT_EQ(api_->stat("d/f", &st), -1);
+  EXPECT_EQ(errno, ENOENT);
+  EXPECT_EQ(api_->truncate("d/g", 2), 0);
+  ASSERT_EQ(api_->stat("d/g", &st), 0);
+  EXPECT_EQ(st.st_size, 2);
+  EXPECT_EQ(api_->unlink("d/g"), 0);
+  EXPECT_EQ(api_->rmdir("d"), 0);
+}
+
+TEST_F(PosixApiTest, ErrnoOnMissingPath) {
+  errno = 0;
+  EXPECT_EQ(api_->open("missing", O_RDONLY), -1);
+  EXPECT_EQ(errno, ENOENT);
+  errno = 0;
+  struct ::stat st{};
+  EXPECT_EQ(api_->stat("missing", &st), -1);
+  EXPECT_EQ(errno, ENOENT);
+}
+
+TEST_F(PosixApiTest, ConcurrentFdsIndependent) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string path = "t" + std::to_string(t);
+      const int fd = api_->open(path.c_str(), O_CREAT | O_WRONLY);
+      ASSERT_GE(fd, 0);
+      for (int i = 0; i < 100; ++i) {
+        const std::string rec = std::to_string(t) + ":" + std::to_string(i) + "\n";
+        ASSERT_EQ(api_->write(fd, rec.data(), rec.size()),
+                  static_cast<ssize_t>(rec.size()));
+      }
+      ASSERT_EQ(api_->close(fd), 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(api_->open_fds(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(backend_content("t" + std::to_string(t)).find(std::to_string(t) + ":99"),
+              std::string::npos);
+  }
+}
+
+TEST_F(PosixApiTest, ErrorPropagationFromBackend) {
+  auto mem = std::make_shared<MemBackend>();
+  auto faulty = std::make_shared<FaultyBackend>(mem);
+  auto fs = Crfs::mount(faulty, Config{.chunk_size = 4096, .pool_size = 4 * 4096});
+  ASSERT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+  PosixApi api(shim);
+
+  const int fd = api.open("e", O_CREAT | O_WRONLY);
+  ASSERT_GE(fd, 0);
+  faulty->fail_writes_after(0);
+  std::vector<char> big(20000, 'x');  // multiple chunks -> async failure
+  EXPECT_EQ(api.write(fd, big.data(), big.size()), static_cast<ssize_t>(big.size()));
+  errno = 0;
+  EXPECT_EQ(api.close(fd), -1);  // surfaces the EIO at close
+  EXPECT_EQ(errno, EIO);
+}
+
+}  // namespace
+}  // namespace crfs

@@ -1,0 +1,148 @@
+// Tests for the beyond-the-paper simulation pieces: the PVFS2 backend
+// model and the inter-node coordinated-flush extension (§VII future
+// work), plus corruption-sweep property tests on the restart reader.
+#include <gtest/gtest.h>
+
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/restart_reader.h"
+#include "common/units.h"
+#include "sim/experiment.h"
+#include "sim/pvfs2_sim.h"
+
+namespace crfs::sim {
+namespace {
+
+TEST(Pvfs2Sim, StripesAcrossAllServers) {
+  Calibration cal;
+  Simulation sim;
+  Pvfs2Sim pvfs(sim, cal, 1, 1, 7);
+  sim.spawn([](Simulation&, Pvfs2Sim& b) -> Task {
+    co_await b.write_call(0, 1, 0, 4 * MiB, true);
+    co_await b.close_file(0, 1, true);
+  }(sim, pvfs));
+  sim.run();
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < cal.pvfs_servers; ++s) {
+    EXPECT_GT(pvfs.server_rpcs(s), 0u) << "server " << s;
+    total += pvfs.server_bytes(s);
+  }
+  EXPECT_EQ(total, 4 * MiB);
+}
+
+TEST(Pvfs2Sim, NoClientCacheMakesSmallWritesLatencyBound) {
+  Calibration cal;
+  auto run_ops = [&](std::uint64_t op_size) {
+    Simulation sim;
+    Pvfs2Sim pvfs(sim, cal, 1, 1, 7);
+    sim.spawn([](Simulation&, Pvfs2Sim& b, std::uint64_t op) -> Task {
+      for (std::uint64_t off = 0; off < 8 * MiB; off += op) {
+        co_await b.write_call(0, 1, off, op, false);
+      }
+      co_await b.close_file(0, 1, false);
+    }(sim, pvfs, op_size));
+    return sim.run();
+  };
+  const double small = run_ops(8 * KiB);
+  const double large = run_ops(1 * MiB);
+  // Same bytes; ~128x the RPC count must cost far more than 2x the time.
+  EXPECT_GT(small, 3.0 * large);
+}
+
+TEST(Pvfs2Sim, CrfsBeatsNativeOnFullExperiment) {
+  const auto cell = run_cell(mpi::Stack::kMvapich2, mpi::LuClass::kC, BackendKind::kPvfs2);
+  EXPECT_GT(cell.speedup(), 2.0)
+      << "without a client cache, aggregation should be maximally effective";
+}
+
+TEST(Pvfs2Sim, ExperimentDeterministic) {
+  ExperimentConfig cfg;
+  cfg.backend = BackendKind::kPvfs2;
+  cfg.lu_class = mpi::LuClass::kB;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_rank_seconds, b.mean_rank_seconds);
+}
+
+// ---- inter-node coordination extension ---------------------------------
+
+TEST(InternodeCoordination, ReducesNativeCommitStorm) {
+  ExperimentConfig cfg;
+  cfg.backend = BackendKind::kNfs;
+  cfg.lu_class = mpi::LuClass::kB;
+  cfg.mode = FsMode::kNative;
+
+  const double uncoordinated = run_experiment(cfg).mean_rank_seconds;
+  cfg.cal.nfs_coordinated_flushers = 4;
+  const double coordinated = run_experiment(cfg).mean_rank_seconds;
+  EXPECT_LT(coordinated, uncoordinated * 0.85)
+      << "admission control must reduce the commit-storm penalty";
+}
+
+TEST(InternodeCoordination, FullSerializationMaximizesServerSequentiality) {
+  ExperimentConfig cfg;
+  cfg.backend = BackendKind::kNfs;
+  cfg.lu_class = mpi::LuClass::kB;
+  cfg.mode = FsMode::kNative;
+
+  cfg.cal.nfs_coordinated_flushers = 16;
+  const auto some = run_experiment(cfg);
+  cfg.cal.nfs_coordinated_flushers = 1;
+  const auto serial = run_experiment(cfg);
+  // One flusher at a time: the server disk sees per-file sequential
+  // streams, so its sequential fraction must rise substantially.
+  EXPECT_GT(serial.disk_summary.sequential_fraction,
+            some.disk_summary.sequential_fraction + 0.2);
+}
+
+TEST(InternodeCoordination, ComposesWithCrfs) {
+  ExperimentConfig cfg;
+  cfg.backend = BackendKind::kNfs;
+  cfg.lu_class = mpi::LuClass::kB;
+  cfg.mode = FsMode::kCrfs;
+  const double plain = run_experiment(cfg).mean_rank_seconds;
+  cfg.cal.nfs_coordinated_flushers = 8;
+  const double combined = run_experiment(cfg).mean_rank_seconds;
+  EXPECT_LT(combined, plain * 1.02) << "coordination must not hurt CRFS";
+}
+
+}  // namespace
+}  // namespace crfs::sim
+
+namespace crfs::blcr {
+namespace {
+
+// Corruption sweep: flipping a byte ANYWHERE in a checkpoint image must
+// make the restart reader fail (headers, payloads, trailer alike).
+class CorruptionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorruptionSweep, FlipAtRelativeOffsetDetected) {
+  const auto img = ProcessImage::synthesize(3, 1 * MiB, 77);
+  std::vector<std::byte> bytes;
+  FnSink sink([&](std::span<const std::byte> data) -> Status {
+    bytes.insert(bytes.end(), data.begin(), data.end());
+    return {};
+  });
+  ASSERT_TRUE(CheckpointWriter::write_image(img, sink).ok());
+
+  const auto pos = static_cast<std::size_t>(GetParam() * static_cast<double>(bytes.size() - 1));
+  bytes[pos] ^= std::byte{0x40};
+
+  std::size_t cursor = 0;
+  FnSource source([&](std::span<std::byte> out) -> Result<std::size_t> {
+    const std::size_t n = std::min(out.size(), bytes.size() - cursor);
+    std::memcpy(out.data(), bytes.data() + cursor, n);
+    cursor += n;
+    return n;
+  });
+  auto restored = RestartReader::read_image(source);
+  EXPECT_FALSE(restored.ok()) << "flip at " << pos << " of " << bytes.size()
+                              << " went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CorruptionSweep,
+                         ::testing::Values(0.0, 0.0001, 0.001, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.999, 1.0));
+
+}  // namespace
+}  // namespace crfs::blcr

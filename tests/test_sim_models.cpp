@@ -1,0 +1,268 @@
+// Tests for the DES component models: disk, block allocator, and the
+// three backend simulations' mechanism-level invariants.
+#include <gtest/gtest.h>
+
+#include "sim/disk_model.h"
+#include "sim/ext3_sim.h"
+#include "sim/lustre_sim.h"
+#include "sim/nfs_sim.h"
+
+namespace crfs::sim {
+namespace {
+
+// --------------------------------------------------------------- DiskSim
+
+TEST(DiskSim, SequentialFasterThanRandom) {
+  Calibration cal;
+  auto run_pattern = [&](bool sequential) {
+    Simulation sim;
+    DiskSim disk(sim, cal.disk_seq_bw, cal.disk_seek, 0.0, 1);
+    sim.spawn([](Simulation&, DiskSim& d, bool seq) -> Task {
+      for (int i = 0; i < 100; ++i) {
+        const std::uint64_t off =
+            seq ? static_cast<std::uint64_t>(i) * MiB
+                : static_cast<std::uint64_t>(i % 2) * GiB + static_cast<std::uint64_t>(i) * MiB;
+        co_await d.write(off, 1 * MiB);
+      }
+    }(sim, disk, sequential));
+    return sim.run();
+  };
+  const double seq_time = run_pattern(true);
+  const double rnd_time = run_pattern(false);
+  EXPECT_GT(rnd_time, seq_time * 1.1);
+  // Sequential: exactly bytes / bandwidth (no jitter, one seek at start).
+  EXPECT_NEAR(seq_time, 100.0 * static_cast<double>(MiB) / cal.disk_seq_bw, 0.01);
+}
+
+TEST(DiskSim, CountsSeeksAndBytes) {
+  Simulation sim;
+  DiskSim disk(sim, 50e6, 5e-3, 0.0, 1);
+  sim.spawn([](Simulation&, DiskSim& d) -> Task {
+    co_await d.write(0, 4096);        // seek from head=0? offset==head: no seek
+    co_await d.write(4096, 4096);     // contiguous: no seek
+    co_await d.write(1 * GiB, 4096);  // seek
+  }(sim, disk));
+  sim.run();
+  EXPECT_EQ(disk.requests(), 3u);
+  EXPECT_EQ(disk.seeks(), 1u);
+  EXPECT_EQ(disk.bytes_written(), 3u * 4096);
+  EXPECT_EQ(disk.block_trace().ios().size(), 3u);
+}
+
+TEST(DiskSim, FcfsAcrossConcurrentWriters) {
+  Simulation sim;
+  DiskSim disk(sim, 100e6, 0.0, 0.0, 1);
+  std::vector<double> done(2);
+  auto writer = [](Simulation& s, DiskSim& d, double& out, std::uint64_t base) -> Task {
+    co_await d.write(base, 50 * MiB);  // 0.5 s each at 100 MB/s
+    out = s.now();
+  };
+  sim.spawn(writer(sim, disk, done[0], 0));
+  sim.spawn(writer(sim, disk, done[1], 10 * GiB));
+  sim.run();
+  EXPECT_NEAR(done[0], 0.524, 0.01);  // ~0.5 s (+ MiB/MB rounding)
+  EXPECT_NEAR(done[1], 1.049, 0.02);  // serialized behind the first
+}
+
+TEST(BlockAllocator, FilesLiveInDistantRegions) {
+  BlockAllocator alloc;
+  EXPECT_EQ(alloc.address(0, 0), 0u);
+  EXPECT_EQ(alloc.address(0, 4096), 4096u);
+  EXPECT_GE(alloc.address(1, 0), BlockAllocator::kRegion);
+  EXPECT_GT(alloc.address(2, 0), alloc.address(1, 0));
+}
+
+// ------------------------------------------------------ backend invariants
+
+// Helper: run `writers` ranks on one node, each writing `per_rank` bytes
+// in `op` sized ops, against a backend; returns per-rank times.
+template <typename Backend>
+std::vector<double> run_writers(Backend& backend, Simulation& sim, unsigned writers,
+                                std::uint64_t per_rank, std::uint64_t op, bool via_crfs) {
+  std::vector<double> done(writers);
+  for (unsigned w = 0; w < writers; ++w) {
+    sim.spawn([](Simulation& s, Backend& b, unsigned rank, std::uint64_t total,
+                 std::uint64_t opsize, bool crfs, double& out) -> Task {
+      for (std::uint64_t off = 0; off < total; off += opsize) {
+        co_await b.write_call(0, static_cast<FileId>(rank), off, opsize, crfs);
+      }
+      co_await b.close_file(0, static_cast<FileId>(rank), crfs);
+      out = s.now();
+    }(sim, backend, w, per_rank, op, via_crfs, done[w]));
+  }
+  sim.run();
+  return done;
+}
+
+TEST(Ext3Sim, NativeSmallOpsSlowerThanCrfsChunks) {
+  Calibration cal;
+  double native_time, crfs_time;
+  {
+    Simulation sim;
+    Ext3Sim ext3(sim, cal, 1, 8, 7);
+    auto done = run_writers(ext3, sim, 8, 32 * MiB, 8 * KiB, false);
+    native_time = *std::max_element(done.begin(), done.end());
+  }
+  {
+    Simulation sim;
+    Ext3Sim ext3(sim, cal, 1, 8, 7);
+    auto done = run_writers(ext3, sim, 8, 32 * MiB, 4 * MiB, true);
+    crfs_time = *std::max_element(done.begin(), done.end());
+  }
+  EXPECT_GT(native_time, 2.0 * crfs_time)
+      << "aggregated large writes must beat the small-write storm";
+}
+
+TEST(Ext3Sim, NativeInterleaveCausesSeeks) {
+  Calibration cal;
+  Simulation sim;
+  Ext3Sim ext3(sim, cal, 1, 8, 7);
+  run_writers(ext3, sim, 8, 16 * MiB, 64 * KiB, false);
+  const auto* trace = ext3.disk_trace(0);
+  ASSERT_NE(trace, nullptr);
+  const auto s = trace->summarize();
+  EXPECT_GT(s.requests, 100u);
+  // Round-robin across 8 far-apart file regions: most requests seek.
+  EXPECT_GT(static_cast<double>(s.seeks) / static_cast<double>(s.requests), 0.8);
+}
+
+TEST(Ext3Sim, CrfsChunksNearlySequentialPerFile) {
+  Calibration cal;
+  Simulation sim;
+  Ext3Sim ext3(sim, cal, 1, 1, 7);
+  run_writers(ext3, sim, 1, 64 * MiB, 4 * MiB, true);
+  const auto s = ext3.disk_trace(0)->summarize();
+  // One file, whole-chunk writes: at most the initial positioning seek.
+  EXPECT_LE(s.seeks, 1u);
+  EXPECT_EQ(s.bytes, 64 * MiB);
+}
+
+TEST(Ext3Sim, DirtyLimitThrottlesLargeCheckpoints) {
+  // Writing far beyond the dirty limit must take ~bytes/disk_bw.
+  Calibration cal;
+  Simulation sim;
+  Ext3Sim ext3(sim, cal, 1, 1, 7);
+  const std::uint64_t total = cal.dirty_limit * 3;
+  auto done = run_writers(ext3, sim, 1, total, 4 * MiB, true);
+  const double floor_time =
+      static_cast<double>(total - cal.dirty_limit) / cal.disk_seq_bw;
+  EXPECT_GT(done[0], floor_time * 0.8);
+}
+
+TEST(Ext3Sim, UnfairnessSpreadsNativeCompletionTimes) {
+  Calibration cal;
+  Simulation sim;
+  Ext3Sim ext3(sim, cal, 1, 8, 123);
+  auto done = run_writers(ext3, sim, 8, 24 * MiB, 16 * KiB, false);
+  const auto [lo, hi] = std::minmax_element(done.begin(), done.end());
+  EXPECT_GT(*hi / *lo, 1.2) << "native completion must show the Fig 3 spread";
+}
+
+TEST(LustreSim, SmallOpCostDominatesNative) {
+  Calibration cal;
+  double small_ops, large_ops;
+  {
+    Simulation sim;
+    LustreSim lustre(sim, cal, 1, 8, 7);
+    auto done = run_writers(lustre, sim, 8, 4 * MiB, 8 * KiB, false);
+    small_ops = *std::max_element(done.begin(), done.end());
+  }
+  {
+    Simulation sim;
+    LustreSim lustre(sim, cal, 1, 8, 7);
+    auto done = run_writers(lustre, sim, 8, 4 * MiB, 1 * MiB, false);
+    large_ops = *std::max_element(done.begin(), done.end());
+  }
+  EXPECT_GT(small_ops, 5.0 * large_ops);
+}
+
+TEST(LustreSim, GrantLimitThrottles) {
+  Calibration cal;
+  Simulation sim;
+  LustreSim lustre(sim, cal, 1, 1, 7);
+  const std::uint64_t total = cal.lustre_client_cache * 4;
+  auto done = run_writers(lustre, sim, 1, total, 4 * MiB, true);
+  // Must include drain time of (total - cache) through the OSTs: the
+  // node's serial writeback sends ~144 x 1 MB RPCs at ~1.4 ms each.
+  EXPECT_GT(done[0], 0.15);
+  std::uint64_t rpc_bytes = 0;
+  for (unsigned o = 0; o < cal.lustre_osts; ++o) rpc_bytes += lustre.ost_bytes(o);
+  EXPECT_GE(rpc_bytes, total - cal.lustre_client_cache);
+}
+
+TEST(LustreSim, StripingUsesAllOsts) {
+  Calibration cal;
+  Simulation sim;
+  LustreSim lustre(sim, cal, 1, 1, 7);
+  run_writers(lustre, sim, 1, 256 * MiB, 4 * MiB, true);
+  for (unsigned o = 0; o < cal.lustre_osts; ++o) {
+    EXPECT_GT(lustre.ost_rpcs(o), 0u) << "OST " << o << " unused";
+  }
+}
+
+TEST(NfsSim, CommitStormSlowerThanCrfsFlush) {
+  Calibration cal;
+  double native_time, crfs_time;
+  {
+    Simulation sim;
+    NfsSim nfs(sim, cal, 4, 2, 7);
+    std::vector<double> done(8);
+    for (unsigned n = 0; n < 4; ++n) {
+      for (unsigned p = 0; p < 2; ++p) {
+        const unsigned rank = n * 2 + p;
+        sim.spawn([](Simulation& s, NfsSim& b, unsigned node, FileId f, double& out) -> Task {
+          for (std::uint64_t off = 0; off < 16 * MiB; off += 16 * KiB) {
+            co_await b.write_call(node, f, off, 16 * KiB, false);
+          }
+          co_await b.close_file(node, f, false);
+          out = s.now();
+        }(sim, nfs, n, static_cast<FileId>(rank), done[rank]));
+      }
+    }
+    sim.run();
+    native_time = *std::max_element(done.begin(), done.end());
+  }
+  {
+    Simulation sim;
+    NfsSim nfs(sim, cal, 4, 2, 7);
+    std::vector<double> done(8);
+    for (unsigned n = 0; n < 4; ++n) {
+      for (unsigned p = 0; p < 2; ++p) {
+        const unsigned rank = n * 2 + p;
+        sim.spawn([](Simulation& s, NfsSim& b, unsigned node, FileId f, double& out) -> Task {
+          for (std::uint64_t off = 0; off < 16 * MiB; off += 4 * MiB) {
+            co_await b.write_call(node, f, off, 4 * MiB, true);
+          }
+          co_await b.close_file(node, f, true);
+          out = s.now();
+        }(sim, nfs, n, static_cast<FileId>(rank), done[rank]));
+      }
+    }
+    sim.run();
+    crfs_time = *std::max_element(done.begin(), done.end());
+  }
+  EXPECT_GT(native_time, 1.5 * crfs_time);
+}
+
+TEST(NfsSim, CloseIsTheExpensivePart) {
+  // Below the background threshold nothing is sent until close.
+  Calibration cal;
+  Simulation sim;
+  NfsSim nfs(sim, cal, 1, 1, 7);
+  double write_done = 0, close_done = 0;
+  sim.spawn([](Simulation& s, NfsSim& b, double& wd, double& cd) -> Task {
+    for (std::uint64_t off = 0; off < 8 * MiB; off += 64 * KiB) {
+      co_await b.write_call(0, 1, off, 64 * KiB, false);
+    }
+    wd = s.now();
+    co_await b.close_file(0, 1, false);
+    cd = s.now();
+  }(sim, nfs, write_done, close_done));
+  sim.run();
+  EXPECT_GT(close_done - write_done, 5.0 * write_done)
+      << "flush+commit at close dominates for cache-resident checkpoints";
+  EXPECT_GT(nfs.server_requests(), 8 * MiB / cal.nfs_native_commit_run / 2);
+}
+
+}  // namespace
+}  // namespace crfs::sim

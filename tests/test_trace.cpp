@@ -1,0 +1,128 @@
+// Tests for the trace module: write recorder profiles, cumulative
+// curves, and block-trace seek analysis.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "trace/block_trace.h"
+#include "trace/write_recorder.h"
+
+namespace crfs::trace {
+namespace {
+
+TEST(WriteRecorder, AccumulatesTotals) {
+  WriteRecorder r(3);
+  r.record(100, 0.0, 0.001);
+  r.record(4096, 0.002, 0.010);
+  r.record(1 * MiB, 0.02, 0.200);
+  EXPECT_EQ(r.process_id(), 3);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.total_bytes(), 100 + 4096 + 1 * MiB);
+  EXPECT_NEAR(r.total_write_seconds(), 0.211, 1e-12);
+}
+
+TEST(WriteRecorder, HistogramBucketsOps) {
+  WriteRecorder r;
+  r.record(10, 0, 0.1);     // 0-64
+  r.record(8000, 0, 0.2);   // 4K-16K
+  r.record(2 * MiB, 0, 0.3);
+  const auto h = r.histogram();
+  EXPECT_EQ(h.buckets()[0].ops, 1u);
+  EXPECT_EQ(h.buckets()[4].ops, 1u);
+  EXPECT_EQ(h.buckets()[9].ops, 1u);
+  EXPECT_NEAR(h.total_seconds(), 0.6, 1e-12);
+}
+
+TEST(WriteRecorder, CumulativeCurveMonotone) {
+  WriteRecorder r;
+  r.record(64, 0, 0.5);
+  r.record(4096, 0, 0.25);
+  r.record(8, 0, 0.25);
+  const auto curve = r.cumulative_time_by_size();
+  ASSERT_EQ(curve.size(), 3u);
+  // Sorted by size: 8, 64, 4096.
+  EXPECT_EQ(curve[0].first, 8.0);
+  EXPECT_EQ(curve[1].first, 64.0);
+  EXPECT_EQ(curve[2].first, 4096.0);
+  EXPECT_LE(curve[0].second, curve[1].second);
+  EXPECT_LE(curve[1].second, curve[2].second);
+  EXPECT_NEAR(curve[2].second, 1.0, 1e-12);  // total time
+}
+
+TEST(WriteProfile, MergesProcessesAndComputesSpread) {
+  WriteProfile profile;
+  WriteRecorder fast(0), slow(1);
+  fast.record(4096, 0, 1.0);
+  slow.record(4096, 0, 2.0);
+  profile.add(fast);
+  profile.add(slow);
+  EXPECT_EQ(profile.processes(), 2u);
+  EXPECT_EQ(profile.histogram().total_ops(), 2u);
+  const auto times = profile.completion_times();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(profile.completion_spread(), 2.0, 1e-12);
+}
+
+TEST(WriteProfile, SpreadOfEmptyProfileIsOne) {
+  WriteProfile profile;
+  EXPECT_EQ(profile.completion_spread(), 1.0);
+}
+
+// ------------------------------------------------------------ BlockTrace
+
+TEST(BlockTrace, FullySequentialHasNoSeeks) {
+  BlockTrace t;
+  std::uint64_t off = 0;
+  for (int i = 0; i < 100; ++i) {
+    t.record(i * 0.001, off, 4 * MiB);
+    off += 4 * MiB;
+  }
+  const auto s = t.summarize();
+  EXPECT_EQ(s.requests, 100u);
+  EXPECT_EQ(s.seeks, 0u);
+  EXPECT_DOUBLE_EQ(s.sequential_fraction, 1.0);
+  EXPECT_EQ(s.bytes, 400 * MiB);
+}
+
+TEST(BlockTrace, InterleavedStreamsSeekEveryRequest) {
+  BlockTrace t;
+  // Two files far apart, strictly alternating 4K appends: every request
+  // after the first is a seek — the paper's native-ext3 pathology.
+  std::uint64_t a = 0, b = 10 * GiB;
+  for (int i = 0; i < 50; ++i) {
+    t.record(i * 0.002, a, 4096);
+    a += 4096;
+    t.record(i * 0.002 + 0.001, b, 4096);
+    b += 4096;
+  }
+  const auto s = t.summarize();
+  EXPECT_EQ(s.requests, 100u);
+  EXPECT_EQ(s.seeks, 99u);
+  EXPECT_NEAR(s.sequential_fraction, 0.0, 1e-9);
+  EXPECT_GT(s.seek_distance_bytes, 1e9);
+}
+
+TEST(BlockTrace, EmptyTraceSummary) {
+  BlockTrace t;
+  const auto s = t.summarize();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BlockTrace, ScatterPointsInMegabytes) {
+  BlockTrace t;
+  t.record(1.5, 8 * MiB, 4096);
+  const auto pts = t.scatter_points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.5);
+  EXPECT_DOUBLE_EQ(pts[0].second, 8.0);
+}
+
+TEST(BlockTrace, SummaryDuration) {
+  BlockTrace t;
+  t.record(1.0, 0, 4096);
+  t.record(3.5, 4096, 4096);
+  EXPECT_DOUBLE_EQ(t.summarize().duration, 2.5);
+}
+
+}  // namespace
+}  // namespace crfs::trace
