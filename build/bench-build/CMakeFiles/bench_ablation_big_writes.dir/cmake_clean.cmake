@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_big_writes"
+  "../bench/bench_ablation_big_writes.pdb"
+  "CMakeFiles/bench_ablation_big_writes.dir/bench_ablation_big_writes.cpp.o"
+  "CMakeFiles/bench_ablation_big_writes.dir/bench_ablation_big_writes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_big_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunk_size"
+  "../bench/bench_ablation_chunk_size.pdb"
+  "CMakeFiles/bench_ablation_chunk_size.dir/bench_ablation_chunk_size.cpp.o"
+  "CMakeFiles/bench_ablation_chunk_size.dir/bench_ablation_chunk_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

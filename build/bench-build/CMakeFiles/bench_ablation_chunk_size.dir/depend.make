@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_chunk_size.
+# This may be replaced when dependencies are built.

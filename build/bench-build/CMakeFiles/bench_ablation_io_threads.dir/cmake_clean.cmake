@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_io_threads"
+  "../bench/bench_ablation_io_threads.pdb"
+  "CMakeFiles/bench_ablation_io_threads.dir/bench_ablation_io_threads.cpp.o"
+  "CMakeFiles/bench_ablation_io_threads.dir/bench_ablation_io_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_io_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_incremental"
+  "../bench/bench_ext_incremental.pdb"
+  "CMakeFiles/bench_ext_incremental.dir/bench_ext_incremental.cpp.o"
+  "CMakeFiles/bench_ext_incremental.dir/bench_ext_incremental.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

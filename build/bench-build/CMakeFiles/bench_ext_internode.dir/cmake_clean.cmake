@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_internode"
+  "../bench/bench_ext_internode.pdb"
+  "CMakeFiles/bench_ext_internode.dir/bench_ext_internode.cpp.o"
+  "CMakeFiles/bench_ext_internode.dir/bench_ext_internode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_internode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sparse"
+  "../bench/bench_ext_sparse.pdb"
+  "CMakeFiles/bench_ext_sparse.dir/bench_ext_sparse.cpp.o"
+  "CMakeFiles/bench_ext_sparse.dir/bench_ext_sparse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_block_trace"
+  "../bench/bench_fig10_block_trace.pdb"
+  "CMakeFiles/bench_fig10_block_trace.dir/bench_fig10_block_trace.cpp.o"
+  "CMakeFiles/bench_fig10_block_trace.dir/bench_fig10_block_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_block_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

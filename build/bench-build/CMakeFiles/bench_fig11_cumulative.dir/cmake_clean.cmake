@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_cumulative"
+  "../bench/bench_fig11_cumulative.pdb"
+  "CMakeFiles/bench_fig11_cumulative.dir/bench_fig11_cumulative.cpp.o"
+  "CMakeFiles/bench_fig11_cumulative.dir/bench_fig11_cumulative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

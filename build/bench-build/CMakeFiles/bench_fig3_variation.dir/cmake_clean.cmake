@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_variation"
+  "../bench/bench_fig3_variation.pdb"
+  "CMakeFiles/bench_fig3_variation.dir/bench_fig3_variation.cpp.o"
+  "CMakeFiles/bench_fig3_variation.dir/bench_fig3_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

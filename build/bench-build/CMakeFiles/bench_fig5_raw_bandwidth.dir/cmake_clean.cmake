@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_raw_bandwidth"
+  "../bench/bench_fig5_raw_bandwidth.pdb"
+  "CMakeFiles/bench_fig5_raw_bandwidth.dir/bench_fig5_raw_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig5_raw_bandwidth.dir/bench_fig5_raw_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_raw_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

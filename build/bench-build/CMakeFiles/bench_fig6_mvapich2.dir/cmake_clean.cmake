@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_mvapich2"
+  "../bench/bench_fig6_mvapich2.pdb"
+  "CMakeFiles/bench_fig6_mvapich2.dir/bench_fig6_mvapich2.cpp.o"
+  "CMakeFiles/bench_fig6_mvapich2.dir/bench_fig6_mvapich2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mvapich2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_mpich2"
+  "../bench/bench_fig7_mpich2.pdb"
+  "CMakeFiles/bench_fig7_mpich2.dir/bench_fig7_mpich2.cpp.o"
+  "CMakeFiles/bench_fig7_mpich2.dir/bench_fig7_mpich2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mpich2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_openmpi"
+  "../bench/bench_fig8_openmpi.pdb"
+  "CMakeFiles/bench_fig8_openmpi.dir/bench_fig8_openmpi.cpp.o"
+  "CMakeFiles/bench_fig8_openmpi.dir/bench_fig8_openmpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_openmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

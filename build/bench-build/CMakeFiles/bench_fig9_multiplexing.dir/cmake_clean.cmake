@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_multiplexing"
+  "../bench/bench_fig9_multiplexing.pdb"
+  "CMakeFiles/bench_fig9_multiplexing.dir/bench_fig9_multiplexing.cpp.o"
+  "CMakeFiles/bench_fig9_multiplexing.dir/bench_fig9_multiplexing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

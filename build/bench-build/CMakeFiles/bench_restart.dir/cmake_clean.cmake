@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_restart"
+  "../bench/bench_restart.pdb"
+  "CMakeFiles/bench_restart.dir/bench_restart.cpp.o"
+  "CMakeFiles/bench_restart.dir/bench_restart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_write_profile"
+  "../bench/bench_table1_write_profile.pdb"
+  "CMakeFiles/bench_table1_write_profile.dir/bench_table1_write_profile.cpp.o"
+  "CMakeFiles/bench_table1_write_profile.dir/bench_table1_write_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_write_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_checkpoint_sizes"
+  "../bench/bench_table2_checkpoint_sizes.pdb"
+  "CMakeFiles/bench_table2_checkpoint_sizes.dir/bench_table2_checkpoint_sizes.cpp.o"
+  "CMakeFiles/bench_table2_checkpoint_sizes.dir/bench_table2_checkpoint_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_checkpoint_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

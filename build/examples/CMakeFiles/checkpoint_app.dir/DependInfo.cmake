@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/checkpoint_app.cpp" "examples/CMakeFiles/checkpoint_app.dir/checkpoint_app.cpp.o" "gcc" "examples/CMakeFiles/checkpoint_app.dir/checkpoint_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/crfs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blcr/CMakeFiles/crfs_blcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/crfs/CMakeFiles/crfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/crfs_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_app.dir/checkpoint_app.cpp.o"
+  "CMakeFiles/checkpoint_app.dir/checkpoint_app.cpp.o.d"
+  "checkpoint_app"
+  "checkpoint_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

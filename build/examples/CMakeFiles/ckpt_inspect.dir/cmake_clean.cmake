@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_inspect.dir/ckpt_inspect.cpp.o"
+  "CMakeFiles/ckpt_inspect.dir/ckpt_inspect.cpp.o.d"
+  "ckpt_inspect"
+  "ckpt_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_study.dir/cluster_study.cpp.o"
+  "CMakeFiles/cluster_study.dir/cluster_study.cpp.o.d"
+  "cluster_study"
+  "cluster_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfsctl.dir/crfsctl.cpp.o"
+  "CMakeFiles/crfsctl.dir/crfsctl.cpp.o.d"
+  "crfsctl"
+  "crfsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

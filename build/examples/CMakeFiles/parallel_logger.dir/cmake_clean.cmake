@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_logger.dir/parallel_logger.cpp.o"
+  "CMakeFiles/parallel_logger.dir/parallel_logger.cpp.o.d"
+  "parallel_logger"
+  "parallel_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

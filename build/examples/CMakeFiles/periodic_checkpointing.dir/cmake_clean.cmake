@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_checkpointing.dir/periodic_checkpointing.cpp.o"
+  "CMakeFiles/periodic_checkpointing.dir/periodic_checkpointing.cpp.o.d"
+  "periodic_checkpointing"
+  "periodic_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for periodic_checkpointing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_verify.dir/restart_verify.cpp.o"
+  "CMakeFiles/restart_verify.dir/restart_verify.cpp.o.d"
+  "restart_verify"
+  "restart_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

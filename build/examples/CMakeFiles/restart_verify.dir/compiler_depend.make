@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for restart_verify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_backend.dir/mem_backend.cpp.o"
+  "CMakeFiles/crfs_backend.dir/mem_backend.cpp.o.d"
+  "CMakeFiles/crfs_backend.dir/posix_backend.cpp.o"
+  "CMakeFiles/crfs_backend.dir/posix_backend.cpp.o.d"
+  "libcrfs_backend.a"
+  "libcrfs_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

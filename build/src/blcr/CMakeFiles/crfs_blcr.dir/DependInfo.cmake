@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blcr/checkpoint_set.cpp" "src/blcr/CMakeFiles/crfs_blcr.dir/checkpoint_set.cpp.o" "gcc" "src/blcr/CMakeFiles/crfs_blcr.dir/checkpoint_set.cpp.o.d"
+  "/root/repo/src/blcr/checkpoint_writer.cpp" "src/blcr/CMakeFiles/crfs_blcr.dir/checkpoint_writer.cpp.o" "gcc" "src/blcr/CMakeFiles/crfs_blcr.dir/checkpoint_writer.cpp.o.d"
+  "/root/repo/src/blcr/incremental.cpp" "src/blcr/CMakeFiles/crfs_blcr.dir/incremental.cpp.o" "gcc" "src/blcr/CMakeFiles/crfs_blcr.dir/incremental.cpp.o.d"
+  "/root/repo/src/blcr/process_image.cpp" "src/blcr/CMakeFiles/crfs_blcr.dir/process_image.cpp.o" "gcc" "src/blcr/CMakeFiles/crfs_blcr.dir/process_image.cpp.o.d"
+  "/root/repo/src/blcr/restart_reader.cpp" "src/blcr/CMakeFiles/crfs_blcr.dir/restart_reader.cpp.o" "gcc" "src/blcr/CMakeFiles/crfs_blcr.dir/restart_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crfs/CMakeFiles/crfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/crfs_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

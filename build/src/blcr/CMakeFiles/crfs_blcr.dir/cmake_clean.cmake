@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_blcr.dir/checkpoint_set.cpp.o"
+  "CMakeFiles/crfs_blcr.dir/checkpoint_set.cpp.o.d"
+  "CMakeFiles/crfs_blcr.dir/checkpoint_writer.cpp.o"
+  "CMakeFiles/crfs_blcr.dir/checkpoint_writer.cpp.o.d"
+  "CMakeFiles/crfs_blcr.dir/incremental.cpp.o"
+  "CMakeFiles/crfs_blcr.dir/incremental.cpp.o.d"
+  "CMakeFiles/crfs_blcr.dir/process_image.cpp.o"
+  "CMakeFiles/crfs_blcr.dir/process_image.cpp.o.d"
+  "CMakeFiles/crfs_blcr.dir/restart_reader.cpp.o"
+  "CMakeFiles/crfs_blcr.dir/restart_reader.cpp.o.d"
+  "libcrfs_blcr.a"
+  "libcrfs_blcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_blcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crfs_blcr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for crfs_blcr.
+# This may be replaced when dependencies are built.

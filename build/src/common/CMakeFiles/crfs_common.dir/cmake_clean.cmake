@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_common.dir/checksum.cpp.o"
+  "CMakeFiles/crfs_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/crfs_common.dir/histogram.cpp.o"
+  "CMakeFiles/crfs_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/crfs_common.dir/stats.cpp.o"
+  "CMakeFiles/crfs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/crfs_common.dir/table.cpp.o"
+  "CMakeFiles/crfs_common.dir/table.cpp.o.d"
+  "CMakeFiles/crfs_common.dir/units.cpp.o"
+  "CMakeFiles/crfs_common.dir/units.cpp.o.d"
+  "libcrfs_common.a"
+  "libcrfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

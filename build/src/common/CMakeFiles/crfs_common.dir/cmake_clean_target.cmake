@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrfs_common.a"
+)

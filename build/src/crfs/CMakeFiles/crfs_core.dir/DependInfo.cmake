@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crfs/buffer_pool.cpp" "src/crfs/CMakeFiles/crfs_core.dir/buffer_pool.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/crfs/crfs.cpp" "src/crfs/CMakeFiles/crfs_core.dir/crfs.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/crfs.cpp.o.d"
+  "/root/repo/src/crfs/io_pool.cpp" "src/crfs/CMakeFiles/crfs_core.dir/io_pool.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/io_pool.cpp.o.d"
+  "/root/repo/src/crfs/mount_options.cpp" "src/crfs/CMakeFiles/crfs_core.dir/mount_options.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/mount_options.cpp.o.d"
+  "/root/repo/src/crfs/posix_api.cpp" "src/crfs/CMakeFiles/crfs_core.dir/posix_api.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/posix_api.cpp.o.d"
+  "/root/repo/src/crfs/work_queue.cpp" "src/crfs/CMakeFiles/crfs_core.dir/work_queue.cpp.o" "gcc" "src/crfs/CMakeFiles/crfs_core.dir/work_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/crfs_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_core.dir/buffer_pool.cpp.o"
+  "CMakeFiles/crfs_core.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/crfs_core.dir/crfs.cpp.o"
+  "CMakeFiles/crfs_core.dir/crfs.cpp.o.d"
+  "CMakeFiles/crfs_core.dir/io_pool.cpp.o"
+  "CMakeFiles/crfs_core.dir/io_pool.cpp.o.d"
+  "CMakeFiles/crfs_core.dir/mount_options.cpp.o"
+  "CMakeFiles/crfs_core.dir/mount_options.cpp.o.d"
+  "CMakeFiles/crfs_core.dir/posix_api.cpp.o"
+  "CMakeFiles/crfs_core.dir/posix_api.cpp.o.d"
+  "CMakeFiles/crfs_core.dir/work_queue.cpp.o"
+  "CMakeFiles/crfs_core.dir/work_queue.cpp.o.d"
+  "libcrfs_core.a"
+  "libcrfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_mpi.dir/job.cpp.o"
+  "CMakeFiles/crfs_mpi.dir/job.cpp.o.d"
+  "CMakeFiles/crfs_mpi.dir/stack_model.cpp.o"
+  "CMakeFiles/crfs_mpi.dir/stack_model.cpp.o.d"
+  "CMakeFiles/crfs_mpi.dir/targets.cpp.o"
+  "CMakeFiles/crfs_mpi.dir/targets.cpp.o.d"
+  "libcrfs_mpi.a"
+  "libcrfs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crfs_sim.cpp" "src/sim/CMakeFiles/crfs_sim.dir/crfs_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/crfs_sim.cpp.o.d"
+  "/root/repo/src/sim/disk_model.cpp" "src/sim/CMakeFiles/crfs_sim.dir/disk_model.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/disk_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/crfs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/crfs_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/ext3_sim.cpp" "src/sim/CMakeFiles/crfs_sim.dir/ext3_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/ext3_sim.cpp.o.d"
+  "/root/repo/src/sim/lustre_sim.cpp" "src/sim/CMakeFiles/crfs_sim.dir/lustre_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/lustre_sim.cpp.o.d"
+  "/root/repo/src/sim/nfs_sim.cpp" "src/sim/CMakeFiles/crfs_sim.dir/nfs_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/nfs_sim.cpp.o.d"
+  "/root/repo/src/sim/pvfs2_sim.cpp" "src/sim/CMakeFiles/crfs_sim.dir/pvfs2_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crfs_sim.dir/pvfs2_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blcr/CMakeFiles/crfs_blcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/crfs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/crfs/CMakeFiles/crfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/crfs_backend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

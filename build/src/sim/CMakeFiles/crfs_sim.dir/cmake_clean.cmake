@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_sim.dir/crfs_sim.cpp.o"
+  "CMakeFiles/crfs_sim.dir/crfs_sim.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/disk_model.cpp.o"
+  "CMakeFiles/crfs_sim.dir/disk_model.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/engine.cpp.o"
+  "CMakeFiles/crfs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/experiment.cpp.o"
+  "CMakeFiles/crfs_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/ext3_sim.cpp.o"
+  "CMakeFiles/crfs_sim.dir/ext3_sim.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/lustre_sim.cpp.o"
+  "CMakeFiles/crfs_sim.dir/lustre_sim.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/nfs_sim.cpp.o"
+  "CMakeFiles/crfs_sim.dir/nfs_sim.cpp.o.d"
+  "CMakeFiles/crfs_sim.dir/pvfs2_sim.cpp.o"
+  "CMakeFiles/crfs_sim.dir/pvfs2_sim.cpp.o.d"
+  "libcrfs_sim.a"
+  "libcrfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crfs_trace.dir/block_trace.cpp.o"
+  "CMakeFiles/crfs_trace.dir/block_trace.cpp.o.d"
+  "CMakeFiles/crfs_trace.dir/write_recorder.cpp.o"
+  "CMakeFiles/crfs_trace.dir/write_recorder.cpp.o.d"
+  "libcrfs_trace.a"
+  "libcrfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

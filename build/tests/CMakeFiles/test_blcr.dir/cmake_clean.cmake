@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blcr.dir/test_blcr.cpp.o"
+  "CMakeFiles/test_blcr.dir/test_blcr.cpp.o.d"
+  "test_blcr"
+  "test_blcr.pdb"
+  "test_blcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

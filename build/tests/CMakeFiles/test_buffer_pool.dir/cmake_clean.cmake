@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_pool.dir/test_buffer_pool.cpp.o"
+  "CMakeFiles/test_buffer_pool.dir/test_buffer_pool.cpp.o.d"
+  "test_buffer_pool"
+  "test_buffer_pool.pdb"
+  "test_buffer_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

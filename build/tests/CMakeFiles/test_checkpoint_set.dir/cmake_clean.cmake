@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_set.dir/test_checkpoint_set.cpp.o"
+  "CMakeFiles/test_checkpoint_set.dir/test_checkpoint_set.cpp.o.d"
+  "test_checkpoint_set"
+  "test_checkpoint_set.pdb"
+  "test_checkpoint_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crfs_basic.dir/test_crfs_basic.cpp.o"
+  "CMakeFiles/test_crfs_basic.dir/test_crfs_basic.cpp.o.d"
+  "test_crfs_basic"
+  "test_crfs_basic.pdb"
+  "test_crfs_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crfs_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crfs_concurrency.dir/test_crfs_concurrency.cpp.o"
+  "CMakeFiles/test_crfs_concurrency.dir/test_crfs_concurrency.cpp.o.d"
+  "test_crfs_concurrency"
+  "test_crfs_concurrency.pdb"
+  "test_crfs_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crfs_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

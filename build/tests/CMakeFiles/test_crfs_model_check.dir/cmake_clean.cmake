@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crfs_model_check.dir/test_crfs_model_check.cpp.o"
+  "CMakeFiles/test_crfs_model_check.dir/test_crfs_model_check.cpp.o.d"
+  "test_crfs_model_check"
+  "test_crfs_model_check.pdb"
+  "test_crfs_model_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crfs_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuse_shim.dir/test_fuse_shim.cpp.o"
+  "CMakeFiles/test_fuse_shim.dir/test_fuse_shim.cpp.o.d"
+  "test_fuse_shim"
+  "test_fuse_shim.pdb"
+  "test_fuse_shim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuse_shim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi.dir/test_mpi.cpp.o"
+  "CMakeFiles/test_mpi.dir/test_mpi.cpp.o.d"
+  "test_mpi"
+  "test_mpi.pdb"
+  "test_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posix_api.dir/test_posix_api.cpp.o"
+  "CMakeFiles/test_posix_api.dir/test_posix_api.cpp.o.d"
+  "test_posix_api"
+  "test_posix_api.pdb"
+  "test_posix_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posix_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

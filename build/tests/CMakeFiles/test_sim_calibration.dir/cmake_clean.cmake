@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_calibration.dir/test_sim_calibration.cpp.o"
+  "CMakeFiles/test_sim_calibration.dir/test_sim_calibration.cpp.o.d"
+  "test_sim_calibration"
+  "test_sim_calibration.pdb"
+  "test_sim_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_extensions.dir/test_sim_extensions.cpp.o"
+  "CMakeFiles/test_sim_extensions.dir/test_sim_extensions.cpp.o.d"
+  "test_sim_extensions"
+  "test_sim_extensions.pdb"
+  "test_sim_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

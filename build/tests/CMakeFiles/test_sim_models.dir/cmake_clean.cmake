@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_models.dir/test_sim_models.cpp.o"
+  "CMakeFiles/test_sim_models.dir/test_sim_models.cpp.o.d"
+  "test_sim_models"
+  "test_sim_models.pdb"
+  "test_sim_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_checkpoint.dir/test_sparse_checkpoint.cpp.o"
+  "CMakeFiles/test_sparse_checkpoint.dir/test_sparse_checkpoint.cpp.o.d"
+  "test_sparse_checkpoint"
+  "test_sparse_checkpoint.pdb"
+  "test_sparse_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

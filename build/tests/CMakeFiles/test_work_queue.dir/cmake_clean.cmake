@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_queue.dir/test_work_queue.cpp.o"
+  "CMakeFiles/test_work_queue.dir/test_work_queue.cpp.o.d"
+  "test_work_queue"
+  "test_work_queue.pdb"
+  "test_work_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

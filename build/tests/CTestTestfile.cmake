@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_work_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_crfs_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_crfs_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_fuse_shim[1]_include.cmake")
+include("/root/repo/build/tests/test_blcr[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_models[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint_set[1]_include.cmake")
+include("/root/repo/build/tests/test_crfs_model_check[1]_include.cmake")
+include("/root/repo/build/tests/test_posix_api[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental[1]_include.cmake")
