@@ -50,8 +50,9 @@ RunResult run(unsigned ranks, std::uint64_t image_bytes, bool sparse,
   RunResult out;
   out.seconds = sw.elapsed_seconds();
   out.backend_bytes = mem->total_pwritten_bytes();
-  out.partial_flushes = fs.value()->stats().partial_flushes.load();
-  out.full_flushes = fs.value()->stats().full_flushes.load();
+  const MountStats::Snapshot stats = fs.value()->stats().snapshot();
+  out.partial_flushes = stats.partial_flushes;
+  out.full_flushes = stats.full_flushes;
   return out;
 }
 

@@ -1,7 +1,11 @@
 // Ablation A4: google-benchmark microbenches for the CRFS core data
 // structures — the per-operation costs that bound the aggregation path.
+// After the benchmarks, a short instrumented checkpoint runs through the
+// full stack and prints the obs registry's per-stage latency table
+// (BENCH_OBS_* lines), the observability baseline for regression diffs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <thread>
 
 #include "backend/mem_backend.h"
@@ -14,6 +18,7 @@
 #include "crfs/file_table.h"
 #include "crfs/fuse_shim.h"
 #include "crfs/work_queue.h"
+#include "obs/metrics.h"
 
 namespace crfs {
 namespace {
@@ -119,7 +124,59 @@ void BM_CrfsWritePathStoring(benchmark::State& state) {
 }
 BENCHMARK(BM_CrfsWritePathStoring);
 
+// Per-stage latency baseline: run a fixed multi-writer checkpoint through
+// FuseShim -> Crfs -> MemBackend, then print the registry's histogram
+// table. One BENCH_OBS_* line per stage gives copy / pool-wait /
+// queue-wait / pwrite / drain percentiles in a greppable form.
+void report_stage_latencies() {
+  Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 8 * MiB;
+  cfg.io_threads = 2;
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(), cfg);
+  if (!fs.ok()) return;
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  constexpr int kWriters = 4;
+  constexpr std::size_t kPerWriter = 64 * MiB;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto h = shim.open("bench_obs_rank" + std::to_string(w),
+                         {.create = true, .truncate = true, .write = true});
+      if (!h.ok()) return;
+      std::vector<std::byte> buf(128 * KiB, std::byte{9});
+      for (std::size_t off = 0; off < kPerWriter; off += buf.size()) {
+        (void)shim.write(h.value(), buf, off);
+      }
+      (void)shim.fsync(h.value());
+      (void)shim.close(h.value());
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  std::printf("\n-- per-stage latency baseline (%d writers x %zu MiB) --\n",
+              kWriters, kPerWriter / MiB);
+  const auto snap = fs.value()->metrics().snapshot();
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    std::printf("BENCH_OBS_%s count=%llu p50=%s p95=%s p99=%s max=%s\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                obs::format_ns(static_cast<std::uint64_t>(h.p50())).c_str(),
+                obs::format_ns(static_cast<std::uint64_t>(h.p95())).c_str(),
+                obs::format_ns(static_cast<std::uint64_t>(h.p99())).c_str(),
+                obs::format_ns(h.max).c_str());
+  }
+}
+
 }  // namespace
 }  // namespace crfs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  crfs::report_stage_latencies();
+  return 0;
+}

@@ -3,11 +3,18 @@
 //   crfsctl options <mount-options>       parse + echo canonical options
 //   crfsctl bench <dir> [mount-options]   aggregation throughput on a real
 //                                         directory, CRFS vs direct
+//   crfsctl stats <dir> [mount-options]   run an instrumented checkpoint
+//                                         workload, print the per-stage
+//                                         pipeline report (crfs::obs)
+//   crfsctl trace <dir> <out.json> [mount-options]
+//                                         same workload with span tracing;
+//                                         writes a Chrome/Perfetto trace
 //   crfsctl epochs <dir> <set>            list a CheckpointSet's epochs
 //   crfsctl verify <dir> <set> [epoch]    verify an epoch (default latest)
 //
 // Examples:
 //   crfsctl bench /scratch "chunk=4M,pool=16M,threads=4"
+//   crfsctl trace /scratch /tmp/epoch.json "chunk=1M,pool=4M"
 //   crfsctl verify /scratch job42
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include "common/wall_clock.h"
 #include "crfs/mount_options.h"
 #include "crfs/posix_api.h"
+#include "obs/json_lite.h"
 
 using namespace crfs;
 
@@ -32,9 +40,110 @@ int usage() {
   std::fprintf(stderr,
                "usage: crfsctl options <mount-options>\n"
                "       crfsctl bench <dir> [mount-options]\n"
+               "       crfsctl stats <dir> [mount-options]\n"
+               "       crfsctl trace <dir> <out.json> [mount-options]\n"
                "       crfsctl epochs <dir> <set>\n"
                "       crfsctl verify <dir> <set> [epoch]\n");
   return 64;
+}
+
+// Pushes a checkpoint-shaped workload through a fresh CRFS mount on `dir`:
+// 4 writer threads ("ranks"), one 16 MB image each, 64 KB records, fsync +
+// close — enough traffic to populate every pipeline stage's histogram.
+// Returns the still-mounted filesystem so the caller can report/export.
+Result<std::unique_ptr<Crfs>> run_instrumented_workload(const std::string& dir,
+                                                        const MountOptions& opts) {
+  constexpr unsigned kRanks = 4;
+  constexpr std::size_t kPerRank = 16 * MiB;
+  constexpr std::size_t kRecord = 64 * KiB;
+
+  auto backend = PosixBackend::create(dir);
+  if (!backend.ok()) return backend.error();
+  auto fs = Crfs::mount(std::move(backend.value()), opts.config);
+  if (!fs.ok()) return fs.error();
+
+  {
+    FuseShim shim(*fs.value(), opts.fuse);
+    std::vector<std::thread> ranks;
+    for (unsigned r = 0; r < kRanks; ++r) {
+      ranks.emplace_back([&, r] {
+        const std::string path = ".crfsctl_obs_rank" + std::to_string(r);
+        std::vector<std::byte> record(kRecord, static_cast<std::byte>(r));
+        auto h = shim.open(path, {.create = true, .truncate = true, .write = true});
+        if (!h.ok()) return;
+        for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+          (void)shim.write(h.value(), record, off);
+        }
+        (void)shim.fsync(h.value());
+        (void)shim.close(h.value());
+      });
+    }
+    for (auto& t : ranks) t.join();
+  }
+  for (unsigned r = 0; r < kRanks; ++r) {
+    (void)fs.value()->unlink(".crfsctl_obs_rank" + std::to_string(r));
+  }
+  return fs;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = run_instrumented_workload(argv[2], opts.value());
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", fs.value()->stats_report().c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string out_path = argv[3];
+  auto opts = parse_mount_options(argc >= 5 ? argv[4] : "");
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  opts.value().config.enable_tracing = true;
+  auto fs = run_instrumented_workload(argv[2], opts.value());
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+  const auto events = fs.value()->trace().snapshot();
+  const Status written = fs.value()->export_trace(out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.error().to_string().c_str());
+    return 1;
+  }
+  // Self-check: the exported document must parse back with a traceEvents
+  // array — the same schema check the tests apply.
+  std::string json;
+  {
+    std::FILE* f = std::fopen(out_path.c_str(), "r");
+    if (f != nullptr) {
+      char buf[65536];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+      std::fclose(f);
+    }
+  }
+  auto parsed = obs::json::parse(json);
+  if (!parsed.has_value() || parsed->get("traceEvents") == nullptr ||
+      !parsed->get("traceEvents")->is_array()) {
+    std::fprintf(stderr, "error: emitted trace failed schema self-check\n");
+    return 2;
+  }
+  std::printf("wrote %zu span events to %s (load in chrome://tracing or "
+              "https://ui.perfetto.dev)\n%s",
+              events.size(), out_path.c_str(), fs.value()->stats_report().c_str());
+  return 0;
 }
 
 Result<MountOptions> options_from(int argc, char** argv, int index) {
@@ -218,6 +327,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "options") == 0) return cmd_options(argc, argv);
   if (std::strcmp(argv[1], "bench") == 0) return cmd_bench(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+  if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
   if (std::strcmp(argv[1], "epochs") == 0) return cmd_epochs(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
   return usage();

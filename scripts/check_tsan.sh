@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-sensitive
+# tests: test_obs (lock-free histograms, TraceRing wrap under racing
+# snapshot) and test_crfs_concurrency (full pipeline under contention).
+# Any data-race report fails the run (TSan exits non-zero).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-2}
+
+cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR"/tests/test_obs
+"$BUILD_DIR"/tests/test_crfs_concurrency
+
+echo "TSan: clean"

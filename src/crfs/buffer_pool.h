@@ -49,6 +49,9 @@ class BufferPool {
   std::size_t chunk_size() const { return chunk_bytes_; }
   std::size_t total_chunks() const { return total_chunks_; }
   std::size_t free_chunks() const;
+  /// Chunks currently out of the pool: parked as some file's current
+  /// chunk, queued, or being written. Occupancy gauge for crfs::obs.
+  std::size_t in_use_chunks() const { return total_chunks_ - free_chunks(); }
 
   /// Number of acquire() calls that had to block (backpressure events).
   std::uint64_t contention_count() const;

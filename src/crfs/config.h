@@ -36,12 +36,28 @@ struct Config {
   /// that exact behaviour. Default true: least surprise for general use.
   bool flush_before_read = true;
 
+  /// Observability (docs/OBSERVABILITY.md). Counters and per-stage latency
+  /// histograms (the crfs.* registry) are always on — their hot-path cost
+  /// is a handful of relaxed atomics per write. `enable_tracing`
+  /// additionally captures begin/end span events (write/flush/pwrite/
+  /// drain) into per-thread ring buffers for Chrome-trace export; it is
+  /// validated off by default so the hot path pays only counters.
+  bool enable_tracing = false;
+
+  /// Capacity of each per-thread trace ring, in events. Older events are
+  /// overwritten once a thread exceeds this; 64Ki events cover a multi-GB
+  /// checkpoint epoch at chunk granularity.
+  std::size_t trace_ring_events = 64 * 1024;
+
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
     if (chunk_size == 0) return Error{EINVAL, "chunk_size must be > 0"};
     if (io_threads == 0) return Error{EINVAL, "io_threads must be > 0"};
     if (pool_size < chunk_size) {
       return Error{EINVAL, "pool_size must hold at least one chunk"};
+    }
+    if (enable_tracing && trace_ring_events == 0) {
+      return Error{EINVAL, "trace_ring_events must be > 0 when tracing"};
     }
     return {};
   }
@@ -51,7 +67,8 @@ struct Config {
 
   std::string describe() const {
     return "chunk=" + format_bytes(chunk_size) + " pool=" + format_bytes(pool_size) +
-           " io_threads=" + std::to_string(io_threads);
+           " io_threads=" + std::to_string(io_threads) +
+           (enable_tracing ? " tracing=on" : "");
   }
 };
 

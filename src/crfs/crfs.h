@@ -20,6 +20,8 @@
 #include "crfs/file_table.h"
 #include "crfs/io_pool.h"
 #include "crfs/work_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crfs {
 
@@ -35,6 +37,33 @@ struct MountStats {
   std::atomic<std::uint64_t> chunk_steals{0};
   std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> read_bytes{0};
+
+  /// Plain-integer copy of the counters, so callers compare and print
+  /// values instead of `.load()`-ing atomics field by field.
+  struct Snapshot {
+    std::uint64_t app_writes = 0;
+    std::uint64_t app_bytes = 0;
+    std::uint64_t full_flushes = 0;
+    std::uint64_t partial_flushes = 0;
+    std::uint64_t reopens = 0;
+    std::uint64_t chunk_steals = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t read_bytes = 0;
+  };
+
+  Snapshot snapshot() const {
+    // Relaxed: monitoring counters, each independently monotone.
+    return Snapshot{
+        app_writes.load(std::memory_order_relaxed),
+        app_bytes.load(std::memory_order_relaxed),
+        full_flushes.load(std::memory_order_relaxed),
+        partial_flushes.load(std::memory_order_relaxed),
+        reopens.load(std::memory_order_relaxed),
+        chunk_steals.load(std::memory_order_relaxed),
+        reads.load(std::memory_order_relaxed),
+        read_bytes.load(std::memory_order_relaxed),
+    };
+  }
 };
 
 class Crfs {
@@ -93,6 +122,30 @@ class Crfs {
   std::size_t open_files() const { return table_.open_count(); }
   std::size_t queue_depth() const { return queue_.depth(); }
 
+  // -- Observability (docs/OBSERVABILITY.md) -------------------------------
+  /// The mount's metric registry: per-stage latency histograms
+  /// (crfs.write.copy_ns, crfs.write.pool_wait_ns, crfs.queue.wait_ns,
+  /// crfs.io.pwrite_ns, crfs.drain.wait_ns), occupancy gauges
+  /// (crfs.pool.*, crfs.queue.depth, crfs.io.in_flight) and counters.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Span sink; empty unless Config::enable_tracing.
+  obs::TraceCollector& trace() { return trace_; }
+  const obs::TraceCollector& trace() const { return trace_; }
+
+  /// Rendered ASCII report: mount counters + registry gauges + the
+  /// per-stage latency table. Safe to call while the pipeline runs.
+  std::string stats_report() const;
+
+  /// Mount counters + registry snapshot as one JSON object.
+  std::string stats_json() const;
+
+  /// Writes the captured spans as Chrome trace_event JSON (loadable in
+  /// chrome://tracing / Perfetto). Export after close()/fsync() for an
+  /// exact trace; see obs/trace.h for the concurrent-export contract.
+  Status export_trace(const std::string& path) const;
+
  private:
   Crfs(std::shared_ptr<BackendFs> backend, Config cfg);
 
@@ -111,18 +164,30 @@ class Crfs {
   /// Gets a fresh chunk for `entry` (agg_mu held), stealing another
   /// file's parked partial chunk if the pool is exhausted — without this,
   /// opening more files than the pool has chunks can deadlock the mount.
-  std::unique_ptr<Chunk> acquire_chunk(FileEntry& entry, std::uint64_t offset);
+  /// Nanoseconds spent blocked on the pool are accumulated into
+  /// `*wait_ns` (the slow path only; the fast path reads no clock).
+  std::unique_ptr<Chunk> acquire_chunk(FileEntry& entry, std::uint64_t offset,
+                                       std::uint64_t* wait_ns);
 
   /// Flush + wait for all outstanding writes of `entry`.
   void drain(FileEntry& entry);
 
   std::shared_ptr<BackendFs> backend_;
   Config cfg_;
+  // Declared before the pipeline pieces: instrumented stages hold
+  // references into these, so they must outlive pool_/queue_/io_pool_.
+  obs::Registry metrics_;
+  obs::TraceCollector trace_;
   std::unique_ptr<BufferPool> pool_;
   WorkQueue queue_;
   std::unique_ptr<IoThreadPool> io_pool_;
   FileTable table_;
   MountStats stats_;
+
+  // Hot-path metric handles, resolved once at mount (see obs::Registry).
+  obs::LatencyHistogram* h_write_copy_ = nullptr;
+  obs::LatencyHistogram* h_pool_wait_ = nullptr;
+  obs::LatencyHistogram* h_drain_wait_ = nullptr;
 
   std::mutex handles_mu_;
   std::unordered_map<FileHandle, HandleState> handles_;

@@ -33,6 +33,9 @@ class FuseShim {
 
   /// Splits into <= max_write kernel requests, forwarding each to CRFS.
   Status write(Crfs::FileHandle h, std::span<const std::byte> data, std::uint64_t offset) {
+    // One span per application write; the per-request "write" spans it
+    // encloses make FUSE's request amplification visible in the trace.
+    obs::TraceSpan span(fs_.trace(), "fuse_write");
     const std::size_t max_req = opts_.max_write();
     while (!data.empty()) {
       const std::size_t n = data.size() < max_req ? data.size() : max_req;

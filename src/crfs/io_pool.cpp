@@ -5,8 +5,8 @@
 namespace crfs {
 
 IoThreadPool::IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool,
-                           BackendFs& backend)
-    : queue_(queue), pool_(pool), backend_(backend) {
+                           BackendFs& backend, IoPoolObs observe)
+    : queue_(queue), pool_(pool), backend_(backend), obs_(observe) {
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -21,12 +21,26 @@ IoThreadPool::~IoThreadPool() {
 void IoThreadPool::worker_loop() {
   while (auto job = queue_.pop()) {
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    // One clock pair per chunk-sized pwrite: noise next to the IO itself.
+    const bool timed = obs_.pwrite_ns != nullptr ||
+                       (obs_.trace != nullptr && obs_.trace->enabled());
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
     const Status status =
         backend_.pwrite(job->file->backend_file(), job->chunk->payload(),
                         job->chunk->file_offset());
+    if (timed) {
+      const std::uint64_t dur = obs::now_ns() - t0;
+      if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(dur);
+      if (obs_.trace != nullptr && obs_.trace->enabled()) {
+        obs_.trace->ring().record("pwrite", t0, dur);
+      }
+    }
     if (status.ok()) {
       chunks_written_.fetch_add(1, std::memory_order_relaxed);
       bytes_written_.fetch_add(job->chunk->fill(), std::memory_order_relaxed);
+      if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(job->chunk->fill());
+    } else if (obs_.pwrite_errors != nullptr) {
+      obs_.pwrite_errors->add(1);
     }
     job->file->complete_one(status);
     pool_.release(std::move(job->chunk));

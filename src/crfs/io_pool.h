@@ -11,15 +11,29 @@
 #include "backend/backend_fs.h"
 #include "crfs/buffer_pool.h"
 #include "crfs/work_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crfs {
+
+/// Optional per-stage instrumentation for the IO workers. All pointers
+/// may be null (uninstrumented pool, the default); when set they must
+/// outlive the pool. The histogram/counter writes are relaxed atomics, so
+/// sharing them across all workers is contention-free.
+struct IoPoolObs {
+  obs::LatencyHistogram* pwrite_ns = nullptr;  ///< backend pwrite latency
+  obs::Counter* pwrite_bytes = nullptr;        ///< bytes successfully written
+  obs::Counter* pwrite_errors = nullptr;       ///< failed backend writes
+  obs::TraceCollector* trace = nullptr;        ///< span sink for "pwrite"
+};
 
 class IoThreadPool {
  public:
   /// Starts `threads` workers. Each worker loops: pop a chunk, pwrite it
   /// to the backend at its recorded offset, bump the owning file's
   /// complete-chunk count, return the chunk to the pool.
-  IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool, BackendFs& backend);
+  IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool, BackendFs& backend,
+               IoPoolObs observe = {});
 
   /// Drains the queue and joins all workers.
   ~IoThreadPool();
@@ -29,12 +43,23 @@ class IoThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  // Monitoring accessors. Relaxed loads are sufficient: these counters are
+  // only read for progress/occupancy reporting and for the pool-exhaustion
+  // rescue in Crfs::acquire_chunk, which re-polls in a timeout loop — a
+  // stale value is retried, never trusted as a synchronization point. The
+  // default seq_cst load would put a fence in the rescue path's spin for
+  // no correctness gain.
+
   /// Chunks written so far across all workers.
-  std::uint64_t chunks_written() const { return chunks_written_.load(); }
-  std::uint64_t bytes_written() const { return bytes_written_.load(); }
+  std::uint64_t chunks_written() const {
+    return chunks_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
   /// Jobs currently being written by a worker (popped, not yet finished).
-  unsigned in_flight() const { return in_flight_.load(); }
+  unsigned in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
 
  private:
   void worker_loop();
@@ -42,6 +67,7 @@ class IoThreadPool {
   WorkQueue& queue_;
   BufferPool& pool_;
   BackendFs& backend_;
+  IoPoolObs obs_;
   std::atomic<std::uint64_t> chunks_written_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<unsigned> in_flight_{0};

@@ -64,6 +64,10 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
       out.config.flush_before_read = true;
     } else if (key == "paper_reads") {
       out.config.flush_before_read = false;
+    } else if (key == "trace") {
+      out.config.enable_tracing = true;
+    } else if (key == "no_trace") {
+      out.config.enable_tracing = false;
     } else {
       return Error{EINVAL, "unknown mount option: '" + std::string(key) + "'"};
     }
@@ -92,6 +96,7 @@ std::string format_mount_options(const MountOptions& options) {
                   ",threads=" + std::to_string(options.config.io_threads);
   s += options.fuse.big_writes ? ",big_writes" : ",no_big_writes";
   if (!options.config.flush_before_read) s += ",paper_reads";
+  if (options.config.enable_tracing) s += ",trace";
   return s;
 }
 

@@ -25,6 +25,8 @@ struct MountOptions {
 ///   no_big_writes       4 KB FUSE requests
 ///   flush_before_read   reads see buffered data         (default on)
 ///   paper_reads         paper-faithful read passthrough (no flush)
+///   trace               capture span events for Chrome-trace export
+///   no_trace            counters/histograms only        (default)
 /// Sizes accept K/M/G suffixes. Unknown keys, malformed values, or a
 /// configuration that fails Config::validate() return an error.
 Result<MountOptions> parse_mount_options(std::string_view text);

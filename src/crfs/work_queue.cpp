@@ -3,6 +3,8 @@
 namespace crfs {
 
 void WorkQueue::push(WriteJob job) {
+  // One clock read per chunk (MBs of data), not per write: negligible.
+  if (wait_hist_ != nullptr) job.enqueue_ns = obs::now_ns();
   {
     std::lock_guard lock(mu_);
     jobs_.push_back(std::move(job));
@@ -17,6 +19,11 @@ std::optional<WriteJob> WorkQueue::pop() {
   if (jobs_.empty()) return std::nullopt;
   WriteJob job = std::move(jobs_.front());
   jobs_.pop_front();
+  lock.unlock();
+  if (wait_hist_ != nullptr && job.enqueue_ns != 0) {
+    const std::uint64_t now = obs::now_ns();
+    wait_hist_->record(now > job.enqueue_ns ? now - job.enqueue_ns : 0);
+  }
   return job;
 }
 

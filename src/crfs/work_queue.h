@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "crfs/chunk.h"
+#include "obs/metrics.h"
 
 namespace crfs {
 
@@ -25,6 +26,9 @@ class FileEntry;  // defined in file_table.h
 struct WriteJob {
   std::shared_ptr<FileEntry> file;
   std::unique_ptr<Chunk> chunk;
+  /// Enqueue timestamp (obs::now_ns) stamped by push() when a wait
+  /// histogram is installed; pop() turns it into queue-wait latency.
+  std::uint64_t enqueue_ns = 0;
 };
 
 class WorkQueue {
@@ -39,6 +43,11 @@ class WorkQueue {
   /// jobs are still handed out so teardown never loses buffered data.
   void shutdown();
 
+  /// Installs the enqueue->pop wait histogram (crfs.queue.wait_ns). Call
+  /// before any producer/consumer thread runs; the pointer is read
+  /// without synchronization afterwards.
+  void set_wait_histogram(obs::LatencyHistogram* hist) { wait_hist_ = hist; }
+
   std::size_t depth() const;
   std::uint64_t total_pushed() const;
 
@@ -48,6 +57,7 @@ class WorkQueue {
   std::deque<WriteJob> jobs_;
   std::uint64_t pushed_ = 0;
   bool shutdown_ = false;
+  obs::LatencyHistogram* wait_hist_ = nullptr;
 };
 
 }  // namespace crfs

@@ -1,0 +1,27 @@
+// Chrome trace_event JSON export for obs::TraceEvent spans.
+//
+// The emitted file is the "JSON Object Format" of the Trace Event spec:
+//   {"traceEvents":[{"name":"pwrite","cat":"crfs","ph":"X","pid":1,
+//                    "tid":3,"ts":12.345,"dur":4.2}, ...],
+//    "displayTimeUnit":"ms"}
+// Load it in chrome://tracing or https://ui.perfetto.dev. Timestamps are
+// microseconds (the spec's unit) with nanosecond decimals preserved.
+// Real runs (Crfs::export_trace) and simulated runs (Simulation trace)
+// both emit this schema, so the two are directly comparable.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "obs/trace.h"
+
+namespace crfs::obs {
+
+/// Renders events as a Chrome trace JSON document.
+std::string to_chrome_json(std::span<const TraceEvent> events);
+
+/// Writes to_chrome_json(events) to `path` (truncating).
+Status write_chrome_trace(const std::string& path, std::span<const TraceEvent> events);
+
+}  // namespace crfs::obs

@@ -1,0 +1,154 @@
+// crfs::obs metrics: low-overhead counters, gauges, and log2-bucketed
+// latency histograms for the CRFS write pipeline.
+//
+// Design contract (docs/OBSERVABILITY.md):
+//   * The hot path touches only lock-free atomics with relaxed ordering —
+//     a Counter::add is one fetch_add, a LatencyHistogram::record is three
+//     plus a CAS loop for the max. No locks, no allocation.
+//   * Registration (Registry::counter/gauge/histogram) is the cold path:
+//     it takes a mutex and hands back a reference that stays valid for the
+//     Registry's lifetime, so instrumented code resolves names once at
+//     mount time and never again.
+//   * snapshot() observes concurrent writers without stopping them; the
+//     numbers are per-metric consistent (monotone, never torn) but not a
+//     cross-metric atomic cut — fine for monitoring, documented as such.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crfs::obs {
+
+/// Nanoseconds on the monotonic clock; the time base of every latency
+/// histogram and trace event in this subsystem.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Human-readable duration: "812 ns", "13.4 us", "2.07 ms", "1.31 s".
+std::string format_ns(double ns);
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (occupancy, depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time copy of a LatencyHistogram, safe to do math on.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 65;  // bucket i covers [2^(i-1), 2^i - 1]; 0 holds value 0
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  double mean() const { return count ? static_cast<double>(sum) / count : 0.0; }
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// rank's bucket. Exact to within one log2 bucket.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Log2-bucketed histogram for latency (ns) or any uint64 distribution.
+/// record() is lock-free; snapshot() can run concurrently with writers.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket 0 holds only the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  static int bucket_index(std::uint64_t value) { return std::bit_width(value); }
+  static std::uint64_t bucket_lo(int i) { return i == 0 ? 0 : std::uint64_t{1} << (i - 1); }
+  static std::uint64_t bucket_hi(int i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named home for a pipeline's metrics. Naming schema (dot-separated,
+/// "_ns" suffix for nanosecond histograms): see docs/OBSERVABILITY.md.
+class Registry {
+ public:
+  /// Get-or-create; the returned reference lives as long as the Registry.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Callback gauge, sampled at snapshot time (e.g. pool occupancy read
+  /// straight from the BufferPool). `fn` must stay valid and thread-safe.
+  void gauge_fn(const std::string& name, std::function<std::int64_t()> fn);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /// ASCII tables (common/table.h) — counters/gauges, then a latency
+    /// table with count / p50 / p95 / p99 / max per histogram.
+    std::string render_table() const;
+    /// {"counters":{...},"gauges":{...},"histograms":{name:{count,p50_ns,...}}}
+    std::string to_json() const;
+  };
+
+  /// Deterministically ordered (by name) point-in-time view.
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::function<std::int64_t()>> gauge_fns_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace crfs::obs

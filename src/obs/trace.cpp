@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace crfs::obs {
+
+namespace {
+std::atomic<std::uint64_t> next_collector_id{1};
+}  // namespace
+
+TraceRing::TraceRing(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), slots_(capacity > 0 ? capacity : 1) {}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(head, slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const Slot& slot = slots_[i % slots_.size()];
+    TraceEvent ev;
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.tid = tid_;
+    ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    out.push_back(ev);
+  }
+  return out;
+}
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : id_(next_collector_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(ring_capacity) {}
+
+TraceRing& TraceCollector::ring() {
+  struct Cache {
+    std::uint64_t collector_id = 0;
+    TraceRing* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.collector_id == id_ && cache.ring != nullptr) return *cache.ring;
+
+  std::lock_guard lock(mu_);
+  auto it = by_thread_.find(std::this_thread::get_id());
+  if (it == by_thread_.end()) {
+    rings_.push_back(std::make_unique<TraceRing>(
+        static_cast<std::uint32_t>(rings_.size()), capacity_));
+    it = by_thread_.emplace(std::this_thread::get_id(), rings_.back().get()).first;
+  }
+  cache = Cache{id_, it->second};
+  return *it->second;
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& ring : rings_) {
+      auto events = ring->snapshot();
+      out.insert(out.end(), events.begin(), events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+std::uint64_t TraceCollector::total_recorded() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->recorded();
+  return total;
+}
+
+std::size_t TraceCollector::ring_count() const {
+  std::lock_guard lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace crfs::obs

@@ -21,7 +21,7 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
 
 void CrfsSimNode::start() {
   for (unsigned i = 0; i < config_.io_threads; ++i) {
-    sim_.spawn(io_worker());
+    sim_.spawn(io_worker(i));
   }
 }
 
@@ -45,6 +45,7 @@ void CrfsSimNode::flush_chunk(FileState& st, FileId file) {
 }
 
 Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
+  const double span_start = sim_.now();
   FileState& st = state(file);
   const std::uint64_t max_req = fuse_.max_write();
 
@@ -85,9 +86,10 @@ Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
     }
     remaining -= req;
   }
+  sim_.trace_complete("write", app_lane(), span_start, sim_.now());
 }
 
-Task CrfsSimNode::io_worker() {
+Task CrfsSimNode::io_worker(unsigned worker) {
   for (;;) {
     while (queue_.empty()) {
       if (stopping_) co_return;
@@ -96,8 +98,10 @@ Task CrfsSimNode::io_worker() {
     const Job job = queue_.front();
     queue_.pop_front();
 
+    const double pwrite_start = sim_.now();
     co_await sim_.delay(cal_.crfs_chunk_overhead);
     co_await backend_.write_call(node_, job.file, job.offset, job.len, /*via_crfs=*/true);
+    sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now());
 
     FileState& st = state(job.file);
     st.complete_chunks += 1;
@@ -118,9 +122,11 @@ Task CrfsSimNode::close_file(FileId file) {
     chunk_available_.pulse();
   }
   const std::uint64_t target = st.write_chunks;
+  const double drain_start = sim_.now();
   while (st.complete_chunks < target) {
     co_await st.completion->wait();
   }
+  sim_.trace_complete("drain", app_lane(), drain_start, sim_.now());
   co_await backend_.close_file(node_, file, /*via_crfs=*/true);
 }
 

@@ -45,6 +45,13 @@ class CrfsSimNode {
   std::uint64_t chunks_flushed() const { return chunks_flushed_; }
   std::uint64_t pool_waits() const { return pool_waits_; }
 
+  /// Trace-lane ids when Simulation tracing is on: one lane for the
+  /// node's app/FUSE side, one per IO worker — same span names as the
+  /// real pipeline ("write"/"pwrite"/"drain"), so real and simulated
+  /// Chrome traces are directly comparable.
+  std::uint32_t app_lane() const { return node_ * 100; }
+  std::uint32_t io_lane(unsigned worker) const { return node_ * 100 + 1 + worker; }
+
  private:
   struct FileState {
     std::uint64_t append = 0;        ///< next file offset
@@ -62,7 +69,7 @@ class CrfsSimNode {
     std::uint64_t len;
   };
 
-  Task io_worker();
+  Task io_worker(unsigned worker);
   FileState& state(FileId file);
   /// Enqueues the file's current chunk (if non-empty).
   void flush_chunk(FileState& st, FileId file);

@@ -1,6 +1,21 @@
 #include "sim/engine.h"
 
+#include "obs/chrome_trace.h"
+
 namespace crfs::sim {
+
+void Simulation::trace_complete(const char* name, std::uint32_t tid, double start_s,
+                                double end_s) {
+  if (!tracing_) return;
+  if (end_s < start_s) end_s = start_s;
+  // Virtual seconds -> the trace schema's nanosecond time base.
+  trace_.record(name, tid, static_cast<std::uint64_t>(start_s * 1e9),
+                static_cast<std::uint64_t>((end_s - start_s) * 1e9));
+}
+
+Status Simulation::export_trace(const std::string& path) const {
+  return obs::write_chrome_trace(path, trace_.events());
+}
 
 void Simulation::spawn(Task task) {
   schedule(task.handle_, now_);

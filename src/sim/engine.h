@@ -24,6 +24,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+#include "obs/trace.h"
+
 namespace crfs::sim {
 
 class Simulation;
@@ -123,6 +126,23 @@ class Simulation {
   /// Number of events processed by run() so far (debug/perf metric).
   std::uint64_t events_processed() const { return events_; }
 
+  // -- Virtual-time span tracing ------------------------------------------
+  // Emits the same obs::TraceEvent schema as the real pipeline (and the
+  // same Chrome-trace export), with virtual seconds mapped to nanoseconds,
+  // so a simulated checkpoint epoch and a real one load side by side in
+  // Perfetto. Off by default; the sim hot loop pays one bool check.
+  void enable_tracing(bool on = true) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+
+  /// Records a completed span [start_s, end_s] (virtual seconds). `tid`
+  /// distinguishes lanes (e.g. simulated node or worker id).
+  void trace_complete(const char* name, std::uint32_t tid, double start_s, double end_s);
+
+  const std::vector<obs::TraceEvent>& trace_events() const { return trace_.events(); }
+
+  /// Writes the captured virtual-time spans as Chrome trace JSON.
+  Status export_trace(const std::string& path) const;
+
   // -- used by awaitables -------------------------------------------------
   void schedule(std::coroutine_handle<> h, double time);
 
@@ -139,6 +159,8 @@ class Simulation {
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
+  bool tracing_ = false;
+  obs::EventLog trace_;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
   std::vector<Task> tasks_;
 };

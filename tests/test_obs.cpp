@@ -1,0 +1,475 @@
+// Tests for the crfs::obs subsystem: histogram bucket/percentile math,
+// registry snapshot consistency under concurrent writers, TraceRing
+// wraparound, Chrome-trace JSON well-formedness (parsed back with
+// json_lite), and the pipeline integration contract — per-stage
+// histograms fill during a multi-file checkpoint, span events appear only
+// when Config::enable_tracing is set.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "backend/mem_backend.h"
+#include "common/units.h"
+#include "crfs/crfs.h"
+#include "crfs/fuse_shim.h"
+#include "obs/chrome_trace.h"
+#include "obs/json_lite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+
+namespace crfs {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::LatencyHistogram;
+
+// ------------------------------------------------------------ histograms
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 holds only 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_index(7), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_index(8), 4);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1023), 10);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1024), 11);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}), 64);
+
+  for (int i = 0; i <= 64; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_lo(i)), i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_hi(i)), i);
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_lo(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_hi(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_lo(11), 1024u);
+  EXPECT_EQ(LatencyHistogram::bucket_hi(11), 2047u);
+}
+
+TEST(LatencyHistogram, CountSumMax) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(100);
+  h.record(0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 105u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.buckets[0], 1u);                                  // the 0
+  EXPECT_EQ(s.buckets[LatencyHistogram::bucket_index(5)], 1u);
+  EXPECT_EQ(s.buckets[LatencyHistogram::bucket_index(100)], 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 35.0);
+}
+
+TEST(LatencyHistogram, PercentilesLandInTheRightBucket) {
+  LatencyHistogram h;
+  // 90 fast ops (bucket of 100) and 10 slow ones (bucket of 10000).
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(10000);
+  const HistogramSnapshot s = h.snapshot();
+
+  const double p50 = s.p50();
+  EXPECT_GE(p50, LatencyHistogram::bucket_lo(LatencyHistogram::bucket_index(100)));
+  EXPECT_LE(p50, LatencyHistogram::bucket_hi(LatencyHistogram::bucket_index(100)));
+
+  const double p99 = s.p99();
+  EXPECT_GE(p99, LatencyHistogram::bucket_lo(LatencyHistogram::bucket_index(10000)));
+  EXPECT_LE(p99, 10000.0);  // clamped by the recorded max
+
+  // Quantiles are monotone in q.
+  EXPECT_LE(s.quantile(0.1), s.quantile(0.5));
+  EXPECT_LE(s.quantile(0.5), s.quantile(0.9));
+  EXPECT_LE(s.quantile(0.9), s.quantile(1.0));
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10000.0);
+}
+
+TEST(LatencyHistogram, EmptyQuantileIsZero) {
+  const HistogramSnapshot s = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("crfs.test.counter");
+  obs::Counter& b = reg.counter("crfs.test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  reg.gauge("crfs.test.gauge").set(-7);
+  reg.gauge_fn("crfs.test.sampled", [] { return std::int64_t{42}; });
+  reg.histogram("crfs.test.lat_ns").record(10);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "crfs.test.counter");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 2u);  // plain gauge + callback gauge
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+  // Callback gauge was sampled at snapshot time.
+  bool saw_sampled = false;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "crfs.test.sampled") {
+      saw_sampled = true;
+      EXPECT_EQ(v, 42);
+    }
+  }
+  EXPECT_TRUE(saw_sampled);
+}
+
+TEST(Registry, SnapshotConsistentUnderConcurrentWriters) {
+  obs::Registry reg;
+  obs::Counter& counter = reg.counter("c");
+  LatencyHistogram& hist = reg.histogram("h");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        hist.record(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  // Snapshot continuously while writers run: counts must be monotone and
+  // internally consistent (quantile math never sees count > bucket sum).
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load()) {
+      const auto snap = reg.snapshot();
+      EXPECT_GE(snap.counters[0].second, last);
+      last = snap.counters[0].second;
+      const HistogramSnapshot hs = snap.histograms[0].second;
+      std::uint64_t bucketed = 0;
+      for (auto b : hs.buckets) bucketed += b;
+      EXPECT_LE(hs.count, bucketed);
+      (void)hs.p99();  // must not crash or hang mid-race
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  const auto final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(final_snap.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, JsonRendersAndParses) {
+  obs::Registry reg;
+  reg.counter("crfs.io.pwrite_bytes").add(4096);
+  reg.gauge("crfs.queue.depth").set(2);
+  reg.histogram("crfs.io.pwrite_ns").record(1500);
+  const std::string json = reg.snapshot().to_json();
+  auto parsed = obs::json::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const auto* counters = parsed->get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->get("crfs.io.pwrite_bytes"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("crfs.io.pwrite_bytes")->number, 4096.0);
+  const auto* hists = parsed->get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const auto* pwrite = hists->get("crfs.io.pwrite_ns");
+  ASSERT_NE(pwrite, nullptr);
+  EXPECT_DOUBLE_EQ(pwrite->get("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(pwrite->get("max")->number, 1500.0);
+}
+
+TEST(MountStatsSnapshot, CopiesAllCounters) {
+  MountStats stats;
+  stats.app_writes.store(3);
+  stats.app_bytes.store(1024);
+  stats.chunk_steals.store(1);
+  const MountStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.app_writes, 3u);
+  EXPECT_EQ(s.app_bytes, 1024u);
+  EXPECT_EQ(s.chunk_steals, 1u);
+  EXPECT_EQ(s.full_flushes, 0u);
+}
+
+// ------------------------------------------------------------- TraceRing
+
+TEST(TraceRing, RecordsAndSnapshotsInOrder) {
+  obs::TraceRing ring(7, 16);
+  ring.record("a", 100, 10);
+  ring.record("b", 200, 20);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_EQ(events[0].ts_ns, 100u);
+  EXPECT_EQ(events[0].dur_ns, 10u);
+  EXPECT_EQ(events[0].tid, 7u);
+  EXPECT_STREQ(events[1].name, "b");
+}
+
+TEST(TraceRing, WraparoundKeepsTheLatestEvents) {
+  constexpr std::size_t kCapacity = 64;
+  obs::TraceRing ring(0, kCapacity);
+  constexpr std::uint64_t kTotal = 1000;
+  for (std::uint64_t i = 0; i < kTotal; ++i) ring.record("e", i, 1);
+  EXPECT_EQ(ring.recorded(), kTotal);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  // Oldest-first, covering exactly the last kCapacity timestamps.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, kTotal - kCapacity + i);
+  }
+}
+
+TEST(TraceCollector, PerThreadRingsMergeSorted) {
+  obs::TraceCollector collector(128);
+  collector.set_enabled(true);
+  std::thread t1([&] { collector.ring().record("t1", 50, 5); });
+  std::thread t2([&] { collector.ring().record("t2", 10, 5); });
+  t1.join();
+  t2.join();
+  collector.ring().record("main", 30, 5);
+  EXPECT_EQ(collector.ring_count(), 3u);
+  const auto events = collector.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts_ns, 10u);  // sorted by begin time
+  EXPECT_EQ(events[1].ts_ns, 30u);
+  EXPECT_EQ(events[2].ts_ns, 50u);
+  // Distinct rings got distinct lane ids.
+  EXPECT_NE(events[0].tid, events[2].tid);
+}
+
+TEST(TraceSpan, NoOpWhenDisabled) {
+  obs::TraceCollector collector(16);
+  { obs::TraceSpan span(collector, "skipped"); }
+  EXPECT_EQ(collector.total_recorded(), 0u);
+  EXPECT_EQ(collector.ring_count(), 0u);  // not even a ring allocated
+  collector.set_enabled(true);
+  { obs::TraceSpan span(collector, "kept"); }
+  EXPECT_EQ(collector.total_recorded(), 1u);
+}
+
+// ---------------------------------------------------------- Chrome trace
+
+TEST(ChromeTrace, EmitsWellFormedTraceEventJson) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({"write", 0, 1500, 2500});
+  events.push_back({"pwrite", 1, 3000, 10000});
+  const std::string json = obs::to_chrome_json(events);
+
+  auto parsed = obs::json::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  ASSERT_TRUE(parsed->is_object());
+  const auto* trace_events = parsed->get("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_EQ(trace_events->array->size(), 2u);
+
+  // Schema check: every event carries the fields chrome://tracing and
+  // Perfetto require for a complete ("X") event.
+  for (const auto& ev : *trace_events->array) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_NE(ev.get("name"), nullptr);
+    EXPECT_TRUE(ev.get("name")->is_string());
+    ASSERT_NE(ev.get("ph"), nullptr);
+    EXPECT_EQ(ev.get("ph")->string, "X");
+    for (const char* field : {"pid", "tid", "ts", "dur"}) {
+      ASSERT_NE(ev.get(field), nullptr) << field;
+      EXPECT_TRUE(ev.get(field)->is_number()) << field;
+    }
+  }
+  // Microsecond conversion: 1500 ns -> 1.5 us.
+  EXPECT_DOUBLE_EQ((*trace_events->array)[0].get("ts")->number, 1.5);
+  EXPECT_DOUBLE_EQ((*trace_events->array)[0].get("dur")->number, 2.5);
+}
+
+TEST(ChromeTrace, WritesFileThatParsesBack) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({"drain", 2, 0, 42});
+  const std::string path = ::testing::TempDir() + "crfs_trace_test.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path, events).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto parsed = obs::json::parse(content);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get("traceEvents")->array->size(), 1u);
+}
+
+// ----------------------------------------------- pipeline integration
+
+// Multi-file checkpoint through FuseShim with small chunks so every stage
+// (copy, queue wait, pwrite, drain) sees real traffic.
+std::unique_ptr<Crfs> run_checkpoint(bool tracing) {
+  Config cfg;
+  cfg.chunk_size = 64 * KiB;
+  cfg.pool_size = 256 * KiB;
+  cfg.io_threads = 2;
+  cfg.enable_tracing = tracing;
+  cfg.trace_ring_events = 4096;
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(), cfg);
+  EXPECT_TRUE(fs.ok());
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < 3; ++r) {
+    ranks.emplace_back([&, r] {
+      const std::string path = "rank" + std::to_string(r) + ".ckpt";
+      std::vector<std::byte> record(32 * KiB, static_cast<std::byte>(r));
+      auto h = shim.open(path, {.create = true, .truncate = true, .write = true});
+      ASSERT_TRUE(h.ok());
+      for (std::size_t off = 0; off < 2 * MiB; off += record.size()) {
+        ASSERT_TRUE(shim.write(h.value(), record, off).ok());
+      }
+      ASSERT_TRUE(shim.fsync(h.value()).ok());
+      ASSERT_TRUE(shim.close(h.value()).ok());
+    });
+  }
+  for (auto& t : ranks) t.join();
+  return std::move(fs.value());
+}
+
+TEST(PipelineObs, StageHistogramsFillDuringCheckpoint) {
+  auto fs = run_checkpoint(/*tracing=*/true);
+
+  // 3 ranks x 2 MiB / 64 KiB chunks = 96 full chunks (+ drain partials).
+  const auto snap = fs->metrics().snapshot();
+  auto hist = [&](const std::string& name) -> const HistogramSnapshot* {
+    for (const auto& [n, h] : snap.histograms) {
+      if (n == name) return &h;
+    }
+    return nullptr;
+  };
+  const auto* queue_wait = hist("crfs.queue.wait_ns");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_GE(queue_wait->count, 96u);
+  const auto* pwrite = hist("crfs.io.pwrite_ns");
+  ASSERT_NE(pwrite, nullptr);
+  EXPECT_GE(pwrite->count, 96u);
+  const auto* copy = hist("crfs.write.copy_ns");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->count, 3u * (2 * MiB / (32 * KiB)));  // one per app write
+  const auto* drain = hist("crfs.drain.wait_ns");
+  ASSERT_NE(drain, nullptr);
+  EXPECT_GE(drain->count, 3u);  // one per fsync and close at least
+
+  // Counters agree with the data volume.
+  bool saw_bytes = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "crfs.io.pwrite_bytes") {
+      saw_bytes = true;
+      EXPECT_EQ(v, 3u * 2 * MiB);
+    }
+  }
+  EXPECT_TRUE(saw_bytes);
+
+  // Span events captured for every instrumented stage.
+  const auto events = fs->trace().snapshot();
+  ASSERT_FALSE(events.empty());
+  bool saw_write = false, saw_pwrite = false, saw_drain = false, saw_flush = false;
+  for (const auto& ev : events) {
+    const std::string name = ev.name;
+    saw_write |= name == "write";
+    saw_pwrite |= name == "pwrite";
+    saw_drain |= name == "drain";
+    saw_flush |= name == "flush";
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_pwrite);
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_flush);
+
+  // The exported trace passes the same schema check as ChromeTrace above.
+  const std::string path = ::testing::TempDir() + "crfs_pipeline_trace.json";
+  ASSERT_TRUE(fs->export_trace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto parsed = obs::json::parse(content);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* trace_events = parsed->get("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  EXPECT_EQ(trace_events->array->size(), events.size());
+}
+
+TEST(PipelineObs, TracingOffLeavesSpansEmptyButCountersOn) {
+  auto fs = run_checkpoint(/*tracing=*/false);
+
+  // Spans: exactly none — no ring was even allocated.
+  EXPECT_EQ(fs->trace().snapshot().size(), 0u);
+  EXPECT_EQ(fs->trace().total_recorded(), 0u);
+
+  // Counters and histograms: still fully populated.
+  EXPECT_EQ(fs->stats().snapshot().app_bytes, 3u * 2 * MiB);
+  const auto snap = fs->metrics().snapshot();
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "crfs.queue.wait_ns" || name == "crfs.io.pwrite_ns" ||
+        name == "crfs.write.copy_ns") {
+      EXPECT_GT(h.count, 0u) << name;
+    }
+  }
+}
+
+TEST(PipelineObs, StatsReportAndJson) {
+  auto fs = run_checkpoint(/*tracing=*/false);
+  const std::string report = fs->stats_report();
+  EXPECT_NE(report.find("app_writes"), std::string::npos);
+  EXPECT_NE(report.find("crfs.io.pwrite_ns"), std::string::npos);
+  EXPECT_NE(report.find("crfs.queue.wait_ns"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+
+  auto parsed = obs::json::parse(fs->stats_json());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->get("mount"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->get("mount")->get("app_bytes")->number,
+                   static_cast<double>(3u * 2 * MiB));
+  ASSERT_NE(parsed->get("pipeline"), nullptr);
+  EXPECT_NE(parsed->get("pipeline")->get("histograms"), nullptr);
+}
+
+// ------------------------------------------------------------ sim engine
+
+TEST(SimTrace, VirtualTimeSpansShareTheSchema) {
+  sim::Simulation sim;
+  sim.enable_tracing();
+  sim.trace_complete("write", 0, 0.001, 0.003);
+  sim.trace_complete("pwrite", 101, 0.002, 0.010);
+  const auto& events = sim.trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts_ns, 1000000u);  // 1 ms of virtual time
+  EXPECT_EQ(events[0].dur_ns, 2000000u);
+
+  const std::string json = obs::to_chrome_json(events);
+  auto parsed = obs::json::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get("traceEvents")->array->size(), 2u);
+
+  // Disabled by default: spans are dropped.
+  sim::Simulation quiet;
+  quiet.trace_complete("write", 0, 0.0, 1.0);
+  EXPECT_TRUE(quiet.trace_events().empty());
+}
+
+}  // namespace
+}  // namespace crfs
