@@ -3,12 +3,21 @@
 //   crfsctl options <mount-options>       parse + echo canonical options
 //   crfsctl bench <dir> [mount-options]   aggregation throughput on a real
 //                                         directory, CRFS vs direct
-//   crfsctl stats <dir> [mount-options]   run an instrumented checkpoint
+//   crfsctl stats <dir> [mount-options] [--json]
+//                                         run an instrumented checkpoint
 //                                         workload, print the per-stage
-//                                         pipeline report (crfs::obs)
+//                                         pipeline report (crfs::obs);
+//                                         --json emits stats_json() instead
 //   crfsctl trace <dir> <out.json> [mount-options]
 //                                         same workload with span tracing;
 //                                         writes a Chrome/Perfetto trace
+//   crfsctl watch <dir> [mount-options]   drive the workload with the live
+//                                         sampler on; refresh a terminal
+//                                         view of rates, occupancy, and
+//                                         fired health events
+//   crfsctl prom <dir> [mount-options]    run the workload, dump the final
+//                                         snapshot in Prometheus text
+//                                         exposition format
 //   crfsctl epochs <dir> <set>            list a CheckpointSet's epochs
 //   crfsctl verify <dir> <set> [epoch]    verify an epoch (default latest)
 //
@@ -16,7 +25,10 @@
 //   crfsctl bench /scratch "chunk=4M,pool=16M,threads=4"
 //   crfsctl trace /scratch /tmp/epoch.json "chunk=1M,pool=4M"
 //   crfsctl verify /scratch job42
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +43,8 @@
 #include "crfs/mount_options.h"
 #include "crfs/posix_api.h"
 #include "obs/json_lite.h"
+#include "obs/prom.h"
+#include "obs/sampler.h"
 
 using namespace crfs;
 
@@ -40,8 +54,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: crfsctl options <mount-options>\n"
                "       crfsctl bench <dir> [mount-options]\n"
-               "       crfsctl stats <dir> [mount-options]\n"
+               "       crfsctl stats <dir> [mount-options] [--json]\n"
                "       crfsctl trace <dir> <out.json> [mount-options]\n"
+               "       crfsctl watch <dir> [mount-options]\n"
+               "       crfsctl prom <dir> [mount-options]\n"
                "       crfsctl epochs <dir> <set>\n"
                "       crfsctl verify <dir> <set> [epoch]\n");
   return 64;
@@ -88,7 +104,16 @@ Result<std::unique_ptr<Crfs>> run_instrumented_workload(const std::string& dir,
 
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
-  auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
+  bool as_json = false;
+  const char* optstr = "";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
     return 1;
@@ -98,7 +123,11 @@ int cmd_stats(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
     return 1;
   }
-  std::printf("%s", fs.value()->stats_report().c_str());
+  if (as_json) {
+    std::printf("%s\n", fs.value()->stats_json().c_str());
+  } else {
+    std::printf("%s", fs.value()->stats_report().c_str());
+  }
   return 0;
 }
 
@@ -143,6 +172,129 @@ int cmd_trace(int argc, char** argv) {
   std::printf("wrote %zu span events to %s (load in chrome://tracing or "
               "https://ui.perfetto.dev)\n%s",
               events.size(), out_path.c_str(), fs.value()->stats_report().c_str());
+  return 0;
+}
+
+int cmd_prom(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = run_instrumented_workload(argv[2], opts.value());
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", obs::to_prometheus(fs.value()->metrics().snapshot()).c_str());
+  return 0;
+}
+
+// One refresh frame of `crfsctl watch`: windowed rates from the latest
+// sample, occupancy gauges, and the running event count. Greppable
+// (every frame starts with "WATCH") so scripts and the CLI test can
+// consume the same output a human does.
+void render_watch_frame(const obs::Sample& s, std::uint64_t events_total, bool ansi) {
+  if (ansi) std::printf("\033[2K\r");
+  const obs::Rate* bytes = s.counter_rate("crfs.io.pwrite_bytes");
+  const obs::Rate* pwrites = s.histogram_rate("crfs.io.pwrite_ns");
+  const obs::Rate* errors = s.counter_rate("crfs.io.pwrite_errors");
+  const auto free_chunks = s.gauge("crfs.pool.free_chunks");
+  const auto depth = s.gauge("crfs.queue.depth");
+  const auto in_flight = s.gauge("crfs.io.in_flight");
+  std::printf("WATCH t=%.1fs io=%.1f MB/s pwrites=%.0f/s errs=%.0f/s "
+              "free_chunks=%lld queue=%lld in_flight=%lld events=%llu",
+              static_cast<double>(s.ts_ns) / 1e9,
+              bytes != nullptr ? bytes->per_sec / 1e6 : 0.0,
+              pwrites != nullptr ? pwrites->per_sec : 0.0,
+              errors != nullptr ? errors->per_sec : 0.0,
+              static_cast<long long>(free_chunks.value_or(-1)),
+              static_cast<long long>(depth.value_or(-1)),
+              static_cast<long long>(in_flight.value_or(-1)),
+              static_cast<unsigned long long>(events_total));
+  if (!ansi) std::printf("\n");
+  std::fflush(stdout);
+}
+
+int cmd_watch(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  if (opts.value().config.sample_ms == 0) opts.value().config.sample_ms = 50;
+
+  constexpr unsigned kRanks = 4;
+  constexpr std::size_t kPerRank = 16 * MiB;
+  constexpr std::size_t kRecord = 64 * KiB;
+
+  auto backend = PosixBackend::create(argv[2]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("crfsctl watch: %u ranks x %s into %s (%s)\n", kRanks,
+              format_bytes(kPerRank).c_str(), argv[2],
+              format_mount_options(opts.value()).c_str());
+  const bool ansi = isatty(fileno(stdout)) != 0;
+
+  std::atomic<unsigned> ranks_left{kRanks};
+  {
+    FuseShim shim(*fs.value(), opts.value().fuse);
+    std::vector<std::thread> ranks;
+    for (unsigned r = 0; r < kRanks; ++r) {
+      ranks.emplace_back([&, r] {
+        const std::string path = ".crfsctl_watch_rank" + std::to_string(r);
+        std::vector<std::byte> record(kRecord, static_cast<std::byte>(r));
+        auto h = shim.open(path, {.create = true, .truncate = true, .write = true});
+        if (h.ok()) {
+          for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+            (void)shim.write(h.value(), record, off);
+          }
+          (void)shim.fsync(h.value());
+          (void)shim.close(h.value());
+        }
+        ranks_left.fetch_sub(1);
+      });
+    }
+
+    // Render loop: one frame per sampler period while the workload runs,
+    // plus one final frame so short runs still show at least one.
+    obs::Sampler* sampler = fs.value()->sampler();
+    const auto period = std::chrono::milliseconds(opts.value().config.sample_ms);
+    std::uint64_t last_seq = 0;
+    do {
+      std::this_thread::sleep_for(period);
+      const auto latest = sampler->latest();
+      if (latest.has_value() && (latest->seq + 1 != last_seq)) {
+        last_seq = latest->seq + 1;
+        render_watch_frame(*latest, fs.value()->event_log().total(), ansi);
+      }
+    } while (ranks_left.load() > 0);
+    for (auto& t : ranks) t.join();
+  }
+  if (ansi) std::printf("\n");
+
+  for (unsigned r = 0; r < kRanks; ++r) {
+    (void)fs.value()->unlink(".crfsctl_watch_rank" + std::to_string(r));
+  }
+
+  const auto events = fs.value()->events();
+  std::printf("\n%s\nsamples=%llu events=%zu\n", fs.value()->stats_report().c_str(),
+              static_cast<unsigned long long>(fs.value()->sampler()->samples_taken()),
+              events.size());
+  for (const auto& e : events) {
+    std::printf("EVENT %s %s: %s\n", obs::severity_name(e.severity), e.rule.c_str(),
+                e.message.c_str());
+  }
   return 0;
 }
 
@@ -329,6 +481,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "bench") == 0) return cmd_bench(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
   if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
+  if (std::strcmp(argv[1], "watch") == 0) return cmd_watch(argc, argv);
+  if (std::strcmp(argv[1], "prom") == 0) return cmd_prom(argc, argv);
   if (std::strcmp(argv[1], "epochs") == 0) return cmd_epochs(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
   return usage();

@@ -1,6 +1,5 @@
 #include "common/histogram.h"
 
-#include <bit>
 #include <cstdio>
 
 #include "common/units.h"
@@ -91,26 +90,6 @@ std::string WriteSizeHistogram::render_table(const std::string& title) const {
     out += line;
   }
   return out;
-}
-
-void Log2Histogram::record(std::uint64_t value) {
-  const int idx = value == 0 ? 0 : 64 - std::countl_zero(value);
-  buckets_[static_cast<std::size_t>(idx)] += 1;
-  count_ += 1;
-}
-
-double Log2Histogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) >= target) {
-      // Midpoint of bucket [2^(i-1), 2^i).
-      return i == 0 ? 0.0 : 1.5 * static_cast<double>(1ULL << (i - 1));
-    }
-  }
-  return static_cast<double>(1ULL << 62);
 }
 
 }  // namespace crfs

@@ -56,17 +56,12 @@ class WriteSizeHistogram {
   std::array<SizeBucket, kNumBuckets> buckets_;
 };
 
-/// General-purpose log2 histogram for microbench latency distributions.
-class Log2Histogram {
- public:
-  void record(std::uint64_t value);
-  std::uint64_t count() const { return count_; }
-  /// Approximate quantile (q in [0,1]) from bucket midpoints.
-  double quantile(double q) const;
-
- private:
-  std::array<std::uint64_t, 64> buckets_{};
-  std::uint64_t count_ = 0;
-};
+// For latency distributions use obs::LatencyHistogram (obs/metrics.h):
+// same log2 bucketing, plus lock-free concurrent recording, sum/max, and
+// registry/export integration. WriteSizeHistogram stays here because its
+// semantics differ — fixed Table-I size boundaries with per-bucket
+// ops/bytes/seconds accounting, not a latency distribution. (A separate
+// Log2Histogram used to live here; it was a single-threaded subset of
+// obs::LatencyHistogram and has been removed in its favor.)
 
 }  // namespace crfs

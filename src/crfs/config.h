@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/units.h"
+#include "obs/health.h"
 
 namespace crfs {
 
@@ -49,6 +50,25 @@ struct Config {
   /// checkpoint epoch at chunk granularity.
   std::size_t trace_ring_events = 64 * 1024;
 
+  /// Live telemetry (docs/OBSERVABILITY.md): sampling period in
+  /// milliseconds for the background obs::Sampler thread. 0 (default)
+  /// disables the sampler entirely — no thread, no allocation, zero
+  /// write-path effect. Mount option `sample_ms=N`.
+  unsigned sample_ms = 0;
+
+  /// Frames kept in the sampler's time-series ring (oldest evicted).
+  /// 600 frames ≈ one minute of history at sample_ms=100.
+  std::size_t sample_ring = 600;
+
+  /// Bounded health/error event log capacity (obs::EventBuffer). The log
+  /// exists even with the sampler off: IO-thread pwrite failures are
+  /// always recorded there with path/offset/errno.
+  std::size_t event_capacity = 256;
+
+  /// Health-rule thresholds evaluated per sample (obs::HealthMonitor);
+  /// only consulted when sample_ms > 0.
+  obs::HealthConfig health;
+
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
     if (chunk_size == 0) return Error{EINVAL, "chunk_size must be > 0"};
@@ -59,6 +79,10 @@ struct Config {
     if (enable_tracing && trace_ring_events == 0) {
       return Error{EINVAL, "trace_ring_events must be > 0 when tracing"};
     }
+    if (sample_ms > 0 && sample_ring == 0) {
+      return Error{EINVAL, "sample_ring must be > 0 when sampling"};
+    }
+    if (event_capacity == 0) return Error{EINVAL, "event_capacity must be > 0"};
     return {};
   }
 
@@ -68,7 +92,8 @@ struct Config {
   std::string describe() const {
     return "chunk=" + format_bytes(chunk_size) + " pool=" + format_bytes(pool_size) +
            " io_threads=" + std::to_string(io_threads) +
-           (enable_tracing ? " tracing=on" : "");
+           (enable_tracing ? " tracing=on" : "") +
+           (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "");
   }
 };
 

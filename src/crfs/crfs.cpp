@@ -14,7 +14,10 @@ Result<std::unique_ptr<Crfs>> Crfs::mount(std::shared_ptr<BackendFs> backend, Co
 }
 
 Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
-    : backend_(std::move(backend)), cfg_(cfg), trace_(cfg.trace_ring_events) {
+    : backend_(std::move(backend)),
+      cfg_(cfg),
+      trace_(cfg.trace_ring_events),
+      events_(cfg.event_capacity) {
   trace_.set_enabled(cfg_.enable_tracing);
   pool_ = std::make_unique<BufferPool>(cfg_.pool_size, cfg_.chunk_size);
 
@@ -31,6 +34,7 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   io_obs.pwrite_bytes = &metrics_.counter("crfs.io.pwrite_bytes");
   io_obs.pwrite_errors = &metrics_.counter("crfs.io.pwrite_errors");
   io_obs.trace = &trace_;
+  io_obs.events = &events_;
   io_pool_ = std::make_unique<IoThreadPool>(cfg_.io_threads, queue_, *pool_, *backend_,
                                             io_obs);
 
@@ -53,9 +57,22 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   metrics_.gauge_fn("crfs.files.open", [this] {
     return static_cast<std::int64_t>(table_.open_count());
   });
+
+  // Live telemetry plane: background sampler + health rules. Started last
+  // so every gauge_fn above is registered before the first tick.
+  if (cfg_.sample_ms > 0) {
+    health_ = std::make_unique<obs::HealthMonitor>(cfg_.health, events_);
+    sampler_ = std::make_unique<obs::Sampler>(
+        metrics_, obs::SamplerOptions{.ring_capacity = cfg_.sample_ring});
+    sampler_->set_health_monitor(health_.get());
+    sampler_->start(std::chrono::milliseconds(cfg_.sample_ms));
+  }
 }
 
 Crfs::~Crfs() {
+  // Stop the sampler first: its gauge callbacks read the pool/queue/IO
+  // stages this destructor is about to tear down.
+  if (sampler_ != nullptr) sampler_->stop();
   // Flush buffered data of any files the application failed to close, so
   // unmounting never silently drops bytes.
   std::vector<std::shared_ptr<FileEntry>> leaked;
@@ -341,6 +358,15 @@ std::string Crfs::stats_report() const {
   out += mount.render();
   out += "\n";
   out += metrics_.snapshot().render_table();
+  const auto events = events_.snapshot();
+  if (!events.empty()) {
+    TextTable ev({"Severity", "Rule", "Detail"});
+    for (const auto& e : events) {
+      ev.add_row({obs::severity_name(e.severity), e.rule, e.message});
+    }
+    out += "\n";
+    out += ev.render();
+  }
   return out;
 }
 
@@ -355,7 +381,12 @@ std::string Crfs::stats_json() const {
   out += ",\"chunk_steals\":" + std::to_string(s.chunk_steals);
   out += ",\"reads\":" + std::to_string(s.reads);
   out += ",\"read_bytes\":" + std::to_string(s.read_bytes);
-  out += "},\"pipeline\":" + metrics_.snapshot().to_json() + "}";
+  out += "},\"pipeline\":" + metrics_.snapshot().to_json();
+  out += ",\"events\":" + obs::events_to_json(events_.snapshot());
+  if (sampler_ != nullptr) {
+    out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
+  }
+  out += "}";
   return out;
 }
 

@@ -20,7 +20,9 @@
 #include "crfs/file_table.h"
 #include "crfs/io_pool.h"
 #include "crfs/work_queue.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace crfs {
@@ -134,6 +136,17 @@ class Crfs {
   obs::TraceCollector& trace() { return trace_; }
   const obs::TraceCollector& trace() const { return trace_; }
 
+  /// Live telemetry sampler; nullptr unless Config::sample_ms > 0 (the
+  /// default keeps the mount thread-free and sampler-free).
+  obs::Sampler* sampler() { return sampler_.get(); }
+  const obs::Sampler* sampler() const { return sampler_.get(); }
+
+  /// Structured health/error events fired so far (bounded log, oldest
+  /// dropped past Config::event_capacity). Health rules need the sampler
+  /// on; pwrite failure events are recorded unconditionally.
+  std::vector<obs::Event> events() const { return events_.snapshot(); }
+  obs::EventBuffer& event_log() { return events_; }
+
   /// Rendered ASCII report: mount counters + registry gauges + the
   /// per-stage latency table. Safe to call while the pipeline runs.
   std::string stats_report() const;
@@ -178,11 +191,18 @@ class Crfs {
   // references into these, so they must outlive pool_/queue_/io_pool_.
   obs::Registry metrics_;
   obs::TraceCollector trace_;
+  obs::EventBuffer events_;
   std::unique_ptr<BufferPool> pool_;
   WorkQueue queue_;
   std::unique_ptr<IoThreadPool> io_pool_;
   FileTable table_;
   MountStats stats_;
+
+  // Live telemetry plane (only when cfg_.sample_ms > 0). Declared after
+  // the pipeline pieces it observes; the sampler thread is stopped first
+  // in ~Crfs so it never reads a gauge of a destroyed stage.
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<obs::Sampler> sampler_;
 
   // Hot-path metric handles, resolved once at mount (see obs::Registry).
   obs::LatencyHistogram* h_write_copy_ = nullptr;

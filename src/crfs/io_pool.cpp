@@ -39,8 +39,17 @@ void IoThreadPool::worker_loop() {
       chunks_written_.fetch_add(1, std::memory_order_relaxed);
       bytes_written_.fetch_add(job->chunk->fill(), std::memory_order_relaxed);
       if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(job->chunk->fill());
-    } else if (obs_.pwrite_errors != nullptr) {
-      obs_.pwrite_errors->add(1);
+    } else {
+      if (obs_.pwrite_errors != nullptr) obs_.pwrite_errors->add(1);
+      if (obs_.events != nullptr) {
+        const Error& err = status.error();
+        obs_.events->push(obs::Event{
+            obs::Severity::kCritical, "pwrite_error",
+            job->file->path() + " offset=" + std::to_string(job->chunk->file_offset()) +
+                " len=" + std::to_string(job->chunk->fill()) + " errno=" +
+                std::to_string(err.code) + " (" + err.to_string() + ")",
+            static_cast<double>(err.code), 0.0, obs::now_ns()});
+      }
     }
     job->file->complete_one(status);
     pool_.release(std::move(job->chunk));

@@ -11,6 +11,7 @@
 #include "backend/backend_fs.h"
 #include "crfs/buffer_pool.h"
 #include "crfs/work_queue.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,12 @@ struct IoPoolObs {
   obs::Counter* pwrite_bytes = nullptr;        ///< bytes successfully written
   obs::Counter* pwrite_errors = nullptr;       ///< failed backend writes
   obs::TraceCollector* trace = nullptr;        ///< span sink for "pwrite"
+  /// Structured event sink: every failed pwrite is recorded here with the
+  /// file path, chunk offset/length, and errno, so a dropped chunk is
+  /// attributable post-hoc (the chunk's data is gone either way — the
+  /// sticky FileEntry error surfaces at close/fsync, this log says what
+  /// and where).
+  obs::EventBuffer* events = nullptr;
 };
 
 class IoThreadPool {

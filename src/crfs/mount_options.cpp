@@ -56,6 +56,23 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         return Error{EINVAL, "bad thread count: '" + std::string(value) + "'"};
       }
       out.config.io_threads = threads;
+    } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad value for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      if (key == "sample_ms") {
+        out.config.sample_ms = parsed;
+      } else if (key == "sample_ring") {
+        out.config.sample_ring = parsed;
+      } else {
+        out.config.health.slow_pwrite_p99_ns =
+            static_cast<std::uint64_t>(parsed) * 1'000'000;
+      }
     } else if (key == "big_writes") {
       out.fuse.big_writes = true;
     } else if (key == "no_big_writes") {
@@ -97,6 +114,16 @@ std::string format_mount_options(const MountOptions& options) {
   s += options.fuse.big_writes ? ",big_writes" : ",no_big_writes";
   if (!options.config.flush_before_read) s += ",paper_reads";
   if (options.config.enable_tracing) s += ",trace";
+  if (options.config.sample_ms > 0) {
+    s += ",sample_ms=" + std::to_string(options.config.sample_ms);
+    if (options.config.sample_ring != Config{}.sample_ring) {
+      s += ",sample_ring=" + std::to_string(options.config.sample_ring);
+    }
+  }
+  if (options.config.health.slow_pwrite_p99_ns > 0) {
+    s += ",slow_pwrite_ms=" +
+         std::to_string(options.config.health.slow_pwrite_p99_ns / 1'000'000);
+  }
   return s;
 }
 

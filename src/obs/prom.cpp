@@ -1,0 +1,91 @@
+#include "obs/prom.h"
+
+#include <cstdio>
+
+namespace crfs::obs {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+}  // namespace
+
+std::string to_prometheus(const Registry::Snapshot& snap) {
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string base = prometheus_name(name);
+    // Prometheus counters conventionally end in _total.
+    const std::string family =
+        base.size() >= 6 && base.compare(base.size() - 6, 6, "_total") == 0
+            ? base
+            : base + "_total";
+    out += "# HELP " + family + " CRFS counter " + name + "\n";
+    out += "# TYPE " + family + " counter\n";
+    out += family + " ";
+    append_u64(out, value);
+    out += "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string family = prometheus_name(name);
+    out += "# HELP " + family + " CRFS gauge " + name + "\n";
+    out += "# TYPE " + family + " gauge\n";
+    out += family + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string family = prometheus_name(name);
+    out += "# HELP " + family + " CRFS latency histogram " + name + " (nanoseconds)\n";
+    out += "# TYPE " + family + " histogram\n";
+
+    // Highest non-empty bucket bounds how many boundaries we emit; bucket
+    // 64's upper bound is UINT64_MAX, which only +Inf can represent, so
+    // cap explicit boundaries at 63 and fold the rest into +Inf.
+    int top = -1;
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] > 0) top = i;
+    }
+    if (top > 63) top = 63;
+
+    // The exposition count is the bucket sum: a snapshot racing writers
+    // can see count and buckets slightly out of step, and Prometheus
+    // requires +Inf == _count exactly, so derive both from one source.
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i <= top; ++i) {
+      cumulative += h.buckets[i];
+      out += family + "_bucket{le=\"";
+      append_u64(out, LatencyHistogram::bucket_hi(i));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    std::uint64_t total = cumulative;
+    for (int i = top + 1; i < HistogramSnapshot::kBuckets; ++i) total += h.buckets[i];
+    out += family + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, total);
+    out += "\n";
+    out += family + "_sum ";
+    append_u64(out, h.sum);
+    out += "\n";
+    out += family + "_count ";
+    append_u64(out, total);
+    out += "\n";
+  }
+
+  return out;
+}
+
+}  // namespace crfs::obs

@@ -1,0 +1,30 @@
+// crfs::obs Prometheus exposition: renders a Registry snapshot in the
+// Prometheus text format (version 0.0.4), so a scraper — or `crfsctl
+// prom` — can lift CRFS pipeline metrics into any standard monitoring
+// stack without a client-library dependency.
+//
+// Mapping (docs/OBSERVABILITY.md has the full table):
+//   * names: dots become underscores ("crfs.queue.depth" ->
+//     "crfs_queue_depth");
+//   * counters gain the conventional "_total" suffix and TYPE counter;
+//   * gauges expose as-is with TYPE gauge;
+//   * log2 histograms expose as TYPE histogram with cumulative
+//     `_bucket{le="..."}` series (one per log2 boundary up to the highest
+//     non-empty bucket, then `+Inf`), plus `_sum` and `_count`. The
+//     `+Inf` bucket always equals `_count`, and bucket counts are
+//     monotone — the invariant test_obs round-trips.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace crfs::obs {
+
+/// One metric family per registry entry, HELP/TYPE headers included.
+std::string to_prometheus(const Registry::Snapshot& snap);
+
+/// "crfs.io.pwrite_bytes" -> "crfs_io_pwrite_bytes" (exposed for tests).
+std::string prometheus_name(const std::string& name);
+
+}  // namespace crfs::obs

@@ -17,7 +17,17 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
       free_chunks_(static_cast<unsigned>(config.num_chunks() > 0 ? config.num_chunks() : 1)),
       fuse_station_(sim, 1),
       chunk_available_(sim),
-      job_ready_(sim) {}
+      job_ready_(sim) {
+  // Same registry schema as the real mount (crfs.cpp), read on virtual
+  // time by an obs::Sampler via sample_loop(). The single-threaded sim
+  // pays nothing for the atomics.
+  h_pwrite_ = &metrics_.histogram("crfs.io.pwrite_ns");
+  c_pwrite_bytes_ = &metrics_.counter("crfs.io.pwrite_bytes");
+  metrics_.gauge_fn("crfs.pool.free_chunks",
+                    [this] { return static_cast<std::int64_t>(free_chunks_); });
+  metrics_.gauge_fn("crfs.queue.depth",
+                    [this] { return static_cast<std::int64_t>(queue_.size()); });
+}
 
 void CrfsSimNode::start() {
   for (unsigned i = 0; i < config_.io_threads; ++i) {
@@ -102,6 +112,8 @@ Task CrfsSimNode::io_worker(unsigned worker) {
     co_await sim_.delay(cal_.crfs_chunk_overhead);
     co_await backend_.write_call(node_, job.file, job.offset, job.len, /*via_crfs=*/true);
     sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now());
+    h_pwrite_->record(static_cast<std::uint64_t>((sim_.now() - pwrite_start) * 1e9));
+    c_pwrite_bytes_->add(job.len);
 
     FileState& st = state(job.file);
     st.complete_chunks += 1;
@@ -133,6 +145,13 @@ Task CrfsSimNode::close_file(FileId file) {
 void CrfsSimNode::stop() {
   stopping_ = true;
   job_ready_.pulse();
+}
+
+Task CrfsSimNode::sample_loop(obs::Sampler& sampler, double interval_s) {
+  while (!stopping_) {
+    co_await sim_.delay(interval_s);
+    sampler.tick(static_cast<std::uint64_t>(sim_.now() * 1e9));
+  }
 }
 
 }  // namespace crfs::sim

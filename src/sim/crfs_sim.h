@@ -17,6 +17,8 @@
 #include <unordered_map>
 
 #include "crfs/config.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "sim/backend_sim.h"
 
 namespace crfs::sim {
@@ -44,6 +46,19 @@ class CrfsSimNode {
 
   std::uint64_t chunks_flushed() const { return chunks_flushed_; }
   std::uint64_t pool_waits() const { return pool_waits_; }
+
+  /// The node's metric registry, mirroring the real pipeline's schema
+  /// (crfs.pool.free_chunks, crfs.queue.depth, crfs.io.pwrite_ns/_bytes
+  /// — see docs/OBSERVABILITY.md) with virtual-time nanoseconds, so an
+  /// obs::Sampler and HealthMonitor run unchanged over a simulated node.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Drives `sampler` every `interval_s` of virtual time until stop() —
+  /// the deterministic twin of the real mount's sampler thread. Spawn it
+  /// alongside the workload:
+  ///   sim.spawn(node.sample_loop(sampler, 0.010));
+  Task sample_loop(obs::Sampler& sampler, double interval_s);
 
   /// Trace-lane ids when Simulation tracing is on: one lane for the
   /// node's app/FUSE side, one per IO worker — same span names as the
@@ -91,6 +106,11 @@ class CrfsSimNode {
   std::uint64_t chunks_flushed_ = 0;
   std::uint64_t pool_waits_ = 0;
   std::unordered_map<FileId, FileState> files_;
+
+  // Virtual-time telemetry (same names as the real mount's registry).
+  obs::Registry metrics_;
+  obs::LatencyHistogram* h_pwrite_ = nullptr;
+  obs::Counter* c_pwrite_bytes_ = nullptr;
 };
 
 }  // namespace crfs::sim

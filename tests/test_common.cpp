@@ -199,13 +199,6 @@ TEST(WriteSizeHistogram, LabelsMatchPaper) {
   EXPECT_EQ(WriteSizeHistogram::bucket_label(9), "> 1M");
 }
 
-TEST(Log2Histogram, QuantileMonotone) {
-  Log2Histogram h;
-  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i);
-  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
-  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
-}
-
 // ----------------------------------------------------------------- Stats
 
 TEST(RunningStats, MeanAndVariance) {

@@ -1,0 +1,138 @@
+// End-to-end tests for the crfsctl binary: each subcommand (stats, trace,
+// watch, prom) runs against a temp directory and must exit 0 with output
+// matching its schema — JSON that parses (stats/trace), Prometheus
+// exposition whose cumulative buckets check out (prom), greppable WATCH
+// frames (watch). The binary path is injected by CMake as CRFSCTL_BIN.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "obs/json_lite.h"
+
+namespace crfs {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run_crfsctl(const std::string& args) {
+  const std::string cmd = std::string(CRFSCTL_BIN) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  RunResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) res.output.append(buf, n);
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "crfsctl_cli_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(CrfsctlCli, NoArgsPrintsUsageAndFails) {
+  const RunResult res = run_crfsctl("");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("usage:"), std::string::npos);
+  EXPECT_NE(res.output.find("watch"), std::string::npos);
+  EXPECT_NE(res.output.find("prom"), std::string::npos);
+}
+
+TEST(CrfsctlCli, StatsEmitsParsableJson) {
+  const RunResult res = run_crfsctl("stats " + fresh_dir("stats") + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  ASSERT_NE(parsed->get("mount"), nullptr);
+  EXPECT_GT(parsed->get("mount")->get("app_bytes")->number, 0.0);
+  ASSERT_NE(parsed->get("pipeline"), nullptr);
+  ASSERT_NE(parsed->get("events"), nullptr);
+  EXPECT_TRUE(parsed->get("events")->is_array());
+}
+
+TEST(CrfsctlCli, StatsHumanReportMentionsPipelineStages) {
+  const RunResult res = run_crfsctl("stats " + fresh_dir("statsh"));
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("app_writes"), std::string::npos);
+  EXPECT_NE(res.output.find("crfs.io.pwrite_ns"), std::string::npos);
+}
+
+TEST(CrfsctlCli, TraceWritesChromeJson) {
+  const std::string dir = fresh_dir("trace");
+  const std::string out = dir + "/trace.json";
+  const RunResult res = run_crfsctl("trace " + dir + " " + out);
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  std::FILE* f = std::fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  auto parsed = obs::json::parse(content);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* events = parsed->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array->size(), 0u);
+}
+
+TEST(CrfsctlCli, PromEmitsValidExposition) {
+  const RunResult res = run_crfsctl("prom " + fresh_dir("prom"));
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  // Counter with data, _total suffix.
+  EXPECT_NE(res.output.find("crfs_io_pwrite_bytes_total 67108864"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("# TYPE crfs_io_pwrite_ns histogram"), std::string::npos);
+  // Cumulative bucket series must be monotone and +Inf must equal _count.
+  double prev = 0.0, inf = -1.0, count = -1.0;
+  std::size_t pos = 0;
+  while (pos < res.output.size()) {
+    std::size_t eol = res.output.find('\n', pos);
+    if (eol == std::string::npos) eol = res.output.size();
+    const std::string line = res.output.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("crfs_io_pwrite_ns_bucket{", 0) == 0) {
+      const double v = std::stod(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf = v;
+    } else if (line.rfind("crfs_io_pwrite_ns_count ", 0) == 0) {
+      count = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_GT(inf, 0.0);
+  EXPECT_EQ(inf, count);
+}
+
+TEST(CrfsctlCli, WatchRendersFramesAndSummary) {
+  // Piped stdout -> !isatty -> plain WATCH lines, one per sample frame.
+  const RunResult res = run_crfsctl("watch " + fresh_dir("watch") + " sample_ms=20");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("crfsctl watch: 4 ranks"), std::string::npos);
+  EXPECT_NE(res.output.find("WATCH t="), std::string::npos);
+  EXPECT_NE(res.output.find("MB/s"), std::string::npos);
+  EXPECT_NE(res.output.find("free_chunks="), std::string::npos);
+  EXPECT_NE(res.output.find("queue="), std::string::npos);
+  EXPECT_NE(res.output.find("samples="), std::string::npos);
+  // Final report follows the live frames.
+  EXPECT_NE(res.output.find("app_writes"), std::string::npos);
+}
+
+TEST(CrfsctlCli, BadMountOptionFailsCleanly) {
+  const RunResult res = run_crfsctl("prom " + fresh_dir("bad") + " sample_ms=banana");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crfs
