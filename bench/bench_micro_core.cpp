@@ -26,7 +26,7 @@ namespace {
 void BM_BufferPoolAcquireRelease(benchmark::State& state) {
   BufferPool pool(16 * MiB, 4 * MiB);
   for (auto _ : state) {
-    auto chunk = pool.acquire(0);
+    auto chunk = pool.try_acquire(0);
     benchmark::DoNotOptimize(chunk);
     pool.release(std::move(chunk));
   }

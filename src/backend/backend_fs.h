@@ -45,6 +45,13 @@ struct OpenFlags {
   bool write = false;   ///< open read-only when false
 };
 
+/// One segment of a vectored write (mirrors struct iovec without pulling
+/// <sys/uio.h> into every backend consumer).
+struct BackendIoVec {
+  const std::byte* data = nullptr;
+  std::size_t len = 0;
+};
+
 /// Abstract backend filesystem. All methods are thread-safe: CRFS calls
 /// them concurrently from application threads and IO-pool threads.
 class BackendFs {
@@ -58,6 +65,22 @@ class BackendFs {
   /// internally so success means every byte landed.
   virtual Status pwrite(BackendFile file, std::span<const std::byte> data,
                         std::uint64_t offset) = 0;
+
+  /// Writes all segments contiguously starting at `offset` (the segments
+  /// land back to back, like ::pwritev). The IO pool uses this to issue
+  /// one backend call for a run of adjacent chunks. The default forwards
+  /// segment by segment through pwrite(), so decorating backends
+  /// (FaultyBackend, ThrottledBackend) keep their per-write behaviour;
+  /// backends with a cheaper native path override it.
+  virtual Status pwritev(BackendFile file, std::span<const BackendIoVec> iov,
+                         std::uint64_t offset) {
+    std::uint64_t off = offset;
+    for (const auto& seg : iov) {
+      CRFS_RETURN_IF_ERROR(pwrite(file, {seg.data, seg.len}, off));
+      off += seg.len;
+    }
+    return {};
+  }
 
   /// Reads up to data.size() bytes at `offset`; returns bytes read
   /// (0 at/after EOF).

@@ -42,23 +42,37 @@ std::shared_ptr<MemBackend::Node> MemBackend::find(const std::string& norm) {
   return it == tree_.end() ? nullptr : it->second;
 }
 
+Result<MemBackend::Handle> MemBackend::resolve(BackendFile file, const char* op) const {
+  std::lock_guard lock(mu_);
+  auto it = handles_.find(file);
+  if (it == handles_.end()) return Error{EBADF, op};
+  return it->second;
+}
+
 Result<BackendFile> MemBackend::open_file(const std::string& path, OpenFlags flags) {
   const std::string norm = normalize(path);
-  std::lock_guard lock(mu_);
-  auto node = find(norm);
-  if (node == nullptr) {
-    if (!flags.create) return Error{ENOENT, "open " + path};
-    auto parent = find(parent_of(norm));
-    if (parent == nullptr || !parent->is_dir) return Error{ENOENT, "open parent " + path};
-    node = std::make_shared<Node>();
-    tree_[norm] = node;
-  } else if (node->is_dir) {
-    return Error{EISDIR, "open " + path};
+  std::shared_ptr<Node> node;
+  BackendFile h;
+  {
+    std::lock_guard lock(mu_);
+    node = find(norm);
+    if (node == nullptr) {
+      if (!flags.create) return Error{ENOENT, "open " + path};
+      auto parent = find(parent_of(norm));
+      if (parent == nullptr || !parent->is_dir) return Error{ENOENT, "open parent " + path};
+      node = std::make_shared<Node>();
+      tree_[norm] = node;
+    } else if (node->is_dir) {
+      return Error{EISDIR, "open " + path};
+    }
+    node->open_handles += 1;
+    h = next_handle_++;
+    handles_[h] = Handle{node, flags.write};
   }
-  if (flags.truncate && flags.write) node->data.clear();
-  node->open_handles += 1;
-  const BackendFile h = next_handle_++;
-  handles_[h] = Handle{node, flags.write};
+  if (flags.truncate && flags.write) {
+    std::lock_guard data_lock(node->data_mu);
+    node->data.clear();
+  }
   return h;
 }
 
@@ -73,54 +87,87 @@ Status MemBackend::close_file(BackendFile file) {
 
 Status MemBackend::pwrite(BackendFile file, std::span<const std::byte> data,
                           std::uint64_t offset) {
-  std::lock_guard lock(mu_);
-  auto it = handles_.find(file);
-  if (it == handles_.end()) return Error{EBADF, "pwrite"};
-  if (!it->second.writable) return Error{EBADF, "pwrite on read-only handle"};
-  auto& bytes = it->second.node->data;
-  const std::uint64_t end = offset + data.size();
-  if (bytes.size() < end) bytes.resize(end);  // holes are zero-filled
-  std::memcpy(bytes.data() + offset, data.data(), data.size());
+  auto handle = resolve(file, "pwrite");
+  if (!handle.ok()) return handle.error();
+  if (!handle.value().writable) return Error{EBADF, "pwrite on read-only handle"};
+  Node& node = *handle.value().node;
+  {
+    std::lock_guard lock(node.data_mu);
+    const std::uint64_t end = offset + data.size();
+    if (node.data.size() < end) node.data.resize(end);  // holes are zero-filled
+    std::memcpy(node.data.data() + offset, data.data(), data.size());
+  }
   pwrite_calls_.fetch_add(1, std::memory_order_relaxed);
   pwrite_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
   return {};
 }
 
+Status MemBackend::pwritev(BackendFile file, std::span<const BackendIoVec> iov,
+                           std::uint64_t offset) {
+  auto handle = resolve(file, "pwritev");
+  if (!handle.ok()) return handle.error();
+  if (!handle.value().writable) return Error{EBADF, "pwritev on read-only handle"};
+  std::size_t total = 0;
+  for (const auto& seg : iov) total += seg.len;
+  Node& node = *handle.value().node;
+  {
+    std::lock_guard lock(node.data_mu);
+    const std::uint64_t end = offset + total;
+    if (node.data.size() < end) node.data.resize(end);
+    std::byte* dst = node.data.data() + offset;
+    for (const auto& seg : iov) {
+      std::memcpy(dst, seg.data, seg.len);
+      dst += seg.len;
+    }
+  }
+  pwrite_calls_.fetch_add(1, std::memory_order_relaxed);
+  pwrite_bytes_.fetch_add(total, std::memory_order_relaxed);
+  return {};
+}
+
 Result<std::size_t> MemBackend::pread(BackendFile file, std::span<std::byte> data,
                                       std::uint64_t offset) {
-  std::lock_guard lock(mu_);
-  auto it = handles_.find(file);
-  if (it == handles_.end()) return Error{EBADF, "pread"};
-  const auto& bytes = it->second.node->data;
-  if (offset >= bytes.size()) return std::size_t{0};
-  const std::size_t n = std::min<std::uint64_t>(data.size(), bytes.size() - offset);
-  std::memcpy(data.data(), bytes.data() + offset, n);
+  auto handle = resolve(file, "pread");
+  if (!handle.ok()) return handle.error();
+  Node& node = *handle.value().node;
+  std::lock_guard lock(node.data_mu);
+  if (offset >= node.data.size()) return std::size_t{0};
+  const std::size_t n = std::min<std::uint64_t>(data.size(), node.data.size() - offset);
+  std::memcpy(data.data(), node.data.data() + offset, n);
   return n;
 }
 
 Status MemBackend::fsync(BackendFile file) {
-  std::lock_guard lock(mu_);
-  auto it = handles_.find(file);
-  if (it == handles_.end()) return Error{EBADF, "fsync"};
-  it->second.node->fsyncs += 1;
+  auto handle = resolve(file, "fsync");
+  if (!handle.ok()) return handle.error();
+  Node& node = *handle.value().node;
+  std::lock_guard lock(node.data_mu);
+  node.fsyncs += 1;
   return {};
 }
 
 Status MemBackend::truncate(BackendFile file, std::uint64_t size) {
-  std::lock_guard lock(mu_);
-  auto it = handles_.find(file);
-  if (it == handles_.end()) return Error{EBADF, "truncate"};
-  it->second.node->data.resize(size);
+  auto handle = resolve(file, "truncate");
+  if (!handle.ok()) return handle.error();
+  Node& node = *handle.value().node;
+  std::lock_guard lock(node.data_mu);
+  node.data.resize(size);
   return {};
 }
 
 Result<BackendStat> MemBackend::stat(const std::string& path) {
-  std::lock_guard lock(mu_);
-  auto node = find(normalize(path));
+  std::shared_ptr<Node> node;
+  {
+    std::lock_guard lock(mu_);
+    node = find(normalize(path));
+  }
   if (node == nullptr) return Error{ENOENT, "stat " + path};
   BackendStat st;
-  st.size = node->data.size();
   st.is_dir = node->is_dir;
+  {
+    std::lock_guard lock(node->data_mu);
+    st.size = node->data.size();
+  }
   return st;
 }
 
@@ -207,16 +254,25 @@ Result<std::vector<std::string>> MemBackend::list_dir(const std::string& path) {
 }
 
 Result<std::vector<std::byte>> MemBackend::contents(const std::string& path) {
-  std::lock_guard lock(mu_);
-  auto node = find(normalize(path));
+  std::shared_ptr<Node> node;
+  {
+    std::lock_guard lock(mu_);
+    node = find(normalize(path));
+  }
   if (node == nullptr) return Error{ENOENT, "contents " + path};
+  std::lock_guard lock(node->data_mu);
   return node->data;
 }
 
 std::uint64_t MemBackend::fsync_count(const std::string& path) {
-  std::lock_guard lock(mu_);
-  auto node = find(normalize(path));
-  return node == nullptr ? 0 : node->fsyncs;
+  std::shared_ptr<Node> node;
+  {
+    std::lock_guard lock(mu_);
+    node = find(normalize(path));
+  }
+  if (node == nullptr) return 0;
+  std::lock_guard lock(node->data_mu);
+  return node->fsyncs;
 }
 
 }  // namespace crfs

@@ -28,6 +28,13 @@ class NullBackend final : public BackendFs {
     writes_.fetch_add(1, std::memory_order_relaxed);
     return {};
   }
+  Status pwritev(BackendFile, std::span<const BackendIoVec> iov, std::uint64_t) override {
+    std::size_t total = 0;
+    for (const auto& seg : iov) total += seg.len;
+    bytes_.fetch_add(total, std::memory_order_relaxed);
+    writes_.fetch_add(1, std::memory_order_relaxed);  // one coalesced call
+    return {};
+  }
   Result<std::size_t> pread(BackendFile, std::span<std::byte>, std::uint64_t) override {
     return std::size_t{0};  // always EOF
   }

@@ -2,8 +2,12 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <vector>
 
 #include <cerrno>
 
@@ -67,6 +71,42 @@ Status PosixBackend::pwrite(BackendFile file, std::span<const std::byte> data,
     p += n;
     off += n;
     remaining -= static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Status PosixBackend::pwritev(BackendFile file, std::span<const BackendIoVec> iov,
+                             std::uint64_t offset) {
+  // IOV_MAX is at least 1024 everywhere; the IO pool's batches are far
+  // smaller, but fall back to the segment loop rather than assume.
+  if (iov.size() > static_cast<std::size_t>(IOV_MAX)) {
+    return BackendFs::pwritev(file, iov, offset);
+  }
+  std::vector<struct iovec> vecs(iov.size());
+  for (std::size_t i = 0; i < iov.size(); ++i) {
+    vecs[i].iov_base = const_cast<std::byte*>(iov[i].data);
+    vecs[i].iov_len = iov[i].len;
+  }
+  auto off = static_cast<off_t>(offset);
+  std::size_t idx = 0;  // first segment not fully written yet
+  while (idx < vecs.size()) {
+    const ssize_t n = ::pwritev(static_cast<int>(file), vecs.data() + idx,
+                                static_cast<int>(vecs.size() - idx), off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error::from_errno("pwritev");
+    }
+    off += n;
+    // Advance past fully written segments; trim a partially written one.
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (idx < vecs.size() && remaining >= vecs[idx].iov_len) {
+      remaining -= vecs[idx].iov_len;
+      ++idx;
+    }
+    if (idx < vecs.size() && remaining > 0) {
+      vecs[idx].iov_base = static_cast<char*>(vecs[idx].iov_base) + remaining;
+      vecs[idx].iov_len -= remaining;
+    }
   }
   return {};
 }

@@ -25,6 +25,9 @@ class PosixBackend final : public BackendFs {
   Status close_file(BackendFile file) override;
   Status pwrite(BackendFile file, std::span<const std::byte> data,
                 std::uint64_t offset) override;
+  /// Native ::pwritev — one syscall for a whole run of adjacent chunks.
+  Status pwritev(BackendFile file, std::span<const BackendIoVec> iov,
+                 std::uint64_t offset) override;
   Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,
                             std::uint64_t offset) override;
   Status fsync(BackendFile file) override;

@@ -30,6 +30,23 @@ struct Config {
   /// yields the best throughput".
   unsigned io_threads = 4;
 
+  /// Buffer-pool shard count (docs/PERFORMANCE.md). The free list is
+  /// split into this many independently locked shards so concurrent
+  /// streams acquire/release chunks without a global pool lock. 0 (the
+  /// default) auto-sizes from hardware concurrency, capped at 8; the
+  /// effective count never exceeds the number of chunks. Mount option
+  /// `pool_shards=N`.
+  std::size_t pool_shards = 0;
+
+  /// Max chunks an IO worker drains from the work queue per lock
+  /// acquisition (docs/PERFORMANCE.md). Batches are grouped by file
+  /// (FIFO order kept within a file) and adjacent chunks coalesce into
+  /// one vectored backend write. 1 disables batching (one pop, one
+  /// pwrite — the pre-batching behaviour). The effective batch is capped
+  /// at half the pool's chunk count so a single batch can never park the
+  /// whole pool behind one coalesced write. Mount option `io_batch=N`.
+  unsigned io_batch = 8;
+
   /// When true, a read() on a file with buffered dirty data flushes that
   /// data first so reads always observe prior writes. The paper's CRFS
   /// passes reads straight through (restart only happens after close, so
@@ -76,6 +93,7 @@ struct Config {
     if (pool_size < chunk_size) {
       return Error{EINVAL, "pool_size must hold at least one chunk"};
     }
+    if (io_batch == 0) return Error{EINVAL, "io_batch must be > 0"};
     if (enable_tracing && trace_ring_events == 0) {
       return Error{EINVAL, "trace_ring_events must be > 0 when tracing"};
     }
@@ -92,6 +110,8 @@ struct Config {
   std::string describe() const {
     return "chunk=" + format_bytes(chunk_size) + " pool=" + format_bytes(pool_size) +
            " io_threads=" + std::to_string(io_threads) +
+           (pool_shards > 0 ? " pool_shards=" + std::to_string(pool_shards) : "") +
+           (io_batch != 1 ? " io_batch=" + std::to_string(io_batch) : "") +
            (enable_tracing ? " tracing=on" : "") +
            (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "");
   }

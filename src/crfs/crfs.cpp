@@ -1,5 +1,6 @@
 #include "crfs/crfs.h"
 
+#include <algorithm>
 #include <cerrno>
 
 #include "common/table.h"
@@ -19,7 +20,7 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
       trace_(cfg.trace_ring_events),
       events_(cfg.event_capacity) {
   trace_.set_enabled(cfg_.enable_tracing);
-  pool_ = std::make_unique<BufferPool>(cfg_.pool_size, cfg_.chunk_size);
+  pool_ = std::make_unique<BufferPool>(cfg_.pool_size, cfg_.chunk_size, cfg_.pool_shards);
 
   // Resolve every hot-path metric once, before any worker thread exists;
   // after this point the registry is only touched through these handles
@@ -35,8 +36,17 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   io_obs.pwrite_errors = &metrics_.counter("crfs.io.pwrite_errors");
   io_obs.trace = &trace_;
   io_obs.events = &events_;
+  io_obs.batch_chunks = &metrics_.histogram("crfs.io.batch_chunks");
+  io_obs.coalesced_pwrites = &metrics_.counter("crfs.io.coalesced_pwrites");
+  // Cap the dequeue batch at half the pool: a batch's chunks stay parked
+  // (and its writers starved) until the whole coalesced write lands, so a
+  // batch that could drain the entire pool would run the pipeline in
+  // lockstep — fill all chunks, stall, write all chunks — instead of
+  // overlapping writers with IO (docs/PERFORMANCE.md).
+  const unsigned batch_cap =
+      static_cast<unsigned>(std::max<std::size_t>(1, cfg_.num_chunks() / 2));
   io_pool_ = std::make_unique<IoThreadPool>(cfg_.io_threads, queue_, *pool_, *backend_,
-                                            io_obs);
+                                            io_obs, std::min(cfg_.io_batch, batch_cap));
 
   // Occupancy gauges, sampled at snapshot time straight from the stages.
   metrics_.gauge_fn("crfs.pool.free_chunks", [this] {
@@ -75,12 +85,7 @@ Crfs::~Crfs() {
   if (sampler_ != nullptr) sampler_->stop();
   // Flush buffered data of any files the application failed to close, so
   // unmounting never silently drops bytes.
-  std::vector<std::shared_ptr<FileEntry>> leaked;
-  {
-    std::lock_guard lock(handles_mu_);
-    for (auto& [h, state] : handles_) leaked.push_back(state.entry);
-  }
-  for (auto& entry : leaked) drain(*entry);
+  for (const HandleState& state : handles_.snapshot()) drain(state.entry);
   // Destroy the IO pool first: drains the queue, joins workers.
   io_pool_.reset();
   pool_->shutdown();
@@ -111,51 +116,46 @@ Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
     }
   }
 
-  std::lock_guard lock(handles_mu_);
-  const FileHandle h = next_handle_++;
-  handles_[h] = HandleState{entry.value(), flags.write};
-  return h;
+  return handles_.insert(HandleState{entry.value(), flags.write});
 }
 
 Result<std::shared_ptr<FileEntry>> Crfs::entry_for(FileHandle handle) {
-  std::lock_guard lock(handles_mu_);
-  auto it = handles_.find(handle);
-  if (it == handles_.end()) return Error{EBADF, "unknown CRFS handle"};
-  return it->second.entry;
+  auto state = handles_.get(handle);
+  if (!state) return Error{EBADF, "unknown CRFS handle"};
+  return std::move(state->entry);
 }
 
-Result<Crfs::HandleState> Crfs::state_for(FileHandle handle) {
-  std::lock_guard lock(handles_mu_);
-  auto it = handles_.find(handle);
-  if (it == handles_.end()) return Error{EBADF, "unknown CRFS handle"};
-  return it->second;
+Result<HandleState> Crfs::state_for(FileHandle handle) {
+  auto state = handles_.get(handle);
+  if (!state) return Error{EBADF, "unknown CRFS handle"};
+  return std::move(*state);
 }
 
-std::uint64_t Crfs::flush_current_locked(FileEntry& entry, bool partial) {
-  if (entry.current != nullptr && !entry.current->empty()) {
+std::uint64_t Crfs::flush_current_locked(const std::shared_ptr<FileEntry>& entry,
+                                         bool partial) {
+  if (entry->current != nullptr && !entry->current->empty()) {
     obs::TraceSpan span(trace_, "flush");
-    auto chunk = std::move(entry.current);
-    entry.write_chunks.fetch_add(1, std::memory_order_acq_rel);
+    auto chunk = std::move(entry->current);
+    entry->write_chunks.fetch_add(1, std::memory_order_acq_rel);
     if (partial) {
       stats_.partial_flushes.fetch_add(1, std::memory_order_relaxed);
     } else {
       stats_.full_flushes.fetch_add(1, std::memory_order_relaxed);
     }
-    // Find the entry's shared_ptr for the job. The table still holds it
-    // because the file is open.
-    queue_.push(WriteJob{table_.find(entry.path()), std::move(chunk)});
-  } else if (entry.current != nullptr) {
+    queue_.push(WriteJob{entry, std::move(chunk)});
+  } else if (entry->current != nullptr) {
     // Empty chunk: just return it to the pool.
-    pool_->release(std::move(entry.current));
+    pool_->release(std::move(entry->current));
   }
-  return entry.write_chunks.load(std::memory_order_acquire);
+  return entry->write_chunks.load(std::memory_order_acquire);
 }
 
 Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint64_t offset) {
   auto state_result = state_for(handle);
   if (!state_result.ok()) return state_result.error();
   if (!state_result.value().writable) return Error{EBADF, "write on read-only handle"};
-  FileEntry& entry = *state_result.value().entry;
+  const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
+  FileEntry& entry = *entry_sp;
 
   stats_.app_writes.fetch_add(1, std::memory_order_relaxed);
   stats_.app_bytes.fetch_add(data.size(), std::memory_order_relaxed);
@@ -173,7 +173,7 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     // Non-contiguous write: flush the current chunk and restart at the new
     // offset. Checkpoint streams are sequential so this is the cold path.
     if (entry.current != nullptr && entry.current->append_point() != offset) {
-      flush_current_locked(entry, /*partial=*/true);
+      flush_current_locked(entry_sp, /*partial=*/true);
     }
     if (entry.current == nullptr) {
       entry.current = acquire_chunk(entry, offset, &pool_wait_ns);
@@ -183,7 +183,7 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     data = data.subspan(consumed);
     offset += consumed;
     if (entry.current->full()) {
-      flush_current_locked(entry, /*partial=*/false);
+      flush_current_locked(entry_sp, /*partial=*/false);
     }
   }
 
@@ -240,7 +240,7 @@ std::unique_ptr<Chunk> Crfs::acquire_chunk(FileEntry& entry, std::uint64_t offse
         std::unique_lock victim_lock(victim->agg_mu, std::try_to_lock);
         if (victim_lock.owns_lock() && victim->current != nullptr &&
             !victim->current->empty()) {
-          flush_current_locked(*victim, /*partial=*/true);
+          flush_current_locked(victim, /*partial=*/true);
           stats_.chunk_steals.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -248,17 +248,17 @@ std::unique_ptr<Chunk> Crfs::acquire_chunk(FileEntry& entry, std::uint64_t offse
   }
 }
 
-void Crfs::drain(FileEntry& entry) {
+void Crfs::drain(const std::shared_ptr<FileEntry>& entry) {
   std::uint64_t target;
   {
-    std::lock_guard agg(entry.agg_mu);
+    std::lock_guard agg(entry->agg_mu);
     target = flush_current_locked(entry, /*partial=*/true);
   }
   // Drain wait: how long close()/fsync() block on the pipeline emptying —
   // the paper's §IV-C reconciliation of write vs. complete chunk counts.
   const std::uint64_t t0 = obs::now_ns();
   obs::TraceSpan span(trace_, "drain");
-  entry.wait_for_completion(target);
+  entry->wait_for_completion(target);
   h_drain_wait_->record(obs::now_ns() - t0);
 }
 
@@ -274,7 +274,7 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
       std::lock_guard agg(entry.agg_mu);
       dirty = entry.current != nullptr && !entry.current->empty();
     }
-    if (dirty) drain(entry);
+    if (dirty) drain(entry_result.value());
   }
 
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
@@ -288,24 +288,19 @@ Status Crfs::fsync(FileHandle handle) {
   if (!entry_result.ok()) return entry_result.error();
   FileEntry& entry = *entry_result.value();
 
-  drain(entry);
+  drain(entry_result.value());
   if (auto err = entry.take_error()) return *err;
   return backend_->fsync(entry.backend_file());
 }
 
 Status Crfs::close(FileHandle handle) {
-  std::shared_ptr<FileEntry> entry;
-  {
-    std::lock_guard lock(handles_mu_);
-    auto it = handles_.find(handle);
-    if (it == handles_.end()) return Error{EBADF, "close: unknown CRFS handle"};
-    entry = it->second.entry;
-    handles_.erase(it);
-  }
+  auto removed = handles_.remove(handle);
+  if (!removed) return Error{EBADF, "close: unknown CRFS handle"};
+  std::shared_ptr<FileEntry> entry = std::move(removed->entry);
 
   // Paper §IV-C: enqueue remaining data, then block until the complete
   // chunk count equals the write chunk count.
-  drain(*entry);
+  drain(entry);
 
   Status result;
   if (auto err = entry->take_error()) result = *err;
@@ -335,7 +330,7 @@ Status Crfs::unlink(const std::string& path) { return backend_->unlink(path); }
 
 Status Crfs::rename(const std::string& from, const std::string& to) {
   // Flush buffered data so the renamed file is complete under its new name.
-  if (auto entry = table_.find(from)) drain(*entry);
+  if (auto entry = table_.find(from)) drain(entry);
   return backend_->rename(from, to);
 }
 
@@ -397,7 +392,7 @@ Status Crfs::export_trace(const std::string& path) const {
 Status Crfs::truncate(const std::string& path, std::uint64_t size) {
   auto entry = table_.find(path);
   if (entry != nullptr) {
-    drain(*entry);
+    drain(entry);
     {
       std::lock_guard agg(entry->agg_mu);
       entry->size_seen.store(size, std::memory_order_relaxed);

@@ -18,6 +18,7 @@
 #include "crfs/buffer_pool.h"
 #include "crfs/config.h"
 #include "crfs/file_table.h"
+#include "crfs/handle_table.h"
 #include "crfs/io_pool.h"
 #include "crfs/work_queue.h"
 #include "obs/health.h"
@@ -162,17 +163,14 @@ class Crfs {
  private:
   Crfs(std::shared_ptr<BackendFs> backend, Config cfg);
 
-  struct HandleState {
-    std::shared_ptr<FileEntry> entry;
-    bool writable = false;
-  };
-
   Result<std::shared_ptr<FileEntry>> entry_for(FileHandle handle);
   Result<HandleState> state_for(FileHandle handle);
 
-  /// Enqueues `entry`'s current chunk (if any). Caller holds entry->agg_mu.
+  /// Enqueues `entry`'s current chunk (if any). Caller holds entry->agg_mu
+  /// and passes the entry's shared_ptr so the WriteJob reuses it directly —
+  /// no per-chunk file-table lookup on the flush path.
   /// Returns the write-chunk count snapshot after the enqueue.
-  std::uint64_t flush_current_locked(FileEntry& entry, bool partial);
+  std::uint64_t flush_current_locked(const std::shared_ptr<FileEntry>& entry, bool partial);
 
   /// Gets a fresh chunk for `entry` (agg_mu held), stealing another
   /// file's parked partial chunk if the pool is exhausted — without this,
@@ -183,7 +181,7 @@ class Crfs {
                                        std::uint64_t* wait_ns);
 
   /// Flush + wait for all outstanding writes of `entry`.
-  void drain(FileEntry& entry);
+  void drain(const std::shared_ptr<FileEntry>& entry);
 
   std::shared_ptr<BackendFs> backend_;
   Config cfg_;
@@ -209,9 +207,9 @@ class Crfs {
   obs::LatencyHistogram* h_pool_wait_ = nullptr;
   obs::LatencyHistogram* h_drain_wait_ = nullptr;
 
-  std::mutex handles_mu_;
-  std::unordered_map<FileHandle, HandleState> handles_;
-  std::uint64_t next_handle_ = 1;
+  /// Open-handle registry: per-slot locking, entry resolved once at open()
+  /// — the write() hot path does no global lock and no hash lookup.
+  HandleTable handles_;
 };
 
 }  // namespace crfs

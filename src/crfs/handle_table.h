@@ -1,0 +1,155 @@
+// HandleTable: the open-handle registry on CRFS's request hot path.
+//
+// Every FUSE-sized request (write/read/fsync) must map its file handle to
+// the FileEntry it was opened against. The original implementation kept
+// one mutex-guarded hash map, which made the handle lookup a global
+// rendezvous for all concurrent checkpoint streams. This table instead
+// resolves the FileEntry once per open() and caches it in a fixed slot
+// array (docs/PERFORMANCE.md):
+//
+//   * get()/remove() index straight into the slot — no hash, no global
+//     lock; each slot has its own mutex, so two streams only contend when
+//     they use the *same* handle concurrently (which POSIX callers don't).
+//   * A handle encodes {slot index, generation}; the generation is bumped
+//     on remove, so a stale handle after close+reopen reliably misses
+//     instead of aliasing the new file (EBADF, not corruption).
+//   * More live handles than slots spill into a mutex-guarded overflow
+//     map — correctness never depends on the fixed capacity, only the
+//     fast path does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crfs/file_table.h"
+
+namespace crfs {
+
+/// Per-open-handle state, resolved once at open() and cached: the file's
+/// table entry plus the writable bit from the open flags.
+struct HandleState {
+  std::shared_ptr<FileEntry> entry;
+  bool writable = false;
+};
+
+class HandleTable {
+ public:
+  using Handle = std::uint64_t;
+
+  static constexpr std::size_t kDefaultSlots = 1024;
+
+  explicit HandleTable(std::size_t slots = kDefaultSlots)
+      : slots_(slots == 0 ? 1 : slots) {
+    free_.reserve(slots_.size());
+    for (std::size_t i = slots_.size(); i-- > 0;) {
+      free_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  HandleTable(const HandleTable&) = delete;
+  HandleTable& operator=(const HandleTable&) = delete;
+
+  /// Registers an open handle; never fails (spills past capacity).
+  Handle insert(HandleState state) {
+    std::uint32_t idx;
+    {
+      std::lock_guard lock(alloc_mu_);
+      if (free_.empty()) {
+        const Handle h = kOverflowBit | next_overflow_++;
+        overflow_.emplace(h, std::move(state));
+        return h;
+      }
+      idx = free_.back();
+      free_.pop_back();
+    }
+    Slot& slot = slots_[idx];
+    std::lock_guard lock(slot.mu);
+    slot.state = std::move(state);
+    return (static_cast<Handle>(slot.generation) << 32) | (idx + 1);
+  }
+
+  /// Hot path: copies out the handle's state (one per-slot lock, no hash).
+  /// nullopt for unknown, closed, or stale (generation-mismatched) handles.
+  std::optional<HandleState> get(Handle h) const {
+    if (h & kOverflowBit) {
+      std::lock_guard lock(alloc_mu_);
+      auto it = overflow_.find(h);
+      if (it == overflow_.end()) return std::nullopt;
+      return it->second;
+    }
+    const std::uint64_t slot_plus1 = h & 0xffffffffu;
+    if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return std::nullopt;
+    const Slot& slot = slots_[slot_plus1 - 1];
+    std::lock_guard lock(slot.mu);
+    if (slot.generation != static_cast<std::uint32_t>(h >> 32) ||
+        slot.state.entry == nullptr) {
+      return std::nullopt;
+    }
+    return slot.state;
+  }
+
+  /// Unregisters the handle, returning its state (nullopt if unknown).
+  std::optional<HandleState> remove(Handle h) {
+    if (h & kOverflowBit) {
+      std::lock_guard lock(alloc_mu_);
+      auto it = overflow_.find(h);
+      if (it == overflow_.end()) return std::nullopt;
+      HandleState state = std::move(it->second);
+      overflow_.erase(it);
+      return state;
+    }
+    const std::uint64_t slot_plus1 = h & 0xffffffffu;
+    if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return std::nullopt;
+    const auto idx = static_cast<std::uint32_t>(slot_plus1 - 1);
+    Slot& slot = slots_[idx];
+    std::optional<HandleState> state;
+    {
+      std::lock_guard lock(slot.mu);
+      if (slot.generation != static_cast<std::uint32_t>(h >> 32) ||
+          slot.state.entry == nullptr) {
+        return std::nullopt;
+      }
+      state = std::move(slot.state);
+      slot.state = HandleState{};
+      slot.generation += 1;  // stale handles miss from now on
+    }
+    std::lock_guard lock(alloc_mu_);
+    free_.push_back(idx);
+    return state;
+  }
+
+  /// All live handle states (unmount sweep for leaked handles).
+  std::vector<HandleState> snapshot() const {
+    std::vector<HandleState> out;
+    for (const Slot& slot : slots_) {
+      std::lock_guard lock(slot.mu);
+      if (slot.state.entry != nullptr) out.push_back(slot.state);
+    }
+    std::lock_guard lock(alloc_mu_);
+    for (const auto& [h, state] : overflow_) out.push_back(state);
+    return out;
+  }
+
+ private:
+  static constexpr Handle kOverflowBit = Handle{1} << 63;
+
+  struct Slot {
+    mutable std::mutex mu;
+    HandleState state;            ///< entry == nullptr means free
+    std::uint32_t generation = 1;
+  };
+
+  std::vector<Slot> slots_;
+
+  // Cold path (open/close only): free-slot stack and the overflow map.
+  mutable std::mutex alloc_mu_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<Handle, HandleState> overflow_;
+  std::uint64_t next_overflow_ = 1;
+};
+
+}  // namespace crfs

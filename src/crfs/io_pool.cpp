@@ -1,12 +1,16 @@
 #include "crfs/io_pool.h"
 
+#include <algorithm>
+#include <span>
+
 #include "crfs/file_table.h"
 
 namespace crfs {
 
 IoThreadPool::IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool,
-                           BackendFs& backend, IoPoolObs observe)
-    : queue_(queue), pool_(pool), backend_(backend), obs_(observe) {
+                           BackendFs& backend, IoPoolObs observe, unsigned batch)
+    : queue_(queue), pool_(pool), backend_(backend), obs_(observe),
+      batch_(batch == 0 ? 1 : batch) {
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -19,40 +23,94 @@ IoThreadPool::~IoThreadPool() {
 }
 
 void IoThreadPool::worker_loop() {
-  while (auto job = queue_.pop()) {
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    // One clock pair per chunk-sized pwrite: noise next to the IO itself.
-    const bool timed = obs_.pwrite_ns != nullptr ||
-                       (obs_.trace != nullptr && obs_.trace->enabled());
-    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
-    const Status status =
-        backend_.pwrite(job->file->backend_file(), job->chunk->payload(),
-                        job->chunk->file_offset());
-    if (timed) {
-      const std::uint64_t dur = obs::now_ns() - t0;
-      if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(dur);
-      if (obs_.trace != nullptr && obs_.trace->enabled()) {
-        obs_.trace->ring().record("pwrite", t0, dur);
+  for (;;) {
+    std::vector<WriteJob> batch = queue_.pop_batch(batch_);
+    if (batch.empty()) return;  // shutdown and drained
+    // The whole batch counts as in-flight until its last chunk is
+    // released: the pool-exhaustion rescue in Crfs::acquire_chunk treats
+    // in_flight() > 0 as "chunks are coming back soon", which must cover
+    // chunks parked in a worker's batch, not just the one being written.
+    in_flight_.fetch_add(static_cast<unsigned>(batch.size()),
+                         std::memory_order_acq_rel);
+    if (obs_.batch_chunks != nullptr) obs_.batch_chunks->record(batch.size());
+
+    // Group by file so interleaved streams don't break up each other's
+    // runs — but stable: FIFO order is preserved WITHIN each file, so two
+    // overlapping chunks of one file (an overwrite) are still written in
+    // program order. Sorting by offset instead would silently invert
+    // last-writer-wins for overlaps. A sequential stream enqueues its
+    // chunks in ascending offset order anyway, so the common case still
+    // forms maximal adjacent runs.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const WriteJob& a, const WriteJob& b) {
+                       return a.file.get() < b.file.get();
+                     });
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      std::size_t j = i + 1;
+      while (j < batch.size() && batch[j].file.get() == batch[i].file.get() &&
+             batch[j - 1].chunk->append_point() == batch[j].chunk->file_offset()) {
+        ++j;
       }
+      write_run(std::span<WriteJob>{batch}.subspan(i, j - i));
+      i = j;
     }
-    if (status.ok()) {
-      chunks_written_.fetch_add(1, std::memory_order_relaxed);
-      bytes_written_.fetch_add(job->chunk->fill(), std::memory_order_relaxed);
-      if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(job->chunk->fill());
-    } else {
-      if (obs_.pwrite_errors != nullptr) obs_.pwrite_errors->add(1);
-      if (obs_.events != nullptr) {
-        const Error& err = status.error();
-        obs_.events->push(obs::Event{
-            obs::Severity::kCritical, "pwrite_error",
-            job->file->path() + " offset=" + std::to_string(job->chunk->file_offset()) +
-                " len=" + std::to_string(job->chunk->fill()) + " errno=" +
-                std::to_string(err.code) + " (" + err.to_string() + ")",
-            static_cast<double>(err.code), 0.0, obs::now_ns()});
-      }
+  }
+}
+
+void IoThreadPool::write_run(std::span<WriteJob> run) {
+  FileEntry& file = *run.front().file;
+  const std::uint64_t offset = run.front().chunk->file_offset();
+  std::uint64_t total = 0;
+  for (const WriteJob& job : run) total += job.chunk->fill();
+
+  // One clock pair per backend call (chunk-sized or larger): noise next
+  // to the IO itself.
+  const bool timed = obs_.pwrite_ns != nullptr ||
+                     (obs_.trace != nullptr && obs_.trace->enabled());
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  Status status;
+  if (run.size() == 1) {
+    status = backend_.pwrite(file.backend_file(), run.front().chunk->payload(), offset);
+  } else {
+    std::vector<BackendIoVec> iov;
+    iov.reserve(run.size());
+    for (const WriteJob& job : run) {
+      iov.push_back(BackendIoVec{job.chunk->payload().data(), job.chunk->fill()});
     }
-    job->file->complete_one(status);
-    pool_.release(std::move(job->chunk));
+    status = backend_.pwritev(file.backend_file(), iov, offset);
+    if (obs_.coalesced_pwrites != nullptr) obs_.coalesced_pwrites->add(1);
+  }
+  if (timed) {
+    const std::uint64_t dur = obs::now_ns() - t0;
+    if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(dur);
+    if (obs_.trace != nullptr && obs_.trace->enabled()) {
+      obs_.trace->ring().record("pwrite", t0, dur);
+    }
+  }
+
+  if (status.ok()) {
+    chunks_written_.fetch_add(run.size(), std::memory_order_relaxed);
+    bytes_written_.fetch_add(total, std::memory_order_relaxed);
+    if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(total);
+  } else {
+    if (obs_.pwrite_errors != nullptr) obs_.pwrite_errors->add(1);
+    if (obs_.events != nullptr) {
+      const Error& err = status.error();
+      obs_.events->push(obs::Event{
+          obs::Severity::kCritical, "pwrite_error",
+          file.path() + " offset=" + std::to_string(offset) + " len=" +
+              std::to_string(total) + " chunks=" + std::to_string(run.size()) +
+              " errno=" + std::to_string(err.code) + " (" + err.to_string() + ")",
+          static_cast<double>(err.code), 0.0, obs::now_ns()});
+    }
+  }
+  // Every chunk in the run shares the run's fate: complete_one keeps
+  // close()/fsync() blocked until write_chunks == complete_chunks, and a
+  // failed run marks the sticky FileEntry error once per chunk.
+  for (WriteJob& job : run) {
+    job.file->complete_one(status);
+    pool_.release(std::move(job.chunk));
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }

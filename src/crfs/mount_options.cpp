@@ -56,6 +56,24 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         return Error{EINVAL, "bad thread count: '" + std::string(value) + "'"};
       }
       out.config.io_threads = threads;
+    } else if (key == "pool_shards") {
+      std::size_t shards = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, shards);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad shard count: '" + std::string(value) + "'"};
+      }
+      out.config.pool_shards = shards;  // 0 = auto
+    } else if (key == "io_batch") {
+      unsigned batch = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, batch);
+      if (ec != std::errc{} || ptr != end || batch == 0) {
+        return Error{EINVAL, "bad io_batch: '" + std::string(value) + "'"};
+      }
+      out.config.io_batch = batch;
     } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms") {
       unsigned parsed = 0;
       const auto* begin = value.data();
@@ -111,6 +129,12 @@ std::string format_mount_options(const MountOptions& options) {
   std::string s = "chunk=" + exact_size(options.config.chunk_size) +
                   ",pool=" + exact_size(options.config.pool_size) +
                   ",threads=" + std::to_string(options.config.io_threads);
+  if (options.config.pool_shards > 0) {
+    s += ",pool_shards=" + std::to_string(options.config.pool_shards);
+  }
+  if (options.config.io_batch != Config{}.io_batch) {
+    s += ",io_batch=" + std::to_string(options.config.io_batch);
+  }
   s += options.fuse.big_writes ? ",big_writes" : ",no_big_writes";
   if (!options.config.flush_before_read) s += ",paper_reads";
   if (options.config.enable_tracing) s += ",trace";

@@ -21,6 +21,8 @@ struct MountOptions {
 ///   chunk=<size>        aggregation chunk size          (default 4M)
 ///   pool=<size>         buffer pool size                (default 16M)
 ///   threads=<n>         IO thread count                 (default 4)
+///   pool_shards=<n>     buffer-pool shard count, 0=auto (default 0)
+///   io_batch=<n>        chunks per IO dequeue, 1=off    (default 8)
 ///   big_writes          128 KB FUSE requests            (default on)
 ///   no_big_writes       4 KB FUSE requests
 ///   flush_before_read   reads see buffered data         (default on)

@@ -14,17 +14,35 @@ void WorkQueue::push(WriteJob job) {
 }
 
 std::optional<WriteJob> WorkQueue::pop() {
-  std::unique_lock lock(mu_);
-  ready_.wait(lock, [&] { return !jobs_.empty() || shutdown_; });
-  if (jobs_.empty()) return std::nullopt;
-  WriteJob job = std::move(jobs_.front());
-  jobs_.pop_front();
-  lock.unlock();
-  if (wait_hist_ != nullptr && job.enqueue_ns != 0) {
-    const std::uint64_t now = obs::now_ns();
-    wait_hist_->record(now > job.enqueue_ns ? now - job.enqueue_ns : 0);
+  auto batch = pop_batch(1);
+  if (batch.empty()) return std::nullopt;
+  return std::move(batch.front());
+}
+
+std::vector<WriteJob> WorkQueue::pop_batch(std::size_t max) {
+  if (max == 0) max = 1;
+  std::vector<WriteJob> batch;
+  {
+    std::unique_lock lock(mu_);
+    ready_.wait(lock, [&] { return !jobs_.empty() || shutdown_; });
+    if (jobs_.empty()) return batch;  // shutdown and drained
+    const std::size_t n = jobs_.size() < max ? jobs_.size() : max;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(jobs_.front()));
+      jobs_.pop_front();
+    }
   }
-  return job;
+  if (wait_hist_ != nullptr) {
+    // One clock read for the whole batch; per-job deltas still recorded.
+    const std::uint64_t now = obs::now_ns();
+    for (const WriteJob& job : batch) {
+      if (job.enqueue_ns != 0) {
+        wait_hist_->record(now > job.enqueue_ns ? now - job.enqueue_ns : 0);
+      }
+    }
+  }
+  return batch;
 }
 
 void WorkQueue::shutdown() {

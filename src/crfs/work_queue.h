@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "crfs/chunk.h"
 #include "obs/metrics.h"
@@ -38,6 +39,13 @@ class WorkQueue {
 
   /// Blocks for the next job; nullopt after shutdown once drained.
   std::optional<WriteJob> pop();
+
+  /// Blocks for the first job, then greedily drains up to `max` jobs that
+  /// are already queued — one lock acquisition for the whole batch, never
+  /// waiting for stragglers. Returns empty only after shutdown once
+  /// drained. The IO pool groups the batch by file and coalesces adjacent
+  /// chunks into vectored backend writes (docs/PERFORMANCE.md).
+  std::vector<WriteJob> pop_batch(std::size_t max);
 
   /// Lets pop() return nullopt once the queue is empty. Already-queued
   /// jobs are still handed out so teardown never loses buffered data.

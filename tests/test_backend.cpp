@@ -184,6 +184,27 @@ TEST_P(BackendConformance, LargeWriteRoundTrip) {
   ASSERT_TRUE(backend_->close_file(f.value()).ok());
 }
 
+TEST_P(BackendConformance, PwritevLandsSegmentsBackToBack) {
+  auto f = backend_->open_file("vec.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  const std::string a = "first-";
+  const std::string b = "second-";
+  const std::string c = "third";
+  const BackendIoVec iov[] = {
+      {reinterpret_cast<const std::byte*>(a.data()), a.size()},
+      {reinterpret_cast<const std::byte*>(b.data()), b.size()},
+      {reinterpret_cast<const std::byte*>(c.data()), c.size()},
+  };
+  ASSERT_TRUE(backend_->pwritev(f.value(), iov, 10).ok());
+
+  const std::string expect = a + b + c;
+  std::vector<std::byte> back(expect.size());
+  ASSERT_EQ(backend_->pread(f.value(), back, 10).value(), expect.size());
+  EXPECT_EQ(to_string(back), expect);
+  EXPECT_EQ(backend_->stat("vec.bin").value().size, 10 + expect.size());
+  ASSERT_TRUE(backend_->close_file(f.value()).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
                          ::testing::Values("mem", "posix"),
                          [](const auto& param_info) { return param_info.param; });
@@ -211,6 +232,25 @@ TEST(MemBackend, CountsPwrites) {
   }
   EXPECT_EQ(mem.total_pwrites(), 5u);
   EXPECT_EQ(mem.total_pwritten_bytes(), 5u);
+  ASSERT_TRUE(mem.close_file(f.value()).ok());
+}
+
+TEST(MemBackend, PwritevCountsAsOneAggregatedWrite) {
+  MemBackend mem;
+  auto f = mem.open_file("v", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  const std::string a = "AAAA";
+  const std::string b = "BBBB";
+  const BackendIoVec iov[] = {
+      {reinterpret_cast<const std::byte*>(a.data()), a.size()},
+      {reinterpret_cast<const std::byte*>(b.data()), b.size()},
+  };
+  ASSERT_TRUE(mem.pwritev(f.value(), iov, 0).ok());
+  // The aggregation-bound tests count backend calls: a coalesced run is
+  // one call regardless of how many chunks it carried.
+  EXPECT_EQ(mem.total_pwrites(), 1u);
+  EXPECT_EQ(mem.total_pwritten_bytes(), 8u);
+  EXPECT_EQ(to_string(mem.contents("v").value()), "AAAABBBB");
   ASSERT_TRUE(mem.close_file(f.value()).ok());
 }
 
@@ -286,6 +326,29 @@ TEST(FaultyBackend, FailsAfterNWrites) {
   auto third = faulty.pwrite(f.value(), as_bytes("c"), 2);
   ASSERT_FALSE(third.ok());
   EXPECT_EQ(third.error().code, EIO);
+}
+
+TEST(FaultyBackend, PwritevFallbackKeepsPerSegmentInjection) {
+  // Decorators don't override pwritev: the BackendFs default forwards
+  // segment by segment through their virtual pwrite, so write-count fault
+  // injection still sees each segment individually.
+  auto mem = std::make_shared<MemBackend>();
+  FaultyBackend faulty(mem);
+  faulty.fail_writes_after(1);
+
+  auto f = faulty.open_file("v", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+  const std::string a = "ok";
+  const std::string b = "boom";
+  const BackendIoVec iov[] = {
+      {reinterpret_cast<const std::byte*>(a.data()), a.size()},
+      {reinterpret_cast<const std::byte*>(b.data()), b.size()},
+  };
+  auto st = faulty.pwritev(f.value(), iov, 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, EIO);
+  // First segment landed before the injected failure.
+  EXPECT_EQ(to_string(mem->contents("v").value()), "ok");
 }
 
 TEST(FaultyBackend, FsyncAndOpenInjection) {

@@ -69,10 +69,11 @@ TEST(BufferPool, AtLeastOneChunkEvenWhenPoolTooSmall) {
 
 TEST(BufferPool, AcquireReleaseCycle) {
   BufferPool pool(8192, 4096);
-  auto a = pool.acquire(0);
+  auto a = pool.try_acquire(0);
   ASSERT_NE(a, nullptr);
   EXPECT_EQ(pool.free_chunks(), 1u);
-  auto b = pool.acquire(4096);
+  auto b = pool.try_acquire(4096);
+  ASSERT_NE(b, nullptr);
   EXPECT_EQ(pool.free_chunks(), 0u);
   EXPECT_EQ(pool.try_acquire(0), nullptr);
   pool.release(std::move(a));
@@ -86,12 +87,12 @@ TEST(BufferPool, AcquireReleaseCycle) {
 
 TEST(BufferPool, AcquireBlocksUntilRelease) {
   BufferPool pool(4096, 4096);  // exactly one chunk
-  auto held = pool.acquire(0);
+  auto held = pool.try_acquire(0);
   ASSERT_NE(held, nullptr);
 
   std::atomic<bool> acquired{false};
   std::thread waiter([&] {
-    auto c = pool.acquire(0);
+    auto c = pool.acquire_for(0, std::chrono::seconds(10));
     acquired.store(c != nullptr);
     pool.release(std::move(c));
   });
@@ -107,10 +108,13 @@ TEST(BufferPool, AcquireBlocksUntilRelease) {
 
 TEST(BufferPool, ShutdownUnblocksWaiters) {
   BufferPool pool(4096, 4096);
-  auto held = pool.acquire(0);
+  auto held = pool.try_acquire(0);
+  ASSERT_NE(held, nullptr);
 
   std::atomic<bool> got_null{false};
-  std::thread waiter([&] { got_null.store(pool.acquire(0) == nullptr); });
+  std::thread waiter([&] {
+    got_null.store(pool.acquire_for(0, std::chrono::seconds(10)) == nullptr);
+  });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   pool.shutdown();
   waiter.join();
@@ -127,7 +131,7 @@ TEST(BufferPool, ManyThreadsChurnWithoutLoss) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < kIters; ++i) {
-        auto c = pool.acquire(static_cast<std::uint64_t>(i));
+        auto c = pool.acquire_for(static_cast<std::uint64_t>(i), std::chrono::seconds(10));
         ASSERT_NE(c, nullptr);
         std::vector<std::byte> junk(64);
         c->append(junk);
@@ -137,6 +141,57 @@ TEST(BufferPool, ManyThreadsChurnWithoutLoss) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(pool.free_chunks(), 16u);  // nothing leaked
+}
+
+// ------------------------------------------------------------- sharding
+
+TEST(BufferPool, ShardCountClampedToChunkCount) {
+  BufferPool pool(4 * 4096, 4096, /*shards=*/64);
+  EXPECT_EQ(pool.total_chunks(), 4u);
+  EXPECT_LE(pool.shard_count(), 4u);
+  EXPECT_GE(pool.shard_count(), 1u);
+}
+
+TEST(BufferPool, AutoShardingPicksAtLeastOneShard) {
+  BufferPool pool(16 * MiB, 4 * MiB);  // shards = 0 -> auto
+  EXPECT_GE(pool.shard_count(), 1u);
+  EXPECT_LE(pool.shard_count(), pool.total_chunks());
+}
+
+TEST(BufferPool, OneThreadCanDrainEveryShard) {
+  // Work stealing: a single thread's home shard holds only a fraction of
+  // the chunks, but try_acquire must find the rest in the other shards.
+  BufferPool pool(8 * 4096, 4096, /*shards=*/8);
+  std::vector<std::unique_ptr<Chunk>> held;
+  for (int i = 0; i < 8; ++i) {
+    auto c = pool.try_acquire(static_cast<std::uint64_t>(i));
+    ASSERT_NE(c, nullptr) << "chunk " << i << " not found via shard scan";
+    held.push_back(std::move(c));
+  }
+  EXPECT_EQ(pool.free_chunks(), 0u);
+  EXPECT_EQ(pool.try_acquire(0), nullptr);
+  for (auto& c : held) pool.release(std::move(c));
+  EXPECT_EQ(pool.free_chunks(), 8u);
+}
+
+TEST(BufferPool, ShardedChurnKeepsCountsConsistent) {
+  BufferPool pool(8 * 4096, 4096, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto c = pool.acquire_for(static_cast<std::uint64_t>(i), std::chrono::seconds(10));
+        ASSERT_NE(c, nullptr);
+        pool.release(std::move(c));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.free_chunks(), 8u);
+  EXPECT_EQ(pool.in_use_chunks(), 0u);
 }
 
 }  // namespace

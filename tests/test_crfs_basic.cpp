@@ -406,8 +406,10 @@ TEST(CrfsNull, DiscardModeCountsAllBytes) {
   ASSERT_TRUE(fs.value()->write(h.value(), data, 0).ok());
   ASSERT_TRUE(fs.value()->close(h.value()).ok());
   EXPECT_EQ(null->bytes_discarded(), data.size());
-  // 1 MiB through 64 KiB chunks = 16 backend writes.
-  EXPECT_EQ(null->writes_observed(), 16u);
+  // 1 MiB through 64 KiB chunks = 16 chunks; batched dequeue may coalesce
+  // adjacent chunks into fewer (vectored) backend calls, never more.
+  EXPECT_GE(null->writes_observed(), 1u);
+  EXPECT_LE(null->writes_observed(), 16u);
 }
 
 }  // namespace

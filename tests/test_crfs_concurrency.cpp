@@ -3,6 +3,7 @@
 // and parameterized sweeps over chunk/pool/thread configurations.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
 #include "backend/mem_backend.h"
@@ -314,6 +315,86 @@ TEST(CrfsConcurrency, MoreOpenFilesThanChunksDoesNotDeadlock) {
   }
   EXPECT_GT(fs.value()->stats().snapshot().chunk_steals, 0u)
       << "the rescue path must have engaged";
+}
+
+// Stress: N writer threads × M files over a pool far smaller than the
+// working set, with the sharded pool and batched/coalescing IO path at
+// non-default settings. Every interleaving must land byte-exact content;
+// the tiny pool guarantees constant exhaustion (and with more parked
+// files than chunks, the rescue/steal path engages too). Runs under the
+// TSan preset via scripts/check_tsan.sh.
+TEST(CrfsConcurrency, ManyWritersManyFilesTinyPoolByteExact) {
+  auto mem = std::make_shared<MemBackend>();
+  // 4 chunks total; pool_shards asks for 8 and must clamp to the chunk
+  // count. io_batch=4 exceeds the half-the-pool cap, so the effective
+  // batch is 2 — the batched/coalescing dequeue runs while the pool
+  // stays under constant exhaustion.
+  auto fs = Crfs::mount(mem, Config{.chunk_size = 8 * 1024,
+                                    .pool_size = 32 * 1024,
+                                    .io_threads = 2,
+                                    .pool_shards = 8,
+                                    .io_batch = 4});
+  ASSERT_TRUE(fs.ok());
+
+  constexpr int kWriters = 8;
+  constexpr int kFilesPerWriter = 3;
+  constexpr std::size_t kBytes = 96 * 1024;
+
+  // Deterministic per-file payloads, built up front so the check below is
+  // a straight byte comparison against backend contents.
+  auto payload = [](int writer, int file) {
+    std::vector<std::byte> data(kBytes);
+    Rng rng(static_cast<std::uint64_t>(writer) * 131 + static_cast<std::uint64_t>(file));
+    for (auto& b : data) b = static_cast<std::byte>(rng.next_u64());
+    return data;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng size_rng(static_cast<std::uint64_t>(w) ^ 0x5EED);
+      for (int f = 0; f < kFilesPerWriter; ++f) {
+        const std::string path =
+            "stress" + std::to_string(w) + "_" + std::to_string(f);
+        const std::vector<std::byte> data = payload(w, f);
+        auto h = fs.value()->open(path, {.create = true, .truncate = true, .write = true});
+        ASSERT_TRUE(h.ok());
+        std::size_t off = 0;
+        while (off < kBytes) {
+          // Odd sizes straddle chunk edges; occasional fsync interleaves
+          // drain() with other writers' flushes.
+          const std::size_t n =
+              std::min<std::size_t>(size_rng.uniform(1, 20 * 1024), kBytes - off);
+          ASSERT_TRUE(
+              fs.value()->write(h.value(), {data.data() + off, n}, off).ok());
+          off += n;
+          if (size_rng.uniform(0, 9) == 0) {
+            ASSERT_TRUE(fs.value()->fsync(h.value()).ok());
+          }
+        }
+        ASSERT_TRUE(fs.value()->close(h.value()).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int w = 0; w < kWriters; ++w) {
+    for (int f = 0; f < kFilesPerWriter; ++f) {
+      const std::string path =
+          "stress" + std::to_string(w) + "_" + std::to_string(f);
+      auto c = mem->contents(path);
+      ASSERT_TRUE(c.ok()) << path;
+      const std::vector<std::byte> expect = payload(w, f);
+      ASSERT_EQ(c.value().size(), expect.size()) << path;
+      ASSERT_EQ(std::memcmp(c.value().data(), expect.data(), expect.size()), 0)
+          << "byte mismatch in " << path;
+    }
+  }
+  EXPECT_EQ(fs.value()->open_files(), 0u);
+  EXPECT_EQ(fs.value()->queue_depth(), 0u);
+  // The working set dwarfs the pool, so acquisition had to contend.
+  EXPECT_GT(fs.value()->buffer_pool().contention_count(), 0u);
 }
 
 }  // namespace

@@ -366,7 +366,12 @@ TEST(PipelineObs, StageHistogramsFillDuringCheckpoint) {
   EXPECT_GE(queue_wait->count, 96u);
   const auto* pwrite = hist("crfs.io.pwrite_ns");
   ASSERT_NE(pwrite, nullptr);
-  EXPECT_GE(pwrite->count, 96u);
+  // One record per BACKEND CALL: batched dequeue coalesces up to io_batch
+  // adjacent chunks into a single call, so the floor is 96 / io_batch.
+  EXPECT_GE(pwrite->count, 96u / fs->config().io_batch);
+  const auto* batch_hist = hist("crfs.io.batch_chunks");
+  ASSERT_NE(batch_hist, nullptr);
+  EXPECT_GE(batch_hist->count, 1u);  // one record per pop_batch
   const auto* copy = hist("crfs.write.copy_ns");
   ASSERT_NE(copy, nullptr);
   EXPECT_EQ(copy->count, 3u * (2 * MiB / (32 * KiB)));  // one per app write

@@ -67,6 +67,44 @@ TEST(WorkQueue, ShutdownUnblocksWaiters) {
   consumer.join();
 }
 
+TEST(WorkQueue, PopBatchDrainsUpToMaxInFifoOrder) {
+  WorkQueue q;
+  auto entry = std::make_shared<FileEntry>("f", 1);
+  for (int i = 0; i < 5; ++i) {
+    q.push(make_job(entry, 64, static_cast<std::uint64_t>(i), 'a', 1));
+  }
+  auto first = q.pop_batch(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].chunk->file_offset(), 0u);
+  EXPECT_EQ(first[1].chunk->file_offset(), 1u);
+  EXPECT_EQ(first[2].chunk->file_offset(), 2u);
+  auto rest = q.pop_batch(8);  // only 2 left; must not block for more
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].chunk->file_offset(), 3u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(WorkQueue, PopBatchBlocksForFirstJobOnly) {
+  WorkQueue q;
+  std::atomic<std::size_t> got{0};
+  std::thread consumer([&] { got.store(q.pop_batch(4).size()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(got.load(), 0u);
+  q.push(make_job(std::make_shared<FileEntry>("f", 1), 64, 0, 'x', 1));
+  consumer.join();
+  EXPECT_EQ(got.load(), 1u);  // returned with the one available job
+}
+
+TEST(WorkQueue, PopBatchReturnsEmptyAfterShutdownDrained) {
+  WorkQueue q;
+  auto entry = std::make_shared<FileEntry>("f", 1);
+  q.push(make_job(entry, 64, 0, 'a', 1));
+  q.push(make_job(entry, 64, 1, 'b', 1));
+  q.shutdown();
+  EXPECT_EQ(q.pop_batch(8).size(), 2u);  // queued jobs still delivered
+  EXPECT_TRUE(q.pop_batch(8).empty());   // then closed
+}
+
 // --------------------------------------------------------- IoThreadPool
 
 class IoPoolTest : public ::testing::Test {
@@ -84,7 +122,8 @@ class IoPoolTest : public ::testing::Test {
 
   WriteJob pool_job(std::shared_ptr<FileEntry> entry, std::uint64_t offset,
                     const std::string& payload) {
-    auto chunk = pool_->acquire(offset);
+    auto chunk = pool_->acquire_for(offset, std::chrono::seconds(10));
+    EXPECT_NE(chunk, nullptr);
     chunk->append({reinterpret_cast<const std::byte*>(payload.data()), payload.size()});
     entry->write_chunks.fetch_add(1);
     return WriteJob{std::move(entry), std::move(chunk)};
@@ -153,6 +192,96 @@ TEST_F(IoPoolTest, BackendErrorRecordedOnEntry) {
   EXPECT_EQ(err->code, EIO);
   EXPECT_FALSE(entry->has_error());  // consumed
   EXPECT_EQ(io.chunks_written(), 0u);
+}
+
+TEST_F(IoPoolTest, BatchedWorkerCoalescesAdjacentChunks) {
+  auto entry = open_entry("seq.bin");
+  // Queue four offset-adjacent chunks BEFORE any worker exists, so the
+  // single worker's first pop_batch sees them all and must coalesce the
+  // run into one vectored backend write.
+  const std::string chunks[] = {"AAAA", "BBBB", "CCCC", "DDDD"};
+  std::uint64_t off = 0;
+  for (const auto& payload : chunks) {
+    queue_.push(pool_job(entry, off, payload));
+    off += payload.size();
+  }
+  const std::uint64_t pwrites_before = backend_->total_pwrites();
+  obs::Registry metrics;
+  IoPoolObs observe;
+  observe.batch_chunks = &metrics.histogram("crfs.io.batch_chunks");
+  observe.coalesced_pwrites = &metrics.counter("crfs.io.coalesced_pwrites");
+  {
+    IoThreadPool io(1, queue_, *pool_, *backend_, observe, /*batch=*/8);
+    entry->wait_for_completion(4);
+    EXPECT_EQ(io.chunks_written(), 4u);
+    EXPECT_EQ(io.bytes_written(), 16u);
+  }
+  // One coalesced pwritev for the whole run, not four pwrites.
+  EXPECT_EQ(backend_->total_pwrites() - pwrites_before, 1u);
+  EXPECT_GE(observe.coalesced_pwrites->value(), 1u);
+  EXPECT_GE(observe.batch_chunks->count(), 1u);
+  auto content = backend_->contents("seq.bin");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content.value().size(), 16u);
+  EXPECT_EQ(std::memcmp(content.value().data(), "AAAABBBBCCCCDDDD", 16), 0);
+}
+
+TEST_F(IoPoolTest, BatchedWorkerPreservesFifoOrderForOverlappingChunks) {
+  auto entry = open_entry("overlap.bin");
+  // A later overwrite at a LOWER offset: batching must not reorder these
+  // by offset — the second (newer) chunk has to land after the first, or
+  // last-writer-wins breaks for the overlapping bytes.
+  queue_.push(pool_job(entry, 2, "XXXX"));  // older write, [2,6)
+  queue_.push(pool_job(entry, 0, "yyyy"));  // newer overwrite, [0,4)
+  {
+    IoThreadPool io(1, queue_, *pool_, *backend_, {}, /*batch=*/4);
+    entry->wait_for_completion(2);
+  }
+  auto content = backend_->contents("overlap.bin");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content.value().size(), 6u);
+  EXPECT_EQ(std::memcmp(content.value().data(), "yyyyXX", 6), 0);
+}
+
+TEST_F(IoPoolTest, BatchedWorkerGroupsByFileAcrossInterleavedStreams) {
+  auto a = open_entry("a.bin");
+  auto b = open_entry("b.bin");
+  // Two streams interleaved in the queue: grouping by file must still
+  // coalesce each stream's adjacent chunks into one write per file.
+  queue_.push(pool_job(a, 0, "AAAA"));
+  queue_.push(pool_job(b, 0, "1111"));
+  queue_.push(pool_job(a, 4, "BBBB"));
+  queue_.push(pool_job(b, 4, "2222"));
+  const std::uint64_t pwrites_before = backend_->total_pwrites();
+  {
+    IoThreadPool io(1, queue_, *pool_, *backend_, {}, /*batch=*/8);
+    a->wait_for_completion(2);
+    b->wait_for_completion(2);
+  }
+  EXPECT_EQ(backend_->total_pwrites() - pwrites_before, 2u);  // one per file
+  EXPECT_EQ(std::memcmp(backend_->contents("a.bin").value().data(), "AAAABBBB", 8), 0);
+  EXPECT_EQ(std::memcmp(backend_->contents("b.bin").value().data(), "11112222", 8), 0);
+}
+
+TEST_F(IoPoolTest, BatchedWorkerKeepsNonAdjacentChunksSeparate) {
+  auto entry = open_entry("gap.bin");
+  queue_.push(pool_job(entry, 0, "AAAA"));
+  queue_.push(pool_job(entry, 100, "BBBB"));  // hole: must not coalesce
+  const std::uint64_t pwrites_before = backend_->total_pwrites();
+  obs::Registry metrics;
+  IoPoolObs observe;
+  observe.coalesced_pwrites = &metrics.counter("crfs.io.coalesced_pwrites");
+  {
+    IoThreadPool io(1, queue_, *pool_, *backend_, observe, /*batch=*/4);
+    entry->wait_for_completion(2);
+  }
+  EXPECT_EQ(backend_->total_pwrites() - pwrites_before, 2u);
+  EXPECT_EQ(observe.coalesced_pwrites->value(), 0u);
+  auto content = backend_->contents("gap.bin");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content.value().size(), 104u);
+  EXPECT_EQ(std::memcmp(content.value().data(), "AAAA", 4), 0);
+  EXPECT_EQ(std::memcmp(content.value().data() + 100, "BBBB", 4), 0);
 }
 
 TEST_F(IoPoolTest, DestructorDrainsQueuedJobs) {
