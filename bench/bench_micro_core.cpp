@@ -192,6 +192,30 @@ void BM_CrfsWritePathSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_CrfsWritePathSampled)->Arg(0)->Arg(10)->Arg(1);
 
+// BM_CrfsWritePath's A/B twin with the epoch ledger off (mount option
+// `no_epochs`). BM_CrfsWritePath itself runs with the default config, so
+// epoch attribution (~3 relaxed fetch_adds per write) is already in its
+// numbers; diffing against this variant isolates the ledger's hot-path
+// cost. The end-to-end budget is enforced by report_ledger_overhead().
+void BM_CrfsWritePathNoEpochs(benchmark::State& state) {
+  const auto write_size = static_cast<std::size_t>(state.range(0));
+  Config cfg;
+  cfg.epoch_tracking = false;
+  auto fs = Crfs::mount(std::make_shared<NullBackend>(), cfg);
+  FuseShim shim(*fs.value(), FuseOptions{});
+  auto h = shim.open("stream", {.create = true, .truncate = true, .write = true});
+  std::vector<std::byte> buf(write_size, std::byte{3});
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shim.write(h.value(), buf, offset).ok());
+    offset += write_size;
+  }
+  (void)shim.close(h.value());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(write_size));
+}
+BENCHMARK(BM_CrfsWritePathNoEpochs)->Arg(128 * 1024)->Arg(1024 * 1024);
+
 // Sampler overhead measurement: the same fixed multi-writer checkpoint
 // with the telemetry plane off and at a 10 ms period, timed end to end
 // (best of kReps to shed scheduler noise). Prints BENCH_OBS_SAMPLER_*
@@ -241,6 +265,73 @@ void report_sampler_overhead() {
   std::printf("BENCH_OBS_SAMPLER_OVERHEAD %.2f %% (budget <= 5%%)\n", overhead_pct);
 }
 
+// Epoch-ledger overhead guard: the same fixed multi-writer checkpoint
+// with epoch tracking off (mount option `no_epochs`) and on, wrapped in
+// an explicit epoch. Best of kReps, printed as BENCH_OBS_LEDGER_* lines
+// with a PASS/FAIL verdict against the documented <= 5% budget
+// (docs/OBSERVABILITY.md "Epoch ledger"), and written to BENCH_OBS.json
+// so CI can archive the measurement.
+double time_epoch_checkpoint_s(bool tracking) {
+  Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 8 * MiB;
+  cfg.io_threads = 2;
+  cfg.epoch_tracking = tracking;
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(), cfg);
+  if (!fs.ok()) return 0.0;
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  constexpr int kWriters = 4;
+  constexpr std::size_t kPerWriter = 32 * MiB;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (tracking) (void)fs.value()->epoch_begin("bench");
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto h = shim.open("bench_ledger_rank" + std::to_string(w),
+                         {.create = true, .truncate = true, .write = true});
+      if (!h.ok()) return;
+      std::vector<std::byte> buf(128 * KiB, std::byte{9});
+      for (std::size_t off = 0; off < kPerWriter; off += buf.size()) {
+        (void)shim.write(h.value(), buf, off);
+      }
+      (void)shim.fsync(h.value());
+      (void)shim.close(h.value());
+    });
+  }
+  for (auto& t : writers) t.join();
+  if (tracking) (void)fs.value()->epoch_end();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool report_ledger_overhead() {
+  constexpr int kReps = 5;
+  constexpr double kBudgetPct = 5.0;
+  double best_off = 1e30, best_on = 1e30;
+  for (int i = 0; i < kReps; ++i) {
+    best_off = std::min(best_off, time_epoch_checkpoint_s(false));
+    best_on = std::min(best_on, time_epoch_checkpoint_s(true));
+  }
+  const double overhead_pct = best_off > 0 ? 100.0 * (best_on - best_off) / best_off : 0.0;
+  const bool pass = overhead_pct <= kBudgetPct;
+  std::printf("\n-- epoch ledger overhead (best of %d, 4 writers x 32 MiB) --\n", kReps);
+  std::printf("BENCH_OBS_LEDGER_OFF %.4f s\n", best_off);
+  std::printf("BENCH_OBS_LEDGER_ON  %.4f s\n", best_on);
+  std::printf("BENCH_OBS_LEDGER_OVERHEAD %.2f %% (budget <= %.0f%%)\n", overhead_pct,
+              kBudgetPct);
+  std::printf("BENCH_OBS_LEDGER_GUARD %s\n", pass ? "PASS" : "FAIL");
+  if (std::FILE* f = std::fopen("BENCH_OBS.json", "w")) {
+    std::fprintf(f,
+                 "{\"ledger_off_s\":%.6f,\"ledger_on_s\":%.6f,"
+                 "\"ledger_overhead_pct\":%.3f,\"budget_pct\":%.1f,"
+                 "\"guard\":\"%s\"}\n",
+                 best_off, best_on, overhead_pct, kBudgetPct, pass ? "PASS" : "FAIL");
+    std::fclose(f);
+    std::printf("wrote BENCH_OBS.json\n");
+  }
+  return pass;
+}
+
 }  // namespace
 }  // namespace crfs
 
@@ -251,5 +342,8 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   crfs::report_stage_latencies();
   crfs::report_sampler_overhead();
+  // The guard's verdict is advisory on developer machines (wall-clock
+  // noise); CI greps BENCH_OBS_LEDGER_GUARD and archives BENCH_OBS.json.
+  (void)crfs::report_ledger_overhead();
   return 0;
 }

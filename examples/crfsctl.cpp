@@ -17,7 +17,16 @@
 //                                         fired health events
 //   crfsctl prom <dir> [mount-options]    run the workload, dump the final
 //                                         snapshot in Prometheus text
-//                                         exposition format
+//                                         exposition format (incl. the
+//                                         crfs_epoch_* series)
+//   crfsctl report <dir> [mount-options] [--json]
+//                                         run two explicit checkpoint
+//                                         epochs and print the epoch
+//                                         ledger: bytes, durability lag,
+//                                         aggregation ratio, effective
+//                                         bandwidth per epoch
+//   crfsctl postmortem <file>             pretty-print a flight-recorder
+//                                         dump (Config::postmortem_path)
 //   crfsctl epochs <dir> <set>            list a CheckpointSet's epochs
 //   crfsctl verify <dir> <set> [epoch]    verify an epoch (default latest)
 //
@@ -42,6 +51,7 @@
 #include "common/wall_clock.h"
 #include "crfs/mount_options.h"
 #include "crfs/posix_api.h"
+#include "obs/epoch.h"
 #include "obs/json_lite.h"
 #include "obs/prom.h"
 #include "obs/sampler.h"
@@ -58,6 +68,8 @@ int usage() {
                "       crfsctl trace <dir> <out.json> [mount-options]\n"
                "       crfsctl watch <dir> [mount-options]\n"
                "       crfsctl prom <dir> [mount-options]\n"
+               "       crfsctl report <dir> [mount-options] [--json]\n"
+               "       crfsctl postmortem <file>\n"
                "       crfsctl epochs <dir> <set>\n"
                "       crfsctl verify <dir> <set> [epoch]\n");
   return 64;
@@ -187,7 +199,197 @@ int cmd_prom(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
     return 1;
   }
-  std::printf("%s", obs::to_prometheus(fs.value()->metrics().snapshot()).c_str());
+  // Finalize the auto epoch the workload opened so the crfs_epoch_*
+  // series cover it too.
+  (void)fs.value()->epoch_end();
+  std::printf("%s%s", obs::to_prometheus(fs.value()->metrics().snapshot()).c_str(),
+              obs::epochs_to_prometheus(fs.value()->epochs()).c_str());
+  return 0;
+}
+
+// `crfsctl report`: two explicit multi-file checkpoint epochs through a
+// fresh mount, then the epoch ledger — the paper's per-checkpoint numbers
+// (bytes, wall time, aggregation ratio, effective bandwidth) plus the
+// ledger-derived durability lag. Greppable: one "EPOCH id=..." line per
+// record; --json emits epochs_to_json() instead.
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  const char* optstr = "";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  if (!opts.value().config.epoch_tracking) {
+    std::fprintf(stderr, "error: crfsctl report needs epoch tracking (drop no_epochs)\n");
+    return 1;
+  }
+
+  constexpr unsigned kEpochs = 2;
+  constexpr unsigned kRanks = 4;
+  constexpr std::size_t kPerRank = 8 * MiB;
+  constexpr std::size_t kRecord = 64 * KiB;
+
+  auto backend = PosixBackend::create(argv[2]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+
+  {
+    FuseShim shim(*fs.value(), opts.value().fuse);
+    for (unsigned e = 0; e < kEpochs; ++e) {
+      (void)fs.value()->epoch_begin("ckpt-" + std::to_string(e));
+      std::vector<std::thread> ranks;
+      for (unsigned r = 0; r < kRanks; ++r) {
+        ranks.emplace_back([&, e, r] {
+          const std::string path = ".crfsctl_report_rank" + std::to_string(r) +
+                                   ".ckpt." + std::to_string(e);
+          std::vector<std::byte> record(kRecord, static_cast<std::byte>(r + e));
+          auto h = shim.open(path, {.create = true, .truncate = true, .write = true});
+          if (!h.ok()) return;
+          for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+            (void)shim.write(h.value(), record, off);
+          }
+          (void)shim.close(h.value());
+        });
+      }
+      for (auto& t : ranks) t.join();
+      (void)fs.value()->epoch_end();
+    }
+  }
+  for (unsigned e = 0; e < kEpochs; ++e) {
+    for (unsigned r = 0; r < kRanks; ++r) {
+      (void)fs.value()->unlink(".crfsctl_report_rank" + std::to_string(r) + ".ckpt." +
+                               std::to_string(e));
+    }
+  }
+
+  const auto records = fs.value()->epochs();
+  if (as_json) {
+    std::printf("%s\n", obs::epochs_to_json(records).c_str());
+    return 0;
+  }
+  std::printf("crfsctl report: %u epochs x %u ranks x %s into %s (%s)\n", kEpochs,
+              kRanks, format_bytes(kPerRank).c_str(), argv[2],
+              format_mount_options(opts.value()).c_str());
+  TextTable table({"Epoch", "Label", "Files", "Bytes", "Chunks", "Agg ratio",
+                   "Eff BW", "Lag mean", "Lag max"});
+  for (const auto& rec : records) {
+    std::printf("EPOCH id=%llu label=%s files=%llu bytes=%llu chunks=%llu "
+                "durable=%llu backend_writes=%llu\n",
+                static_cast<unsigned long long>(rec.id), rec.label.c_str(),
+                static_cast<unsigned long long>(rec.files),
+                static_cast<unsigned long long>(rec.bytes),
+                static_cast<unsigned long long>(rec.chunks),
+                static_cast<unsigned long long>(rec.durable_bytes),
+                static_cast<unsigned long long>(rec.backend_writes));
+    char agg[32], bw[32], lmean[32], lmax[32];
+    std::snprintf(agg, sizeof(agg), "%.2f", rec.aggregation_ratio());
+    std::snprintf(bw, sizeof(bw), "%.0f MB/s", rec.effective_bw() / 1e6);
+    std::snprintf(lmean, sizeof(lmean), "%.2f ms", rec.mean_durability_lag_ns() / 1e6);
+    std::snprintf(lmax, sizeof(lmax), "%.2f ms",
+                  static_cast<double>(rec.durability_lag_max_ns) / 1e6);
+    table.add_row({std::to_string(rec.id), rec.label, std::to_string(rec.files),
+                   format_bytes(rec.bytes), std::to_string(rec.chunks), agg, bw,
+                   lmean, lmax});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// `crfsctl postmortem`: parse + pretty-print a flight-recorder dump. Exit
+// 2 when the file is missing or fails to parse (a truncated dump means
+// the publish protocol broke — worth a loud failure).
+int cmd_postmortem(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string text;
+  {
+    std::FILE* f = std::fopen(argv[2], "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  auto doc = obs::json::parse(text);
+  if (!doc.has_value() || !doc->is_object() || doc->get("crfs_postmortem") == nullptr) {
+    std::fprintf(stderr, "error: %s is not a CRFS postmortem document\n", argv[2]);
+    return 2;
+  }
+
+  const auto num = [&](const obs::json::Value* v) -> double {
+    return v != nullptr && v->is_number() ? v->number : 0.0;
+  };
+  std::printf("CRFS postmortem %s\n", argv[2]);
+  if (const auto* cfg = doc->get("config"); cfg != nullptr && cfg->is_string()) {
+    std::printf("  config: %s\n", cfg->string.c_str());
+  }
+  std::printf("  rendered_ns: %.0f\n", num(doc->get("rendered_ns")));
+  if (const auto* mount = doc->get("mount"); mount != nullptr && mount->is_object()) {
+    std::printf("  mount: app_writes=%.0f app_bytes=%.0f full_flushes=%.0f "
+                "partial_flushes=%.0f\n",
+                num(mount->get("app_writes")), num(mount->get("app_bytes")),
+                num(mount->get("full_flushes")), num(mount->get("partial_flushes")));
+  }
+
+  const auto* open = doc->get("epoch_open");
+  if (open != nullptr && open->is_object()) {
+    const auto* label = open->get("label");
+    std::printf("  OPEN EPOCH id=%.0f label=%s bytes=%.0f durable=%.0f chunks=%.0f\n",
+                num(open->get("id")),
+                label != nullptr && label->is_string() ? label->string.c_str() : "?",
+                num(open->get("bytes")), num(open->get("durable_bytes")),
+                num(open->get("chunks")));
+  } else {
+    std::printf("  no epoch open at dump time\n");
+  }
+  if (const auto* eps = doc->get("epochs"); eps != nullptr && eps->is_array()) {
+    std::printf("  finished epochs: %zu (epochs_completed=%.0f)\n", eps->array->size(),
+                num(doc->get("epochs_completed")));
+    for (const auto& e : *eps->array) {
+      const auto* label = e.get("label");
+      std::printf("    EPOCH id=%.0f label=%s bytes=%.0f durable=%.0f\n",
+                  num(e.get("id")),
+                  label != nullptr && label->is_string() ? label->string.c_str() : "?",
+                  num(e.get("bytes")), num(e.get("durable_bytes")));
+    }
+  }
+  if (const auto* events = doc->get("events"); events != nullptr && events->is_array()) {
+    std::printf("  events: %zu\n", events->array->size());
+    for (const auto& e : *events->array) {
+      const auto* rule = e.get("rule");
+      const auto* msg = e.get("message");
+      std::printf("    EVENT %s: %s\n",
+                  rule != nullptr && rule->is_string() ? rule->string.c_str() : "?",
+                  msg != nullptr && msg->is_string() ? msg->string.c_str() : "");
+    }
+  }
+  if (const auto* tail = doc->get("trace_tail"); tail != nullptr && tail->is_array()) {
+    std::printf("  trace tail: %zu spans\n", tail->array->size());
+    for (const auto& s : *tail->array) {
+      const auto* name = s.get("name");
+      std::printf("    SPAN %s ts=%.0f dur=%.0f\n",
+                  name != nullptr && name->is_string() ? name->string.c_str() : "?",
+                  num(s.get("ts_ns")), num(s.get("dur_ns")));
+    }
+  }
   return 0;
 }
 
@@ -483,6 +685,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
   if (std::strcmp(argv[1], "watch") == 0) return cmd_watch(argc, argv);
   if (std::strcmp(argv[1], "prom") == 0) return cmd_prom(argc, argv);
+  if (std::strcmp(argv[1], "report") == 0) return cmd_report(argc, argv);
+  if (std::strcmp(argv[1], "postmortem") == 0) return cmd_postmortem(argc, argv);
   if (std::strcmp(argv[1], "epochs") == 0) return cmd_epochs(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
   return usage();

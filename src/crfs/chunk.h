@@ -35,10 +35,19 @@ class Chunk {
   /// Offset within the target file where this chunk's data begins.
   std::uint64_t file_offset() const { return file_offset_; }
 
+  /// Chunk-lifecycle ledger (docs/OBSERVABILITY.md "Durability lag"):
+  /// copy-in timestamp of the first byte, stamped by the writer that
+  /// acquired the chunk (reusing its existing clock read — no extra
+  /// clock on the hot path). 0 means "not stamped" (uninstrumented
+  /// callers); the IO pool then skips the lag derivation.
+  std::uint64_t born_ns() const { return born_ns_; }
+  void set_born_ns(std::uint64_t ns) { born_ns_ = ns; }
+
   /// Rewinds the chunk for reuse against a new file position.
   void reset(std::uint64_t file_offset) {
     fill_ = 0;
     file_offset_ = file_offset;
+    born_ns_ = 0;
   }
 
   /// File offset one past the last byte currently buffered.
@@ -61,6 +70,7 @@ class Chunk {
   std::byte* storage_;
   std::size_t fill_ = 0;
   std::uint64_t file_offset_ = 0;
+  std::uint64_t born_ns_ = 0;
 };
 
 }  // namespace crfs

@@ -84,7 +84,46 @@ struct Config {
 
   /// Health-rule thresholds evaluated per sample (obs::HealthMonitor);
   /// only consulted when sample_ms > 0.
-  obs::HealthConfig health;
+  obs::HealthConfig health{};
+
+  /// Checkpoint-epoch attribution (docs/OBSERVABILITY.md "Epoch ledger").
+  /// When on (default), Crfs::open resolves each writable file to an
+  /// obs::EpochState (cold path) and the pipeline attributes bytes,
+  /// chunks, pool stalls, and durability lag to it with relaxed atomics;
+  /// finished epochs land in a bounded ledger (Crfs::epochs(),
+  /// stats_json "epochs", `crfsctl report`). Mount option `no_epochs`
+  /// turns the whole layer off (the bench guard's baseline).
+  bool epoch_tracking = true;
+
+  /// Open/close quiet window after which the next writable open starts a
+  /// new automatic epoch. Mount option `epoch_gap_ms=N`.
+  unsigned epoch_gap_ms = 500;
+
+  /// Finished EpochRecords kept (oldest evicted). Mount option
+  /// `epoch_ledger=N`.
+  std::size_t epoch_ledger = 64;
+
+  /// Control-file path for explicit epoch markers: writing "begin
+  /// [label]" / "end" to this path via the normal write API drives
+  /// Crfs::epoch_begin/epoch_end without touching the backend.
+  std::string epoch_marker_path = ".crfs_epoch";
+
+  /// Flight recorder (docs/OBSERVABILITY.md "Postmortem"): when
+  /// non-empty, the mount keeps a pre-rendered postmortem document in a
+  /// reserved buffer, refreshes it on epoch transitions / IO completions
+  /// (throttled) / critical events, installs fatal-signal handlers, and
+  /// dumps it to this path on SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL or an
+  /// error-burst health event. Mount option `postmortem=<path>`.
+  std::string postmortem_path{};
+
+  /// Minimum interval between IO-completion-driven postmortem refreshes.
+  /// 0 re-renders on every completed backend write (tests); the default
+  /// bounds the refresh cost to ~20 renders/s.
+  unsigned postmortem_refresh_ms = 50;
+
+  /// Reserved bytes per flight-recorder buffer (two are kept). A rendered
+  /// document larger than this is dropped, keeping the previous one.
+  std::size_t postmortem_buffer = 512 * 1024;
 
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
@@ -101,6 +140,15 @@ struct Config {
       return Error{EINVAL, "sample_ring must be > 0 when sampling"};
     }
     if (event_capacity == 0) return Error{EINVAL, "event_capacity must be > 0"};
+    if (epoch_tracking && epoch_ledger == 0) {
+      return Error{EINVAL, "epoch_ledger must be > 0 when epoch tracking is on"};
+    }
+    if (epoch_tracking && epoch_marker_path.empty()) {
+      return Error{EINVAL, "epoch_marker_path must be set when epoch tracking is on"};
+    }
+    if (!postmortem_path.empty() && postmortem_buffer < 4096) {
+      return Error{EINVAL, "postmortem_buffer must be >= 4096"};
+    }
     return {};
   }
 
@@ -113,7 +161,9 @@ struct Config {
            (pool_shards > 0 ? " pool_shards=" + std::to_string(pool_shards) : "") +
            (io_batch != 1 ? " io_batch=" + std::to_string(io_batch) : "") +
            (enable_tracing ? " tracing=on" : "") +
-           (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "");
+           (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "") +
+           (!epoch_tracking ? " epochs=off" : "") +
+           (!postmortem_path.empty() ? " postmortem=" + postmortem_path : "");
   }
 };
 

@@ -1,12 +1,35 @@
 #include "crfs/crfs.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdio>
 
 #include "common/table.h"
 #include "obs/chrome_trace.h"
 
 namespace crfs {
+
+namespace {
+
+// Minimal JSON string escaper for the postmortem document (config strings
+// may carry quotes/backslashes via user-supplied paths).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Crfs>> Crfs::mount(std::shared_ptr<BackendFs> backend, Config cfg) {
   if (backend == nullptr) return Error{EINVAL, "mount: null backend"};
@@ -20,6 +43,13 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
       trace_(cfg.trace_ring_events),
       events_(cfg.event_capacity) {
   trace_.set_enabled(cfg_.enable_tracing);
+  if (cfg_.epoch_tracking) {
+    epochs_ = std::make_unique<obs::EpochTracker>(
+        obs::EpochTracker::Options{
+            .gap_ns = static_cast<std::uint64_t>(cfg_.epoch_gap_ms) * 1'000'000,
+            .ledger_capacity = cfg_.epoch_ledger},
+        &metrics_);
+  }
   pool_ = std::make_unique<BufferPool>(cfg_.pool_size, cfg_.chunk_size, cfg_.pool_shards);
 
   // Resolve every hot-path metric once, before any worker thread exists;
@@ -38,6 +68,26 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   io_obs.events = &events_;
   io_obs.batch_chunks = &metrics_.histogram("crfs.io.batch_chunks");
   io_obs.coalesced_pwrites = &metrics_.counter("crfs.io.coalesced_pwrites");
+  io_obs.durability_lag_ns = &metrics_.histogram("crfs.chunk.durability_lag_ns");
+
+  // Flight recorder before the IO pool exists: the pool's run-complete
+  // hook and the event listener below reference it, and nothing can fire
+  // until the workers start.
+  if (!cfg_.postmortem_path.empty()) {
+    flight_ = std::make_unique<obs::FlightRecorder>(obs::FlightRecorder::Options{
+        .path = cfg_.postmortem_path, .capacity = cfg_.postmortem_buffer});
+    flight_->install_signal_handlers();
+    // Error bursts and failed pwrites should leave a dump even when the
+    // process survives them: refresh with the event included, then write
+    // the file. The listener runs outside the EventBuffer lock.
+    events_.set_listener([this](const obs::Event& ev) {
+      if (ev.severity == obs::Severity::kCritical) {
+        refresh_flight(/*force=*/true);
+        (void)flight_->dump_now();
+      }
+    });
+    io_obs.on_run_complete = [this] { refresh_flight(/*force=*/false); };
+  }
   // Cap the dequeue batch at half the pool: a batch's chunks stay parked
   // (and its writers starved) until the whole coalesced write lands, so a
   // batch that could drain the entire pool would run the pipeline in
@@ -77,6 +127,10 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
     sampler_->set_health_monitor(health_.get());
     sampler_->start(std::chrono::milliseconds(cfg_.sample_ms));
   }
+
+  // Seed the flight recorder so a crash before the first IO completion
+  // still leaves a (mostly empty) parseable document.
+  refresh_flight(/*force=*/true);
 }
 
 Crfs::~Crfs() {
@@ -89,9 +143,21 @@ Crfs::~Crfs() {
   // Destroy the IO pool first: drains the queue, joins workers.
   io_pool_.reset();
   pool_->shutdown();
+  // All chunk writes have landed: the final epoch record sees complete
+  // durable counts. A clean unmount leaves no postmortem file (the
+  // recorder only dumps on signals/critical events/dump_postmortem).
+  if (epochs_ != nullptr) epochs_->finalize_open(obs::now_ns());
 }
 
 Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
+  // Epoch control file: writes carry "begin [label]" / "end" commands and
+  // nothing reaches the backend. The dummy entry is detached (not in the
+  // FileTable) so the handle machinery treats the slot as live.
+  if (cfg_.epoch_tracking && path == cfg_.epoch_marker_path) {
+    auto dummy = std::make_shared<FileEntry>(path, BackendFile{0});
+    return handles_.insert(HandleState{std::move(dummy), flags.write, /*epoch_marker=*/true});
+  }
+
   bool reopened = true;
   auto entry = table_.find_or_create(path, [&]() -> Result<std::shared_ptr<FileEntry>> {
     reopened = false;
@@ -114,6 +180,14 @@ Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
       e.wait_for_completion(target);
       CRFS_RETURN_IF_ERROR(backend_->truncate(e.backend_file(), 0));
     }
+  }
+
+  // Epoch attribution is resolved once here (cold path) and cached on the
+  // entry; write() and the IO workers never touch the tracker.
+  if (epochs_ != nullptr && flags.write) {
+    auto epoch = epochs_->on_open(path, obs::now_ns());
+    std::lock_guard agg(entry.value()->agg_mu);
+    entry.value()->epoch = std::move(epoch);
   }
 
   return handles_.insert(HandleState{entry.value(), flags.write});
@@ -142,7 +216,12 @@ std::uint64_t Crfs::flush_current_locked(const std::shared_ptr<FileEntry>& entry
     } else {
       stats_.full_flushes.fetch_add(1, std::memory_order_relaxed);
     }
-    queue_.push(WriteJob{entry, std::move(chunk)});
+    // Capture the epoch under agg_mu (the only lock that guards the
+    // field); the IO threads attribute through the job's copy, never
+    // through the entry.
+    WriteJob job{entry, std::move(chunk), entry->epoch};
+    if (job.epoch != nullptr) job.epoch->chunks.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(std::move(job));
   } else if (entry->current != nullptr) {
     // Empty chunk: just return it to the pool.
     pool_->release(std::move(entry->current));
@@ -154,11 +233,13 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
   auto state_result = state_for(handle);
   if (!state_result.ok()) return state_result.error();
   if (!state_result.value().writable) return Error{EBADF, "write on read-only handle"};
+  if (state_result.value().epoch_marker) return handle_epoch_marker(data);
   const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
   FileEntry& entry = *entry_sp;
 
+  const std::size_t nbytes = data.size();
   stats_.app_writes.fetch_add(1, std::memory_order_relaxed);
-  stats_.app_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  stats_.app_bytes.fetch_add(nbytes, std::memory_order_relaxed);
 
   // Per-stage accounting: one clock pair for the whole call, plus slow-path
   // clocks inside acquire_chunk only when the pool actually blocks. The
@@ -178,6 +259,10 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     if (entry.current == nullptr) {
       entry.current = acquire_chunk(entry, offset, &pool_wait_ns);
       if (entry.current == nullptr) return Error{EIO, "CRFS shutting down"};
+      // Chunk-lifecycle ledger: birth = first copy-in. Reuses this call's
+      // t0 instead of a fresh clock read; the IO pool derives durability
+      // lag (copy-in -> pwrite-complete) from it.
+      entry.current->set_born_ns(t0);
     }
     const std::size_t consumed = entry.current->append(data);
     data = data.subspan(consumed);
@@ -190,6 +275,16 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
   const std::uint64_t elapsed = obs::now_ns() - t0;
   h_write_copy_->record(elapsed > pool_wait_ns ? elapsed - pool_wait_ns : 0);
   if (pool_wait_ns > 0) h_pool_wait_->record(pool_wait_ns);
+
+  // Epoch attribution: three relaxed fetch_adds, still under agg_mu (the
+  // lock that guards the epoch pointer itself).
+  if (entry.epoch != nullptr) {
+    entry.epoch->app_writes.fetch_add(1, std::memory_order_relaxed);
+    entry.epoch->bytes.fetch_add(nbytes, std::memory_order_relaxed);
+    if (pool_wait_ns > 0) {
+      entry.epoch->pool_stall_ns.fetch_add(pool_wait_ns, std::memory_order_relaxed);
+    }
+  }
 
   // Track the furthest byte written for getattr on still-buffered files.
   std::uint64_t seen = entry.size_seen.load(std::memory_order_relaxed);
@@ -264,9 +359,11 @@ void Crfs::drain(const std::shared_ptr<FileEntry>& entry) {
 
 Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
                                std::uint64_t offset) {
-  auto entry_result = entry_for(handle);
-  if (!entry_result.ok()) return entry_result.error();
-  FileEntry& entry = *entry_result.value();
+  auto state_result = state_for(handle);
+  if (!state_result.ok()) return state_result.error();
+  if (state_result.value().epoch_marker) return std::size_t{0};  // control file is empty
+  const std::shared_ptr<FileEntry>& entry_result = state_result.value().entry;
+  FileEntry& entry = *entry_result;
 
   if (cfg_.flush_before_read) {
     bool dirty;
@@ -274,7 +371,7 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
       std::lock_guard agg(entry.agg_mu);
       dirty = entry.current != nullptr && !entry.current->empty();
     }
-    if (dirty) drain(entry_result.value());
+    if (dirty) drain(entry_result);
   }
 
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
@@ -284,23 +381,32 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
 }
 
 Status Crfs::fsync(FileHandle handle) {
-  auto entry_result = entry_for(handle);
-  if (!entry_result.ok()) return entry_result.error();
-  FileEntry& entry = *entry_result.value();
+  auto state_result = state_for(handle);
+  if (!state_result.ok()) return state_result.error();
+  if (state_result.value().epoch_marker) return {};  // nothing buffered, no backend
+  const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
 
-  drain(entry_result.value());
-  if (auto err = entry.take_error()) return *err;
-  return backend_->fsync(entry.backend_file());
+  drain(entry_sp);
+  if (auto err = entry_sp->take_error()) return *err;
+  return backend_->fsync(entry_sp->backend_file());
 }
 
 Status Crfs::close(FileHandle handle) {
   auto removed = handles_.remove(handle);
   if (!removed) return Error{EBADF, "close: unknown CRFS handle"};
+  if (removed->epoch_marker) return {};  // control file: nothing to flush
   std::shared_ptr<FileEntry> entry = std::move(removed->entry);
 
   // Paper §IV-C: enqueue remaining data, then block until the complete
   // chunk count equals the write chunk count.
   drain(entry);
+
+  // The epoch's open/close correlation window advances only after the
+  // drain: a "closed" file has all its chunks enqueued (durability still
+  // trails via the in-flight WriteJobs' epoch pointers).
+  if (epochs_ != nullptr && removed->writable) {
+    epochs_->on_close(entry->path(), obs::now_ns());
+  }
 
   Status result;
   if (auto err = entry->take_error()) result = *err;
@@ -353,6 +459,28 @@ std::string Crfs::stats_report() const {
   out += mount.render();
   out += "\n";
   out += metrics_.snapshot().render_table();
+  if (epochs_ != nullptr) {
+    auto recs = epochs_->records();
+    if (auto open = epochs_->open_epoch(obs::now_ns())) recs.push_back(*open);
+    if (!recs.empty()) {
+      TextTable ep({"Epoch", "Label", "Files", "Bytes", "Chunks", "Agg ratio",
+                    "BW (MiB/s)", "Lag max (ms)", "State"});
+      char num[64];
+      for (const auto& r : recs) {
+        std::snprintf(num, sizeof(num), "%.2f", r.aggregation_ratio());
+        std::string agg = num;
+        std::snprintf(num, sizeof(num), "%.1f", r.effective_bw() / (1024.0 * 1024.0));
+        std::string bw = num;
+        std::snprintf(num, sizeof(num), "%.3f",
+                      static_cast<double>(r.durability_lag_max_ns) / 1e6);
+        ep.add_row({std::to_string(r.id), r.label, std::to_string(r.files),
+                    std::to_string(r.bytes), std::to_string(r.chunks), agg, bw, num,
+                    r.open ? "open" : "done"});
+      }
+      out += "\n";
+      out += ep.render();
+    }
+  }
   const auto events = events_.snapshot();
   if (!events.empty()) {
     TextTable ev({"Severity", "Rule", "Detail"});
@@ -378,11 +506,143 @@ std::string Crfs::stats_json() const {
   out += ",\"read_bytes\":" + std::to_string(s.read_bytes);
   out += "},\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
+  if (epochs_ != nullptr) {
+    out += ",\"epochs\":" + obs::epochs_to_json(epochs_->records());
+    const auto open = epochs_->open_epoch(obs::now_ns());
+    out += ",\"epoch_open\":";
+    out += open.has_value() ? open->to_json() : std::string("null");
+    out += ",\"epochs_completed\":" + std::to_string(epochs_->total_finalized());
+  }
   if (sampler_ != nullptr) {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }
   out += "}";
   return out;
+}
+
+// -- Checkpoint epochs ------------------------------------------------------
+
+Status Crfs::epoch_begin(const std::string& label) {
+  if (epochs_ == nullptr) return Error{EINVAL, "epoch tracking disabled (no_epochs)"};
+  epochs_->begin(label, obs::now_ns());
+  refresh_flight(/*force=*/true);
+  return {};
+}
+
+Status Crfs::epoch_end() {
+  if (epochs_ == nullptr) return Error{EINVAL, "epoch tracking disabled (no_epochs)"};
+  epochs_->end(obs::now_ns());
+  refresh_flight(/*force=*/true);
+  return {};
+}
+
+std::vector<obs::EpochRecord> Crfs::epochs() const {
+  if (epochs_ == nullptr) return {};
+  return epochs_->records();
+}
+
+std::optional<obs::EpochRecord> Crfs::open_epoch() const {
+  if (epochs_ == nullptr) return std::nullopt;
+  return epochs_->open_epoch(obs::now_ns());
+}
+
+Status Crfs::handle_epoch_marker(std::span<const std::byte> data) {
+  std::string cmd(reinterpret_cast<const char*>(data.data()), data.size());
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!cmd.empty() && is_space(cmd.front())) cmd.erase(cmd.begin());
+  while (!cmd.empty() && is_space(cmd.back())) cmd.pop_back();
+
+  if (cmd == "end") return epoch_end();
+  if (cmd == "begin") return epoch_begin("");
+  if (cmd.rfind("begin", 0) == 0 && cmd.size() > 5 && is_space(cmd[5])) {
+    std::string label = cmd.substr(6);
+    while (!label.empty() && is_space(label.front())) label.erase(label.begin());
+    return epoch_begin(label);
+  }
+  return Error{EINVAL, "epoch marker: expected \"begin [label]\" or \"end\", got \"" + cmd + "\""};
+}
+
+// -- Flight recorder --------------------------------------------------------
+
+void Crfs::refresh_flight(bool force) {
+  if (flight_ == nullptr) return;
+  const std::uint64_t now = obs::now_ns();
+  if (force) {
+    last_flight_refresh_ns_.store(now, std::memory_order_relaxed);
+  } else {
+    // CAS-throttled: at most one render per postmortem_refresh_ms across
+    // all IO threads; losers skip instead of queueing on the render.
+    const std::uint64_t interval =
+        static_cast<std::uint64_t>(cfg_.postmortem_refresh_ms) * 1'000'000;
+    std::uint64_t last = last_flight_refresh_ns_.load(std::memory_order_relaxed);
+    if (now < last + interval) return;
+    if (!last_flight_refresh_ns_.compare_exchange_strong(last, now,
+                                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  flight_->refresh(render_postmortem());
+}
+
+std::string Crfs::render_postmortem() const {
+  const std::uint64_t now = obs::now_ns();
+  std::string out = "{\"crfs_postmortem\":1";
+  out += ",\"rendered_ns\":" + std::to_string(now);
+  out += ",\"config\":\"";
+  append_json_escaped(out, cfg_.describe());
+  out += "\"";
+
+  const MountStats::Snapshot s = stats_.snapshot();
+  out += ",\"mount\":{\"app_writes\":" + std::to_string(s.app_writes);
+  out += ",\"app_bytes\":" + std::to_string(s.app_bytes);
+  out += ",\"full_flushes\":" + std::to_string(s.full_flushes);
+  out += ",\"partial_flushes\":" + std::to_string(s.partial_flushes);
+  out += ",\"chunk_steals\":" + std::to_string(s.chunk_steals) + "}";
+
+  out += ",\"epoch_open\":";
+  if (epochs_ != nullptr) {
+    const auto open = epochs_->open_epoch(now);
+    out += open.has_value() ? open->to_json() : std::string("null");
+    out += ",\"epochs\":" + obs::epochs_to_json(epochs_->records());
+    out += ",\"epochs_completed\":" + std::to_string(epochs_->total_finalized());
+  } else {
+    out += "null,\"epochs\":[],\"epochs_completed\":0";
+  }
+
+  out += ",\"events\":" + obs::events_to_json(events_.snapshot());
+  out += ",\"pipeline\":" + metrics_.snapshot().to_json();
+  if (sampler_ != nullptr) {
+    out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
+  }
+
+  // Bounded trace tail: the last pipeline spans before the crash. Kept
+  // small so the document fits the recorder's reserved buffer even with
+  // large trace rings.
+  constexpr std::size_t kTraceTail = 64;
+  auto spans = trace_.snapshot();
+  const std::size_t first = spans.size() > kTraceTail ? spans.size() - kTraceTail : 0;
+  out += ",\"trace_tail\":[";
+  for (std::size_t i = first; i < spans.size(); ++i) {
+    if (i > first) out += ",";
+    out += "{\"name\":\"";
+    append_json_escaped(out, spans[i].name);
+    out += "\",\"tid\":" + std::to_string(spans[i].tid);
+    out += ",\"ts_ns\":" + std::to_string(spans[i].ts_ns);
+    out += ",\"dur_ns\":" + std::to_string(spans[i].dur_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Crfs::dump_postmortem() {
+  if (flight_ == nullptr) {
+    return Error{EINVAL, "no flight recorder (set Config::postmortem_path)"};
+  }
+  refresh_flight(/*force=*/true);
+  if (!flight_->dump_now()) {
+    return Error{EIO, "postmortem dump to " + flight_->path() + " failed"};
+  }
+  return {};
 }
 
 Status Crfs::export_trace(const std::string& path) const {

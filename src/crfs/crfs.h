@@ -11,8 +11,10 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "backend/backend_fs.h"
 #include "crfs/buffer_pool.h"
@@ -21,6 +23,8 @@
 #include "crfs/handle_table.h"
 #include "crfs/io_pool.h"
 #include "crfs/work_queue.h"
+#include "obs/epoch.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -148,6 +152,34 @@ class Crfs {
   std::vector<obs::Event> events() const { return events_.snapshot(); }
   obs::EventBuffer& event_log() { return events_; }
 
+  // -- Checkpoint epochs (docs/OBSERVABILITY.md "Epoch ledger") -------------
+  /// Starts an explicit epoch (finalizing any active one). Explicit
+  /// epochs are never auto-rotated; an empty label gets "epoch-<id>".
+  /// Error when Config::epoch_tracking is off.
+  Status epoch_begin(const std::string& label);
+
+  /// Finalizes the active epoch (explicit or automatic); ok if none.
+  Status epoch_end();
+
+  /// Finished EpochRecords, oldest first (bounded by Config::epoch_ledger).
+  std::vector<obs::EpochRecord> epochs() const;
+
+  /// Snapshot of the still-running epoch, if any.
+  std::optional<obs::EpochRecord> open_epoch() const;
+
+  // -- Flight recorder (docs/OBSERVABILITY.md "Postmortem") -----------------
+  /// nullptr unless Config::postmortem_path is set.
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+
+  /// Re-renders the postmortem document and writes it to
+  /// Config::postmortem_path now (no fatal signal needed).
+  Status dump_postmortem();
+
+  /// The postmortem JSON document the recorder keeps pre-rendered:
+  /// config, open epoch, epoch ledger, event buffer, registry counters/
+  /// gauges, and the trace tail.
+  std::string render_postmortem() const;
+
   /// Rendered ASCII report: mount counters + registry gauges + the
   /// per-stage latency table. Safe to call while the pipeline runs.
   std::string stats_report() const;
@@ -183,6 +215,14 @@ class Crfs {
   /// Flush + wait for all outstanding writes of `entry`.
   void drain(const std::shared_ptr<FileEntry>& entry);
 
+  /// Epoch control-file write: parses "begin [label]" / "end".
+  Status handle_epoch_marker(std::span<const std::byte> data);
+
+  /// Flight-recorder refresh; `force` skips the postmortem_refresh_ms
+  /// throttle (epoch transitions, critical events). No-op without a
+  /// recorder.
+  void refresh_flight(bool force);
+
   std::shared_ptr<BackendFs> backend_;
   Config cfg_;
   // Declared before the pipeline pieces: instrumented stages hold
@@ -190,6 +230,12 @@ class Crfs {
   obs::Registry metrics_;
   obs::TraceCollector trace_;
   obs::EventBuffer events_;
+  // Epoch tracker and flight recorder sit with the other sinks: WriteJobs
+  // hold EpochState shared_ptrs and the IO pool's on_run_complete hook
+  // refreshes the recorder, so both must outlive io_pool_.
+  std::unique_ptr<obs::EpochTracker> epochs_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::atomic<std::uint64_t> last_flight_refresh_ns_{0};
   std::unique_ptr<BufferPool> pool_;
   WorkQueue queue_;
   std::unique_ptr<IoThreadPool> io_pool_;

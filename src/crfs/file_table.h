@@ -30,6 +30,7 @@
 #include "backend/backend_fs.h"
 #include "crfs/chunk.h"
 #include "common/result.h"
+#include "obs/epoch.h"
 
 namespace crfs {
 
@@ -44,6 +45,12 @@ class FileEntry {
   // -- Aggregation state (guard with agg_mu) ----------------------------
   std::mutex agg_mu;
   std::unique_ptr<Chunk> current;   ///< partially filled chunk, if any
+  /// Checkpoint epoch this file's bytes attribute to (obs/epoch.h);
+  /// nullptr when epoch tracking is off. Assigned by Crfs::open (cold) —
+  /// the write path only does relaxed fetch_adds through it, and flush
+  /// copies the shared_ptr into the WriteJob so IO threads never read
+  /// this field (they must not take agg_mu).
+  std::shared_ptr<obs::EpochState> epoch;
 
   /// Bytes the application has written past the backend's initial size;
   /// used to answer getattr for still-buffered files.

@@ -34,6 +34,11 @@ namespace crfs {
 struct HandleState {
   std::shared_ptr<FileEntry> entry;
   bool writable = false;
+  /// Epoch control-file handle (Config::epoch_marker_path): writes carry
+  /// "begin [label]" / "end" commands for the EpochTracker and nothing
+  /// reaches the backend. The entry is a detached dummy (not in the
+  /// FileTable) so the slot machinery treats the handle as live.
+  bool epoch_marker = false;
 };
 
 class HandleTable {

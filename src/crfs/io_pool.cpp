@@ -64,11 +64,12 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
   std::uint64_t total = 0;
   for (const WriteJob& job : run) total += job.chunk->fill();
 
-  // One clock pair per backend call (chunk-sized or larger): noise next
-  // to the IO itself.
-  const bool timed = obs_.pwrite_ns != nullptr ||
-                     (obs_.trace != nullptr && obs_.trace->enabled());
-  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  // Chunk-lifecycle ledger: one pwrite-start/pwrite-complete stamp pair
+  // per backend call is the single time source for the pwrite histogram,
+  // the trace span, per-chunk durability lag (copy-in -> durable, via
+  // Chunk::born_ns), and epoch attribution. Two clock reads per
+  // chunk-sized-or-larger IO: noise next to the IO itself.
+  const std::uint64_t t_start = obs::now_ns();
   Status status;
   if (run.size() == 1) {
     status = backend_.pwrite(file.backend_file(), run.front().chunk->payload(), offset);
@@ -81,20 +82,43 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
     status = backend_.pwritev(file.backend_file(), iov, offset);
     if (obs_.coalesced_pwrites != nullptr) obs_.coalesced_pwrites->add(1);
   }
-  if (timed) {
-    const std::uint64_t dur = obs::now_ns() - t0;
-    if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(dur);
-    if (obs_.trace != nullptr && obs_.trace->enabled()) {
-      obs_.trace->ring().record("pwrite", t0, dur);
-    }
+  const std::uint64_t t_done = obs::now_ns();
+  if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(t_done - t_start);
+  if (obs_.trace != nullptr && obs_.trace->enabled()) {
+    obs_.trace->ring().record("pwrite", t_start, t_done - t_start);
   }
 
   if (status.ok()) {
     chunks_written_.fetch_add(run.size(), std::memory_order_relaxed);
     bytes_written_.fetch_add(total, std::memory_order_relaxed);
     if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(total);
+    // The run's jobs all carry the same file but may span an epoch
+    // rotation; attribute durability per job, and the backend call to
+    // the run's leading epoch.
+    if (run.front().epoch != nullptr) {
+      run.front().epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const WriteJob& job : run) {
+      const std::uint64_t born = job.chunk->born_ns();
+      const std::uint64_t lag = born != 0 && t_done > born ? t_done - born : 0;
+      const std::uint64_t residency =
+          job.enqueue_ns != 0 && job.dequeue_ns > job.enqueue_ns
+              ? job.dequeue_ns - job.enqueue_ns
+              : 0;
+      if (obs_.durability_lag_ns != nullptr && born != 0) {
+        obs_.durability_lag_ns->record(lag);
+      }
+      if (job.epoch != nullptr) {
+        job.epoch->record_chunk_durable(job.chunk->fill(), lag, residency);
+      }
+    }
   } else {
     if (obs_.pwrite_errors != nullptr) obs_.pwrite_errors->add(1);
+    for (const WriteJob& job : run) {
+      if (job.epoch != nullptr) {
+        job.epoch->io_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     if (obs_.events != nullptr) {
       const Error& err = status.error();
       obs_.events->push(obs::Event{
@@ -102,7 +126,7 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
           file.path() + " offset=" + std::to_string(offset) + " len=" +
               std::to_string(total) + " chunks=" + std::to_string(run.size()) +
               " errno=" + std::to_string(err.code) + " (" + err.to_string() + ")",
-          static_cast<double>(err.code), 0.0, obs::now_ns()});
+          static_cast<double>(err.code), 0.0, t_done});
     }
   }
   // Every chunk in the run shares the run's fate: complete_one keeps
@@ -113,6 +137,7 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
     pool_.release(std::move(job.chunk));
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   }
+  if (obs_.on_run_complete) obs_.on_run_complete();
 }
 
 }  // namespace crfs

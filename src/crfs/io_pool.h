@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -37,6 +38,16 @@ struct IoPoolObs {
   /// Vectored writes issued for runs of >1 adjacent chunks
   /// (crfs.io.coalesced_pwrites).
   obs::Counter* coalesced_pwrites = nullptr;
+  /// Chunk-lifecycle ledger (docs/OBSERVABILITY.md "Durability lag"):
+  /// copy-in (Chunk::born_ns) -> pwrite-complete, per chunk
+  /// (crfs.chunk.durability_lag_ns). Recorded from the run's single
+  /// completion stamp; chunks whose producer never stamped born_ns are
+  /// skipped.
+  obs::LatencyHistogram* durability_lag_ns = nullptr;
+  /// Called after each completed run (post chunk release) — the flight
+  /// recorder's throttled-refresh hook. One indirect call per backend
+  /// write (chunk-sized granularity), nullptr when no recorder exists.
+  std::function<void()> on_run_complete;
 };
 
 class IoThreadPool {

@@ -74,6 +74,29 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         return Error{EINVAL, "bad io_batch: '" + std::string(value) + "'"};
       }
       out.config.io_batch = batch;
+    } else if (key == "epoch_gap_ms" || key == "epoch_ledger") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad value for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      if (key == "epoch_gap_ms") {
+        out.config.epoch_gap_ms = parsed;
+      } else {
+        out.config.epoch_ledger = parsed;
+      }
+    } else if (key == "epochs") {
+      out.config.epoch_tracking = true;
+    } else if (key == "no_epochs") {
+      out.config.epoch_tracking = false;
+    } else if (key == "postmortem") {
+      if (value.empty()) {
+        return Error{EINVAL, "postmortem= needs a file path"};
+      }
+      out.config.postmortem_path = std::string(value);
     } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms") {
       unsigned parsed = 0;
       const auto* begin = value.data();
@@ -147,6 +170,16 @@ std::string format_mount_options(const MountOptions& options) {
   if (options.config.health.slow_pwrite_p99_ns > 0) {
     s += ",slow_pwrite_ms=" +
          std::to_string(options.config.health.slow_pwrite_p99_ns / 1'000'000);
+  }
+  if (!options.config.epoch_tracking) s += ",no_epochs";
+  if (options.config.epoch_gap_ms != Config{}.epoch_gap_ms) {
+    s += ",epoch_gap_ms=" + std::to_string(options.config.epoch_gap_ms);
+  }
+  if (options.config.epoch_ledger != Config{}.epoch_ledger) {
+    s += ",epoch_ledger=" + std::to_string(options.config.epoch_ledger);
+  }
+  if (!options.config.postmortem_path.empty()) {
+    s += ",postmortem=" + options.config.postmortem_path;
   }
   return s;
 }

@@ -29,6 +29,14 @@ struct MountOptions {
 ///   paper_reads         paper-faithful read passthrough (no flush)
 ///   trace               capture span events for Chrome-trace export
 ///   no_trace            counters/histograms only        (default)
+///   epochs              checkpoint-epoch attribution    (default on)
+///   no_epochs           no epoch ledger / attribution
+///   epoch_gap_ms=<n>    open/close quiet gap that rotates an automatic
+///                       epoch                           (default 500)
+///   epoch_ledger=<n>    finished EpochRecords kept      (default 64)
+///   postmortem=<path>   enable the flight recorder; dump the
+///                       pre-rendered postmortem to <path> on a fatal
+///                       signal or error burst
 /// Sizes accept K/M/G suffixes. Unknown keys, malformed values, or a
 /// configuration that fails Config::validate() return an error.
 Result<MountOptions> parse_mount_options(std::string_view text);

@@ -4,7 +4,9 @@ namespace crfs {
 
 void WorkQueue::push(WriteJob job) {
   // One clock read per chunk (MBs of data), not per write: negligible.
-  if (wait_hist_ != nullptr) job.enqueue_ns = obs::now_ns();
+  // Always stamped — the chunk-lifecycle ledger needs queue residency
+  // even when no wait histogram is installed.
+  job.enqueue_ns = obs::now_ns();
   {
     std::lock_guard lock(mu_);
     jobs_.push_back(std::move(job));
@@ -33,13 +35,12 @@ std::vector<WriteJob> WorkQueue::pop_batch(std::size_t max) {
       jobs_.pop_front();
     }
   }
-  if (wait_hist_ != nullptr) {
-    // One clock read for the whole batch; per-job deltas still recorded.
-    const std::uint64_t now = obs::now_ns();
-    for (const WriteJob& job : batch) {
-      if (job.enqueue_ns != 0) {
-        wait_hist_->record(now > job.enqueue_ns ? now - job.enqueue_ns : 0);
-      }
+  // One clock read for the whole batch; per-job deltas still recorded.
+  const std::uint64_t now = obs::now_ns();
+  for (WriteJob& job : batch) {
+    job.dequeue_ns = now;
+    if (wait_hist_ != nullptr && job.enqueue_ns != 0) {
+      wait_hist_->record(now > job.enqueue_ns ? now - job.enqueue_ns : 0);
     }
   }
   return batch;

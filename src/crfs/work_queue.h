@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "crfs/chunk.h"
+#include "obs/epoch.h"
 #include "obs/metrics.h"
 
 namespace crfs {
@@ -27,9 +28,17 @@ class FileEntry;  // defined in file_table.h
 struct WriteJob {
   std::shared_ptr<FileEntry> file;
   std::unique_ptr<Chunk> chunk;
-  /// Enqueue timestamp (obs::now_ns) stamped by push() when a wait
-  /// histogram is installed; pop() turns it into queue-wait latency.
+  /// Epoch the chunk's bytes belong to (nullptr when epoch tracking is
+  /// off). Captured at enqueue under the producer's agg_mu, so IO threads
+  /// attribute durability without touching the file's lock or the
+  /// tracker — and the state outlives any rotation that happens while
+  /// the chunk is in flight.
+  std::shared_ptr<obs::EpochState> epoch{};
+  /// Chunk-lifecycle ledger stamps (obs::now_ns): push() stamps enqueue,
+  /// pop_batch() stamps dequeue. The delta is queue residency; the wait
+  /// histogram (when installed) records the same quantity mount-wide.
   std::uint64_t enqueue_ns = 0;
+  std::uint64_t dequeue_ns = 0;
 };
 
 class WorkQueue {

@@ -1,0 +1,116 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace crfs::obs {
+
+namespace {
+
+// The handler needs a process-global way to reach the recorder; plain
+// atomics keep installation/teardown race-free against a concurrent
+// signal.
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+constexpr int kFatalSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+
+struct sigaction g_previous[sizeof(kFatalSignals) / sizeof(kFatalSignals[0])];
+
+extern "C" void crfs_flight_signal_handler(int sig) {
+  // Everything here is async-signal-safe: dump_now() is open/write/close
+  // of pre-rendered bytes; then restore the default disposition and
+  // re-raise so the process still dies with the original signal (death
+  // tests and wait() observers see the truth).
+  FlightRecorder* rec = g_recorder.load(std::memory_order_acquire);
+  if (rec != nullptr) (void)rec->dump_now();
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(sig, &dfl, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options opts) : opts_(std::move(opts)) {
+  // Reserve both buffers up front: refresh() must never allocate past
+  // construction, so a refresh under memory pressure cannot throw away
+  // the one diagnostic that matters.
+  for (auto& b : buf_) b.resize(opts_.capacity);
+  len_[0].store(0, std::memory_order_relaxed);
+  len_[1].store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder::~FlightRecorder() { uninstall_signal_handlers(); }
+
+void FlightRecorder::refresh(std::string_view rendered) {
+  if (rendered.size() > opts_.capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard lock(refresh_mu_);
+  // Write into whichever buffer is not published (0 when none is yet).
+  const int idx = published_.load(std::memory_order_relaxed) == 0 ? 1 : 0;
+  std::memcpy(buf_[idx].data(), rendered.data(), rendered.size());
+  len_[idx].store(rendered.size(), std::memory_order_relaxed);
+  // Release: a dump that acquires `published_` sees the full copy above.
+  published_.store(idx, std::memory_order_release);
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::dump_now() const noexcept {
+  const int idx = published_.load(std::memory_order_acquire);
+  if (idx < 0) return false;
+  const std::size_t len = len_[idx].load(std::memory_order_relaxed);
+  // opts_.path was built at construction; c_str() on a const std::string
+  // does not allocate.
+  const int fd = ::open(opts_.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = buf_[idx].data();
+  std::size_t remaining = len;
+  bool ok = true;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return ok;
+}
+
+void FlightRecorder::install_signal_handlers() {
+  FlightRecorder* expected = nullptr;
+  if (!g_recorder.compare_exchange_strong(expected, this, std::memory_order_acq_rel)) {
+    return;  // another recorder already owns the handlers
+  }
+  handlers_installed_ = true;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crfs_flight_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  std::size_t i = 0;
+  for (int sig : kFatalSignals) {
+    ::sigaction(sig, &sa, &g_previous[i++]);
+  }
+}
+
+void FlightRecorder::uninstall_signal_handlers() {
+  if (!handlers_installed_) return;
+  handlers_installed_ = false;
+  std::size_t i = 0;
+  for (int sig : kFatalSignals) {
+    ::sigaction(sig, &g_previous[i++], nullptr);
+  }
+  g_recorder.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace crfs::obs

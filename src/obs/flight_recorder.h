@@ -1,0 +1,82 @@
+// crfs::obs flight recorder: a crash-safe postmortem buffer
+// (docs/OBSERVABILITY.md "Postmortem").
+//
+// Observability that only works while the process cooperates misses the
+// most interesting failure: the checkpointing process dying mid-epoch.
+// The recorder keeps a PRE-RENDERED postmortem document (trace tail, last
+// samples, event buffer, open-epoch state — whatever the owner renders)
+// in a reserved double buffer. Normal-path code calls refresh() with the
+// freshly rendered bytes; a fatal-signal handler (or an error-burst
+// health event) calls dump_now(), which is async-signal-safe by
+// construction: it only open()/write()/close()s bytes that were rendered
+// and published BEFORE the signal — no allocation, no locks, no
+// formatting in the handler.
+//
+// Publication protocol: refresh() serializes writers with a mutex, copies
+// into the buffer the handler is NOT reading, then release-stores the
+// buffer index. dump_now() acquire-loads the index and writes that
+// buffer. A dump racing a refresh therefore sees the previous complete
+// document, never a torn one.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crfs::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string path;                   ///< postmortem file destination
+    std::size_t capacity = 512 * 1024;  ///< reserved bytes per buffer
+  };
+
+  explicit FlightRecorder(Options opts);
+
+  /// Uninstalls the signal handlers if this recorder installed them.
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Copies `rendered` into the inactive buffer and publishes it. A
+  /// document larger than the reserved capacity is dropped (the previous
+  /// complete document stays published — a truncated JSON dump would be
+  /// unparseable, which is worse than a slightly stale one).
+  void refresh(std::string_view rendered);
+
+  /// Async-signal-safe: writes the last published document to path().
+  /// Returns false when nothing was published yet or the write failed.
+  /// Safe to call from a signal handler, an error-burst listener, or a
+  /// normal thread.
+  bool dump_now() const noexcept;
+
+  /// Installs fatal-signal handlers (SIGABRT/SIGSEGV/SIGBUS/SIGFPE/
+  /// SIGILL) that dump_now() then re-raise with the default disposition.
+  /// At most one recorder per process may install; later installs are
+  /// no-ops until the first uninstalls (destructor).
+  void install_signal_handlers();
+
+  const std::string& path() const { return opts_.path; }
+  std::uint64_t refreshes() const { return refreshes_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  void uninstall_signal_handlers();
+
+  const Options opts_;
+  std::array<std::vector<char>, 2> buf_;
+  std::array<std::atomic<std::size_t>, 2> len_{};
+  std::atomic<int> published_{-1};
+  std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::mutex refresh_mu_;
+  bool handlers_installed_ = false;
+};
+
+}  // namespace crfs::obs

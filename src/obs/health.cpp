@@ -60,10 +60,17 @@ std::string events_to_json(const std::vector<Event>& events) {
 EventBuffer::EventBuffer(std::size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
 
 void EventBuffer::push(Event ev) {
-  std::lock_guard lock(mu_);
-  events_.push_back(std::move(ev));
-  while (events_.size() > capacity_) events_.pop_front();
-  total_ += 1;
+  Event copy_for_listener;
+  const bool notify = static_cast<bool>(listener_);
+  if (notify) copy_for_listener = ev;
+  {
+    std::lock_guard lock(mu_);
+    events_.push_back(std::move(ev));
+    while (events_.size() > capacity_) events_.pop_front();
+    total_ += 1;
+  }
+  // Outside the lock: the listener may snapshot() this buffer.
+  if (notify) listener_(copy_for_listener);
 }
 
 std::vector<Event> EventBuffer::snapshot() const {

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -73,11 +74,20 @@ class EventBuffer {
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
 
+  /// Notification hook, invoked after each push OUTSIDE the buffer lock
+  /// (the callback may snapshot() this buffer — e.g. the flight recorder
+  /// re-rendering its postmortem on a critical event). Install before
+  /// any pusher thread runs; the pointer is read unsynchronized after.
+  void set_listener(std::function<void(const Event&)> listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::deque<Event> events_;
   std::uint64_t total_ = 0;
+  std::function<void(const Event&)> listener_;
 };
 
 /// Rule thresholds. Defaults are deliberately conservative: only

@@ -16,9 +16,33 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+std::string prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+// All label emission funnels through here so no call site can forget the
+// value escaping.
+void append_label(std::string& out, const char* key, const std::string& value) {
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += prometheus_label_value(value);
+  out += "\"}";
+}
 
 }  // namespace
 
@@ -66,9 +90,9 @@ std::string to_prometheus(const Registry::Snapshot& snap) {
     std::uint64_t cumulative = 0;
     for (int i = 0; i <= top; ++i) {
       cumulative += h.buckets[i];
-      out += family + "_bucket{le=\"";
-      append_u64(out, LatencyHistogram::bucket_hi(i));
-      out += "\"} ";
+      out += family + "_bucket";
+      append_label(out, "le", std::to_string(LatencyHistogram::bucket_hi(i)));
+      out += " ";
       append_u64(out, cumulative);
       out += "\n";
     }

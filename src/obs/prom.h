@@ -27,4 +27,11 @@ std::string to_prometheus(const Registry::Snapshot& snap);
 /// "crfs.io.pwrite_bytes" -> "crfs_io_pwrite_bytes" (exposed for tests).
 std::string prometheus_name(const std::string& name);
 
+/// Escapes a label VALUE for the text exposition format: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`. Every label value emitted by this
+/// subsystem must pass through here — epoch labels and file paths can
+/// carry all three characters, and an unescaped one corrupts the whole
+/// scrape, not just the series.
+std::string prometheus_label_value(const std::string& value);
+
 }  // namespace crfs::obs

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "crfs/config.h"
+#include "obs/epoch.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "sim/backend_sim.h"
@@ -67,21 +68,43 @@ class CrfsSimNode {
   std::uint32_t app_lane() const { return node_ * 100; }
   std::uint32_t io_lane(unsigned worker) const { return node_ * 100 + 1 + worker; }
 
+  // -- Checkpoint epochs (virtual-time twin of Crfs::epoch_*) ---------------
+  /// Starts an explicit epoch at the current virtual time. No-op when
+  /// Config::epoch_tracking is off.
+  void epoch_begin(const std::string& label);
+  /// Finalizes the active epoch at the current virtual time.
+  void epoch_end();
+  /// Finished EpochRecords on virtual nanoseconds. Deterministic: two
+  /// runs of the same workload produce byte-identical epochs_to_json().
+  std::vector<obs::EpochRecord> epochs() const;
+
+  /// Current virtual time as integer nanoseconds (the clock the epoch
+  /// ledger and the mirrored histograms run on).
+  std::uint64_t now_ns() const { return static_cast<std::uint64_t>(sim_.now() * 1e9); }
+
  private:
   struct FileState {
     std::uint64_t append = 0;        ///< next file offset
     bool has_chunk = false;
     std::uint64_t chunk_offset = 0;  ///< file offset of current chunk
     std::uint64_t chunk_fill = 0;
+    std::uint64_t chunk_born_ns = 0; ///< virtual ns of first copy-in
     std::uint64_t write_chunks = 0;
     std::uint64_t complete_chunks = 0;
     std::unique_ptr<Event> completion;
+    /// Epoch the file's bytes attribute to (mirror of FileEntry::epoch).
+    std::shared_ptr<obs::EpochState> epoch;
   };
 
   struct Job {
-    FileId file;
-    std::uint64_t offset;
-    std::uint64_t len;
+    FileId file{};
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    /// Chunk-lifecycle ledger mirror: virtual-ns stamps and the epoch
+    /// captured at enqueue (mirror of WriteJob).
+    std::uint64_t born_ns = 0;
+    std::uint64_t enqueue_ns = 0;
+    std::shared_ptr<obs::EpochState> epoch;
   };
 
   Task io_worker(unsigned worker);
@@ -111,6 +134,11 @@ class CrfsSimNode {
   obs::Registry metrics_;
   obs::LatencyHistogram* h_pwrite_ = nullptr;
   obs::Counter* c_pwrite_bytes_ = nullptr;
+  obs::LatencyHistogram* h_lag_ = nullptr;
+
+  /// Epoch ledger on virtual time (nullptr when Config::epoch_tracking is
+  /// off). Same EpochTracker as the real mount; only the clock differs.
+  std::unique_ptr<obs::EpochTracker> epochs_;
 };
 
 }  // namespace crfs::sim

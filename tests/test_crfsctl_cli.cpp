@@ -1,15 +1,21 @@
 // End-to-end tests for the crfsctl binary: each subcommand (stats, trace,
-// watch, prom) runs against a temp directory and must exit 0 with output
-// matching its schema — JSON that parses (stats/trace), Prometheus
-// exposition whose cumulative buckets check out (prom), greppable WATCH
-// frames (watch). The binary path is injected by CMake as CRFSCTL_BIN.
+// watch, prom, report, postmortem) runs against a temp directory and must
+// exit 0 with output matching its schema — JSON that parses
+// (stats/trace/report), Prometheus exposition whose cumulative buckets
+// check out (prom), greppable WATCH/EPOCH frames (watch/report), and the
+// postmortem pretty-printer against a real flight-recorder dump. The
+// binary path is injected by CMake as CRFSCTL_BIN.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "backend/mem_backend.h"
+#include "crfs/crfs.h"
 #include "obs/json_lite.h"
 
 namespace crfs {
@@ -126,6 +132,153 @@ TEST(CrfsctlCli, WatchRendersFramesAndSummary) {
   EXPECT_NE(res.output.find("samples="), std::string::npos);
   // Final report follows the live frames.
   EXPECT_NE(res.output.find("app_writes"), std::string::npos);
+}
+
+std::vector<std::string> object_keys(const obs::json::Value& v) {
+  std::vector<std::string> keys;
+  if (v.is_object()) {
+    for (const auto& [k, member] : *v.object) keys.push_back(k);
+  }
+  return keys;  // std::map iteration -> already sorted
+}
+
+// Golden key-set check: the stats --json schema is a contract consumed by
+// dashboards; adding a key means updating this list deliberately, and
+// removing or renaming one is a breaking change this test catches.
+TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
+  const RunResult res = run_crfsctl("stats " + fresh_dir("golden") + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+
+  const std::vector<std::string> expected_top = {
+      "epoch_open", "epochs", "epochs_completed", "events", "mount", "pipeline"};
+  EXPECT_EQ(object_keys(*parsed), expected_top);
+
+  const std::vector<std::string> expected_mount = {
+      "app_bytes",       "app_writes", "chunk_steals", "full_flushes",
+      "partial_flushes", "read_bytes", "reads",        "reopens"};
+  ASSERT_NE(parsed->get("mount"), nullptr);
+  EXPECT_EQ(object_keys(*parsed->get("mount")), expected_mount);
+
+  const std::vector<std::string> expected_pipeline = {"counters", "gauges",
+                                                      "histograms"};
+  ASSERT_NE(parsed->get("pipeline"), nullptr);
+  EXPECT_EQ(object_keys(*parsed->get("pipeline")), expected_pipeline);
+}
+
+TEST(CrfsctlCli, ReportPrintsGreppableEpochLines) {
+  const RunResult res = run_crfsctl("report " + fresh_dir("report"));
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("crfsctl report: 2 epochs x 4 ranks"), std::string::npos);
+  // One EPOCH line per checkpoint, exact byte accounting: 4 ranks x 8 MiB.
+  EXPECT_NE(res.output.find("EPOCH id=1 label=ckpt-0 files=4 bytes=33554432"),
+            std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("EPOCH id=2 label=ckpt-1 files=4 bytes=33554432"),
+            std::string::npos);
+  EXPECT_NE(res.output.find("durable=33554432"), std::string::npos);
+  // The per-epoch table renders the derived columns.
+  EXPECT_NE(res.output.find("Agg ratio"), std::string::npos);
+  EXPECT_NE(res.output.find("Lag max"), std::string::npos);
+}
+
+TEST(CrfsctlCli, ReportJsonIsArrayOfEpochRecords) {
+  const RunResult res = run_crfsctl("report " + fresh_dir("reportj") + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->array->size(), 2u);
+
+  // Golden key set of one EpochRecord (the stats_json/report schema).
+  const std::vector<std::string> expected = {"aggregation_ratio",
+                                            "app_writes",
+                                            "backend_writes",
+                                            "bytes",
+                                            "chunks",
+                                            "durability_lag_max_ns",
+                                            "durability_lag_mean_ns",
+                                            "durability_lag_sum_ns",
+                                            "durable_bytes",
+                                            "effective_bw_bytes_per_sec",
+                                            "end_ns",
+                                            "explicit",
+                                            "files",
+                                            "id",
+                                            "io_errors",
+                                            "label",
+                                            "open",
+                                            "pool_stall_ns",
+                                            "queue_residency_ns",
+                                            "start_ns",
+                                            "wall_seconds"};
+  for (const auto& rec : *parsed->array) {
+    EXPECT_EQ(object_keys(rec), expected);
+    EXPECT_EQ(rec.get("bytes")->number, 4.0 * 8 * 1024 * 1024);
+    EXPECT_EQ(rec.get("durable_bytes")->number, 4.0 * 8 * 1024 * 1024);
+    EXPECT_EQ(rec.get("open")->type, obs::json::Value::Type::Bool);
+    EXPECT_FALSE(rec.get("open")->boolean);
+  }
+}
+
+TEST(CrfsctlCli, ReportRefusesWhenEpochsDisabled) {
+  const RunResult res = run_crfsctl("report " + fresh_dir("reportoff") + " no_epochs");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("epoch tracking"), std::string::npos);
+}
+
+TEST(CrfsctlCli, PostmortemPrettyPrintsARealDump) {
+  // Generate a genuine flight-recorder dump in-process, then feed it to
+  // the CLI pretty-printer.
+  const std::string dump = fresh_dir("pm") + "/dump.json";
+  {
+    auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                          Config{.chunk_size = 64 * 1024,
+                                 .pool_size = 4 * 64 * 1024,
+                                 .enable_tracing = true,
+                                 .postmortem_path = dump});
+    ASSERT_TRUE(fs.ok());
+    ASSERT_TRUE(fs.value()->epoch_begin("cli-demo").ok());
+    auto h = fs.value()->open("f.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(h.ok());
+    std::vector<std::byte> buf(64 * 1024, std::byte{1});
+    ASSERT_TRUE(fs.value()->write(h.value(), buf, 0).ok());
+    ASSERT_TRUE(fs.value()->close(h.value()).ok());
+    ASSERT_TRUE(fs.value()->dump_postmortem().ok());
+  }
+  const RunResult res = run_crfsctl("postmortem " + dump);
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("CRFS postmortem"), std::string::npos);
+  EXPECT_NE(res.output.find("OPEN EPOCH id=1 label=cli-demo bytes=65536"),
+            std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("SPAN"), std::string::npos);  // trace tail rendered
+}
+
+TEST(CrfsctlCli, PostmortemRejectsMissingOrForeignFiles) {
+  const std::string dir = fresh_dir("pmbad");
+  EXPECT_EQ(run_crfsctl("postmortem " + dir + "/nope.json").exit_code, 2);
+
+  const std::string garbage = dir + "/garbage.json";
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"not_a_postmortem\":true}", f);
+    std::fclose(f);
+  }
+  const RunResult res = run_crfsctl("postmortem " + garbage);
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("not a CRFS postmortem"), std::string::npos);
+
+  const std::string unparseable = dir + "/broken.json";
+  {
+    std::FILE* f = std::fopen(unparseable.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"crfs_postmortem\":", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(run_crfsctl("postmortem " + unparseable).exit_code, 2);
 }
 
 TEST(CrfsctlCli, BadMountOptionFailsCleanly) {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "crfs/crfs.h"
 #include "crfs/fuse_shim.h"
 #include "obs/chrome_trace.h"
+#include "obs/epoch.h"
 #include "obs/health.h"
 #include "obs/json_lite.h"
 #include "obs/metrics.h"
@@ -667,6 +669,66 @@ TEST(HealthMonitor, ErrorBurstIsPerWindow) {
   EXPECT_EQ(rig.fired("error_burst").size(), 2u);
 }
 
+TEST(HealthMonitor, IdenticalConsecutiveSamplesNeverDuplicateEvents) {
+  // Arm every edge-triggered rule at once, then freeze the world: with
+  // nothing changing between samples, each rule must have fired exactly
+  // once no matter how many identical frames follow.
+  HealthRig rig({.starvation_samples = 2,
+                 .stall_samples = 2,
+                 .slow_pwrite_p99_ns = 1'000'000});
+  rig.tick();  // healthy baseline
+  rig.free_chunks = 0;
+  rig.depth = 3;
+  for (int i = 0; i < 100; ++i) rig.pwrite_ns->record(50'000'000);
+  rig.tick();  // sees the pwrite burst: slow_pwrite fires, stall run resets
+  rig.tick();  // starvation run reaches 2 and fires
+  rig.tick();  // stall run reaches 2 (no completions since) and fires
+  ASSERT_EQ(rig.fired("pool_starvation").size(), 1u);
+  ASSERT_EQ(rig.fired("queue_stall").size(), 1u);
+  ASSERT_EQ(rig.fired("slow_pwrite").size(), 1u);
+
+  const std::uint64_t total_after_fire = rig.events.total();
+  for (int i = 0; i < 50; ++i) rig.tick();  // identical frames
+  EXPECT_EQ(rig.events.total(), total_after_fire);
+  EXPECT_EQ(rig.fired("pool_starvation").size(), 1u);
+  EXPECT_EQ(rig.fired("queue_stall").size(), 1u);
+  EXPECT_EQ(rig.fired("slow_pwrite").size(), 1u);
+}
+
+TEST(HealthMonitor, EdgeStateSurvivesSamplerRestart) {
+  // The fired/cleared hysteresis lives in the HealthMonitor, not the
+  // Sampler: tearing the sampler down mid-incident and attaching a fresh
+  // one (crfsctl watch reconnecting, say) must not re-report the same
+  // still-standing condition.
+  HealthRig rig({.starvation_samples = 2});
+  rig.tick();
+  rig.free_chunks = 0;
+  rig.tick();
+  rig.tick();
+  ASSERT_EQ(rig.fired("pool_starvation").size(), 1u);
+
+  // Fresh sampler, same registry + monitor; the pool is still starved.
+  obs::Sampler restarted(rig.reg);
+  restarted.set_health_monitor(&rig.monitor);
+  for (int i = 0; i < 10; ++i) {
+    rig.now_ns += 10'000'000;
+    restarted.tick(rig.now_ns);
+  }
+  EXPECT_EQ(rig.fired("pool_starvation").size(), 1u);  // no duplicate
+
+  // Recovery observed by the restarted sampler re-arms the rule...
+  rig.free_chunks = 4;
+  rig.now_ns += 10'000'000;
+  restarted.tick(rig.now_ns);
+  // ...so a fresh starvation run fires a second event.
+  rig.free_chunks = 0;
+  for (int i = 0; i < 2; ++i) {
+    rig.now_ns += 10'000'000;
+    restarted.tick(rig.now_ns);
+  }
+  EXPECT_EQ(rig.fired("pool_starvation").size(), 2u);
+}
+
 TEST(EventBuffer, BoundedWithTotalCount) {
   obs::EventBuffer buf(2);
   for (int i = 0; i < 5; ++i) {
@@ -770,6 +832,44 @@ TEST(Prometheus, ExpositionRoundTripsSchemaCheck) {
   EXPECT_NE(text.find("# TYPE crfs_io_pwrite_bytes_total counter"), std::string::npos);
   EXPECT_NE(text.find("# TYPE crfs_queue_depth gauge"), std::string::npos);
   EXPECT_NE(text.find("# TYPE crfs_io_pwrite_ns histogram"), std::string::npos);
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+  EXPECT_EQ(obs::prometheus_label_value("plain-label_1"), "plain-label_1");
+  EXPECT_EQ(obs::prometheus_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prometheus_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prometheus_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(obs::prometheus_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::prometheus_label_value(""), "");
+}
+
+TEST(Prometheus, EpochLabelsAreEscapedInExposition) {
+  // Epoch labels are user strings (epoch_begin / the control file); a
+  // hostile one must not break the text exposition format.
+  obs::EpochRecord rec;
+  rec.id = 3;
+  rec.label = "evil\"label\\with\nnewline";
+  rec.bytes = 7;
+  const std::string text = obs::epochs_to_prometheus({rec});
+  EXPECT_NE(text.find("label=\"evil\\\"label\\\\with\\nnewline\""), std::string::npos)
+      << text;
+
+  // Every non-comment line still parses as `name{labels} value` — in
+  // particular no label value smuggled a raw newline into the stream.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparseable sample value in: " << line;
+    EXPECT_NE(line.find('}'), std::string::npos) << line;
+  }
 }
 
 // ------------------------------------------- pipeline telemetry plane
