@@ -202,7 +202,15 @@ int cmd_prom(int argc, char** argv) {
   // Finalize the auto epoch the workload opened so the crfs_epoch_*
   // series cover it too.
   (void)fs.value()->epoch_end();
-  std::printf("%s%s", obs::to_prometheus(fs.value()->metrics().snapshot()).c_str(),
+  // Info-style series: the submission engine actually running after
+  // feature detection/fallback, carried as a label (value is always 1).
+  std::string engine_info =
+      "# HELP crfs_io_engine_info Active IO engine after runtime detection\n"
+      "# TYPE crfs_io_engine_info gauge\n"
+      "crfs_io_engine_info{engine=\"" +
+      obs::prometheus_label_value(fs.value()->active_io_engine()) + "\"} 1\n";
+  std::printf("%s%s%s", engine_info.c_str(),
+              obs::to_prometheus(fs.value()->metrics().snapshot()).c_str(),
               obs::epochs_to_prometheus(fs.value()->epochs()).c_str());
   return 0;
 }
@@ -283,9 +291,10 @@ int cmd_report(int argc, char** argv) {
     std::printf("%s\n", obs::epochs_to_json(records).c_str());
     return 0;
   }
-  std::printf("crfsctl report: %u epochs x %u ranks x %s into %s (%s)\n", kEpochs,
-              kRanks, format_bytes(kPerRank).c_str(), argv[2],
-              format_mount_options(opts.value()).c_str());
+  std::printf("crfsctl report: %u epochs x %u ranks x %s into %s (%s, engine=%s)\n",
+              kEpochs, kRanks, format_bytes(kPerRank).c_str(), argv[2],
+              format_mount_options(opts.value()).c_str(),
+              fs.value()->active_io_engine());
   TextTable table({"Epoch", "Label", "Files", "Bytes", "Chunks", "Agg ratio",
                    "Eff BW", "Lag mean", "Lag max"});
   for (const auto& rec : records) {
@@ -405,8 +414,10 @@ void render_watch_frame(const obs::Sample& s, std::uint64_t events_total, bool a
   const auto free_chunks = s.gauge("crfs.pool.free_chunks");
   const auto depth = s.gauge("crfs.queue.depth");
   const auto in_flight = s.gauge("crfs.io.in_flight");
+  // Engine-level in-flight runs (ring occupancy for uring, 0 for sync).
+  const auto ring = s.gauge("crfs.io.engine_inflight");
   std::printf("WATCH t=%.1fs io=%.1f MB/s pwrites=%.0f/s errs=%.0f/s "
-              "free_chunks=%lld queue=%lld in_flight=%lld events=%llu",
+              "free_chunks=%lld queue=%lld in_flight=%lld ring=%lld events=%llu",
               static_cast<double>(s.ts_ns) / 1e9,
               bytes != nullptr ? bytes->per_sec / 1e6 : 0.0,
               pwrites != nullptr ? pwrites->per_sec : 0.0,
@@ -414,6 +425,7 @@ void render_watch_frame(const obs::Sample& s, std::uint64_t events_total, bool a
               static_cast<long long>(free_chunks.value_or(-1)),
               static_cast<long long>(depth.value_or(-1)),
               static_cast<long long>(in_flight.value_or(-1)),
+              static_cast<long long>(ring.value_or(-1)),
               static_cast<unsigned long long>(events_total));
   if (!ansi) std::printf("\n");
   std::fflush(stdout);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive
 # tests: test_obs (lock-free histograms, TraceRing wrap under racing
-# snapshot), test_crfs_concurrency (full pipeline under contention), and
+# snapshot), test_crfs_concurrency (full pipeline under contention),
 # test_epoch_ledger (EpochState handoff through WriteJobs while explicit
 # epochs rotate under concurrent writers, flight-recorder refresh from IO
-# threads). Any data-race report fails the run (TSan exits non-zero).
+# threads), and test_io_engine (uring submit/reap pipeline, large-write
+# bypass racing queued chunks, concurrent streams over both engines).
+# Any data-race report fails the run (TSan exits non-zero).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-2}
 
 cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs
@@ -21,5 +23,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Death tests fork; TSan and fork-heavy gtest styles don't mix, so the
 # postmortem death test is skipped here (it runs in the plain ctest job).
 "$BUILD_DIR"/tests/test_epoch_ledger --gtest_filter='-PostmortemDeathTest.*'
+"$BUILD_DIR"/tests/test_io_engine
 
 echo "TSan: clean"

@@ -82,6 +82,17 @@ class BackendFs {
     return {};
   }
 
+  /// Raw OS file descriptor behind `file` for async submission engines
+  /// (io_uring), or -1 when the backend has no kernel fd (MemBackend,
+  /// NullBackend) or deliberately hides it (decorating wrappers return -1
+  /// so injected faults / throttling keep applying — the engine then
+  /// routes that file's runs through the synchronous pwrite/pwritev
+  /// path).
+  virtual int raw_fd(BackendFile file) const {
+    (void)file;
+    return -1;
+  }
+
   /// Reads up to data.size() bytes at `offset`; returns bytes read
   /// (0 at/after EOF).
   virtual Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,

@@ -1,5 +1,7 @@
 #include "backend/posix_backend.h"
 
+#include "backend/posix_io.h"
+
 #include <dirent.h>
 #include <fcntl.h>
 #include <limits.h>
@@ -87,27 +89,12 @@ Status PosixBackend::pwritev(BackendFile file, std::span<const BackendIoVec> iov
     vecs[i].iov_base = const_cast<std::byte*>(iov[i].data);
     vecs[i].iov_len = iov[i].len;
   }
-  auto off = static_cast<off_t>(offset);
-  std::size_t idx = 0;  // first segment not fully written yet
-  while (idx < vecs.size()) {
-    const ssize_t n = ::pwritev(static_cast<int>(file), vecs.data() + idx,
-                                static_cast<int>(vecs.size() - idx), off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Error::from_errno("pwritev");
-    }
-    off += n;
-    // Advance past fully written segments; trim a partially written one.
-    std::size_t remaining = static_cast<std::size_t>(n);
-    while (idx < vecs.size() && remaining >= vecs[idx].iov_len) {
-      remaining -= vecs[idx].iov_len;
-      ++idx;
-    }
-    if (idx < vecs.size() && remaining > 0) {
-      vecs[idx].iov_base = static_cast<char*>(vecs[idx].iov_base) + remaining;
-      vecs[idx].iov_len -= remaining;
-    }
-  }
+  const int err = posix_detail::pwritev_all(
+      vecs, static_cast<off_t>(offset), [fd = static_cast<int>(file)](
+                                            struct iovec* v, int cnt, off_t off) {
+        return ::pwritev(fd, v, cnt, off);
+      });
+  if (err != 0) return Error{err, "pwritev"};
   return {};
 }
 

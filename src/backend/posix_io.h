@@ -1,0 +1,49 @@
+// Shared POSIX vectored-write retry loop, extracted from
+// PosixBackend::pwritev so the EINTR / short-write / resume logic is unit
+// testable with an injected write function (tests/test_backend.cpp).
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <vector>
+
+namespace crfs::posix_detail {
+
+/// Drives `fn` (a ::pwritev-shaped callable: (iovec*, count, offset) ->
+/// ssize_t, errno on failure) until every byte of `vecs` has been written
+/// contiguously starting at `off`. Retries EINTR, resumes after short
+/// writes by advancing past fully-written segments and trimming a
+/// partially-written one. `vecs` is consumed (segments are modified in
+/// place). Returns 0 on success or the failing errno.
+template <typename WriteFn>
+int pwritev_all(std::vector<struct iovec>& vecs, off_t off, WriteFn&& fn) {
+  std::size_t idx = 0;  // first segment not fully written yet
+  while (idx < vecs.size()) {
+    const ssize_t n = fn(vecs.data() + idx, static_cast<int>(vecs.size() - idx), off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    if (n == 0) {
+      // A 0-byte pwritev on a regular file should be impossible with
+      // non-empty segments; treat it as an error rather than spinning.
+      return EIO;
+    }
+    off += n;
+    // Advance past fully written segments; trim a partially written one.
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (idx < vecs.size() && remaining >= vecs[idx].iov_len) {
+      remaining -= vecs[idx].iov_len;
+      ++idx;
+    }
+    if (idx < vecs.size() && remaining > 0) {
+      vecs[idx].iov_base = static_cast<char*>(vecs[idx].iov_base) + remaining;
+      vecs[idx].iov_len -= remaining;
+    }
+  }
+  return 0;
+}
+
+}  // namespace crfs::posix_detail

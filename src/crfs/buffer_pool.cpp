@@ -29,9 +29,17 @@ BufferPool::BufferPool(std::size_t pool_bytes, std::size_t chunk_bytes, std::siz
     shards_.push_back(std::make_unique<Shard>());
   }
   // Round-robin distribution; shard sizes differ by at most one chunk.
+  regions_.reserve(total_chunks_);
   for (std::size_t i = 0; i < total_chunks_; ++i) {
     Shard& shard = *shards_[i % n_shards];
-    shard.free.push_back(std::make_unique<Chunk>(chunk_bytes_));
+    auto chunk = std::make_unique<Chunk>(chunk_bytes_);
+    // pool_index links each chunk to its slot in the fixed-buffer table;
+    // pools too large for a 16-bit index leave the extras unregistered.
+    if (i < Chunk::kNoPoolIndex) {
+      chunk->set_pool_index(static_cast<std::uint16_t>(i));
+      regions_.push_back(ChunkRegion{chunk->storage_bytes().data(), chunk_bytes_});
+    }
+    shard.free.push_back(std::move(chunk));
     shard.count.store(static_cast<std::uint32_t>(shard.free.size()),
                       std::memory_order_relaxed);
   }

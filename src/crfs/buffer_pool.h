@@ -26,6 +26,14 @@
 
 namespace crfs {
 
+/// One chunk's backing storage, for io_uring fixed-buffer registration.
+/// Index i in the vector returned by BufferPool::chunk_regions() is the
+/// storage of the chunk whose pool_index() is i.
+struct ChunkRegion {
+  const std::byte* data = nullptr;
+  std::size_t len = 0;
+};
+
 class BufferPool {
  public:
   /// Carves `pool_bytes / chunk_bytes` chunks up front. At least one chunk
@@ -77,6 +85,11 @@ class BufferPool {
   /// True once shutdown() has been called.
   bool is_shutdown() const { return shutdown_.load(std::memory_order_acquire); }
 
+  /// Backing storage of every chunk, indexed by Chunk::pool_index().
+  /// Stable for the pool's lifetime (chunks are carved once at
+  /// construction); used to register fixed buffers with io_uring.
+  std::vector<ChunkRegion> chunk_regions() const { return regions_; }
+
  private:
   // One cache line per shard: the mutex and the free list it guards, plus
   // a lock-free occupancy hint so the stealing scan skips empty shards
@@ -92,6 +105,7 @@ class BufferPool {
   const std::size_t chunk_bytes_;
   std::size_t total_chunks_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ChunkRegion> regions_;  ///< immutable after construction
 
   std::atomic<std::size_t> free_count_{0};
   std::atomic<std::uint64_t> contentions_{0};

@@ -14,6 +14,16 @@
 
 namespace crfs {
 
+/// Backend-submission strategy of the IO pool (docs/PERFORMANCE.md
+/// "IO engines"). kUring is a request, not a guarantee: at mount time the
+/// pool probes io_uring and falls back to kSync silently when the kernel
+/// refuses (stats/Prometheus report the engine actually running).
+enum class IoEngineKind { kSync, kUring };
+
+inline const char* io_engine_name(IoEngineKind k) {
+  return k == IoEngineKind::kUring ? "uring" : "sync";
+}
+
 struct Config {
   /// Size of each aggregation chunk. The paper fixes 4 MB after the Fig 5
   /// sweep ("larger chunk size is generally more favorable").
@@ -46,6 +56,24 @@ struct Config {
   /// at half the pool's chunk count so a single batch can never park the
   /// whole pool behind one coalesced write. Mount option `io_batch=N`.
   unsigned io_batch = 8;
+
+  /// IO engine the workers submit through (docs/PERFORMANCE.md
+  /// "IO engines"). kSync is the paper's behaviour — one blocking
+  /// pwrite/pwritev per coalesced run. kUring keeps up to `uring_depth`
+  /// runs in flight per worker via raw io_uring, with runtime feature
+  /// detection and silent fallback to sync. Mount option
+  /// `io_engine=sync|uring`.
+  IoEngineKind io_engine = IoEngineKind::kSync;
+
+  /// Submission-queue depth per worker ring when io_engine=uring. Mount
+  /// option `uring_depth=N`.
+  unsigned uring_depth = 64;
+
+  /// Large-write copy bypass: an application write of at least chunk_size
+  /// bytes landing exactly at the file's append point skips the
+  /// buffer-pool memcpy and is issued to the backend directly (counted in
+  /// crfs.write.bypass_bytes). Mount option `no_bypass` disables it.
+  bool large_write_bypass = true;
 
   /// When true, a read() on a file with buffered dirty data flushes that
   /// data first so reads always observe prior writes. The paper's CRFS
@@ -133,6 +161,9 @@ struct Config {
       return Error{EINVAL, "pool_size must hold at least one chunk"};
     }
     if (io_batch == 0) return Error{EINVAL, "io_batch must be > 0"};
+    if (uring_depth == 0 || uring_depth > 4096) {
+      return Error{EINVAL, "uring_depth must be in [1, 4096]"};
+    }
     if (enable_tracing && trace_ring_events == 0) {
       return Error{EINVAL, "trace_ring_events must be > 0 when tracing"};
     }
@@ -160,6 +191,10 @@ struct Config {
            " io_threads=" + std::to_string(io_threads) +
            (pool_shards > 0 ? " pool_shards=" + std::to_string(pool_shards) : "") +
            (io_batch != 1 ? " io_batch=" + std::to_string(io_batch) : "") +
+           (io_engine == IoEngineKind::kUring
+                ? " io_engine=uring(depth=" + std::to_string(uring_depth) + ")"
+                : "") +
+           (!large_write_bypass ? " no_bypass" : "") +
            (enable_tracing ? " tracing=on" : "") +
            (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "") +
            (!epoch_tracking ? " epochs=off" : "") +

@@ -58,17 +58,24 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   h_write_copy_ = &metrics_.histogram("crfs.write.copy_ns");
   h_pool_wait_ = &metrics_.histogram("crfs.write.pool_wait_ns");
   h_drain_wait_ = &metrics_.histogram("crfs.drain.wait_ns");
+  h_pwrite_ = &metrics_.histogram("crfs.io.pwrite_ns");
+  c_pwrite_bytes_ = &metrics_.counter("crfs.io.pwrite_bytes");
+  c_pwrite_errors_ = &metrics_.counter("crfs.io.pwrite_errors");
+  c_bypass_bytes_ = &metrics_.counter("crfs.write.bypass_bytes");
   queue_.set_wait_histogram(&metrics_.histogram("crfs.queue.wait_ns"));
 
   IoPoolObs io_obs;
-  io_obs.pwrite_ns = &metrics_.histogram("crfs.io.pwrite_ns");
-  io_obs.pwrite_bytes = &metrics_.counter("crfs.io.pwrite_bytes");
-  io_obs.pwrite_errors = &metrics_.counter("crfs.io.pwrite_errors");
+  io_obs.pwrite_ns = h_pwrite_;
+  io_obs.pwrite_bytes = c_pwrite_bytes_;
+  io_obs.pwrite_errors = c_pwrite_errors_;
   io_obs.trace = &trace_;
   io_obs.events = &events_;
   io_obs.batch_chunks = &metrics_.histogram("crfs.io.batch_chunks");
   io_obs.coalesced_pwrites = &metrics_.counter("crfs.io.coalesced_pwrites");
   io_obs.durability_lag_ns = &metrics_.histogram("crfs.chunk.durability_lag_ns");
+  io_obs.engine.inflight_depth = &metrics_.histogram("crfs.io.inflight_depth");
+  io_obs.engine.sqe_batch = &metrics_.histogram("crfs.io.sqe_batch");
+  io_obs.engine.cqe_wait_ns = &metrics_.histogram("crfs.io.cqe_wait_ns");
 
   // Flight recorder before the IO pool exists: the pool's run-complete
   // hook and the event listener below reference it, and nothing can fire
@@ -95,8 +102,11 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   // overlapping writers with IO (docs/PERFORMANCE.md).
   const unsigned batch_cap =
       static_cast<unsigned>(std::max<std::size_t>(1, cfg_.num_chunks() / 2));
-  io_pool_ = std::make_unique<IoThreadPool>(cfg_.io_threads, queue_, *pool_, *backend_,
-                                            io_obs, std::min(cfg_.io_batch, batch_cap));
+  io_pool_ = std::make_unique<IoThreadPool>(
+      cfg_.io_threads, queue_, *pool_, *backend_, io_obs,
+      std::min(cfg_.io_batch, batch_cap),
+      IoEngineOptions{.requested = cfg_.io_engine, .uring_depth = cfg_.uring_depth},
+      pool_->chunk_regions());
 
   // Occupancy gauges, sampled at snapshot time straight from the stages.
   metrics_.gauge_fn("crfs.pool.free_chunks", [this] {
@@ -113,6 +123,9 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   });
   metrics_.gauge_fn("crfs.io.in_flight", [this] {
     return static_cast<std::int64_t>(io_pool_->in_flight());
+  });
+  metrics_.gauge_fn("crfs.io.engine_inflight", [this] {
+    return static_cast<std::int64_t>(io_pool_->engine_inflight());
   });
   metrics_.gauge_fn("crfs.files.open", [this] {
     return static_cast<std::int64_t>(table_.open_count());
@@ -250,6 +263,51 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
   std::uint64_t pool_wait_ns = 0;
 
   std::lock_guard agg(entry.agg_mu);
+
+  // Large-write copy bypass (docs/PERFORMANCE.md): a chunk-size-or-larger
+  // write at/past the file's high-water mark goes straight to the backend,
+  // skipping the memcpy and the pool round-trip. Safe exactly because
+  // size_seen is the max append point this file has ever reached (only
+  // advanced under agg_mu): every buffered, queued, or in-flight chunk
+  // lies entirely below it, so the direct write cannot race a chunk write
+  // for the same byte range — ordering is irrelevant for disjoint ranges.
+  // current == nullptr keeps the common partial-chunk stream on the
+  // aggregation path (a parked chunk may end exactly at `offset`, and
+  // flushing it here just to bypass would cost more than the memcpy).
+  if (cfg_.large_write_bypass && nbytes >= cfg_.chunk_size && entry.current == nullptr &&
+      offset >= entry.size_seen.load(std::memory_order_relaxed)) {
+    const Status st = backend_->pwrite(entry.backend_file(), data, offset);
+    const std::uint64_t t_done = obs::now_ns();
+    h_pwrite_->record(t_done - t0);
+    if (!st.ok()) {
+      c_pwrite_errors_->add(1);
+      if (entry.epoch != nullptr) {
+        entry.epoch->io_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      // The app thread sees the failure synchronously — no sticky error
+      // needed, nothing was buffered.
+      return st;
+    }
+    c_pwrite_bytes_->add(nbytes);
+    c_bypass_bytes_->add(nbytes);
+    stats_.bypass_writes.fetch_add(1, std::memory_order_relaxed);
+    if (entry.epoch != nullptr) {
+      entry.epoch->app_writes.fetch_add(1, std::memory_order_relaxed);
+      entry.epoch->bytes.fetch_add(nbytes, std::memory_order_relaxed);
+      entry.epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
+      // Durable immediately, with zero queue residency; note this counts
+      // as one chunk-equivalent backend write, so epoch aggregation
+      // ratios reflect that bypassed bytes were never aggregated.
+      entry.epoch->record_chunk_durable(nbytes, t_done - t0, 0);
+    }
+    const std::uint64_t end = offset + nbytes;
+    std::uint64_t seen = entry.size_seen.load(std::memory_order_relaxed);
+    while (end > seen &&
+           !entry.size_seen.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {
+    }
+    return {};
+  }
+
   while (!data.empty()) {
     // Non-contiguous write: flush the current chunk and restart at the new
     // offset. Checkpoint streams are sequential so this is the cold path.
@@ -412,6 +470,10 @@ Status Crfs::close(FileHandle handle) {
   if (auto err = entry->take_error()) result = *err;
 
   if (auto last = table_.release(entry->path())) {
+    // Engines may hold registered-fd slots for this backend file; drop
+    // them before the fd number can be reused by a later open. All of the
+    // file's writes have drained above, so no in-flight SQE references it.
+    io_pool_->forget_backend_file(last->backend_file());
     const Status close_status = backend_->close_file(last->backend_file());
     if (result.ok() && !close_status.ok()) result = close_status;
   }
@@ -446,7 +508,8 @@ Result<std::vector<std::string>> Crfs::list_dir(const std::string& path) {
 
 std::string Crfs::stats_report() const {
   const MountStats::Snapshot s = stats_.snapshot();
-  std::string out = "CRFS pipeline stats (" + cfg_.describe() + ")\n";
+  std::string out = "CRFS pipeline stats (" + cfg_.describe() +
+                    ", engine=" + io_pool_->engine_name() + ")\n";
   TextTable mount({"Mount counter", "Value"});
   mount.add_row({"app_writes", std::to_string(s.app_writes)});
   mount.add_row({"app_bytes", std::to_string(s.app_bytes)});
@@ -454,6 +517,7 @@ std::string Crfs::stats_report() const {
   mount.add_row({"partial_flushes", std::to_string(s.partial_flushes)});
   mount.add_row({"reopens", std::to_string(s.reopens)});
   mount.add_row({"chunk_steals", std::to_string(s.chunk_steals)});
+  mount.add_row({"bypass_writes", std::to_string(s.bypass_writes)});
   mount.add_row({"reads", std::to_string(s.reads)});
   mount.add_row({"read_bytes", std::to_string(s.read_bytes)});
   out += mount.render();
@@ -502,8 +566,11 @@ std::string Crfs::stats_json() const {
   out += ",\"partial_flushes\":" + std::to_string(s.partial_flushes);
   out += ",\"reopens\":" + std::to_string(s.reopens);
   out += ",\"chunk_steals\":" + std::to_string(s.chunk_steals);
+  out += ",\"bypass_writes\":" + std::to_string(s.bypass_writes);
   out += ",\"reads\":" + std::to_string(s.reads);
   out += ",\"read_bytes\":" + std::to_string(s.read_bytes);
+  out += ",\"io_engine\":\"" + std::string(io_pool_->engine_name()) + "\"";
+  out += ",\"io_engine_requested\":\"" + std::string(io_engine_name(cfg_.io_engine)) + "\"";
   out += "},\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
   if (epochs_ != nullptr) {

@@ -42,6 +42,9 @@ struct MountStats {
   /// Pool-exhaustion rescues: another file's partial chunk was flushed
   /// early because every chunk was parked (more open files than chunks).
   std::atomic<std::uint64_t> chunk_steals{0};
+  /// Large writes issued straight to the backend, skipping the buffer-pool
+  /// memcpy (Config::large_write_bypass).
+  std::atomic<std::uint64_t> bypass_writes{0};
   std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> read_bytes{0};
 
@@ -54,6 +57,7 @@ struct MountStats {
     std::uint64_t partial_flushes = 0;
     std::uint64_t reopens = 0;
     std::uint64_t chunk_steals = 0;
+    std::uint64_t bypass_writes = 0;
     std::uint64_t reads = 0;
     std::uint64_t read_bytes = 0;
   };
@@ -67,6 +71,7 @@ struct MountStats {
         partial_flushes.load(std::memory_order_relaxed),
         reopens.load(std::memory_order_relaxed),
         chunk_steals.load(std::memory_order_relaxed),
+        bypass_writes.load(std::memory_order_relaxed),
         reads.load(std::memory_order_relaxed),
         read_bytes.load(std::memory_order_relaxed),
     };
@@ -128,6 +133,10 @@ class Crfs {
   std::uint64_t backend_chunks_written() const { return io_pool_->chunks_written(); }
   std::size_t open_files() const { return table_.open_count(); }
   std::size_t queue_depth() const { return queue_.depth(); }
+
+  /// The IO engine actually running after mount-time feature detection —
+  /// "uring", or "sync" (either requested or fallen back to).
+  const char* active_io_engine() const { return io_pool_->engine_name(); }
 
   // -- Observability (docs/OBSERVABILITY.md) -------------------------------
   /// The mount's metric registry: per-stage latency histograms
@@ -252,6 +261,12 @@ class Crfs {
   obs::LatencyHistogram* h_write_copy_ = nullptr;
   obs::LatencyHistogram* h_pool_wait_ = nullptr;
   obs::LatencyHistogram* h_drain_wait_ = nullptr;
+  // Large-write bypass shares the IO pool's pwrite metrics (the bypass IS
+  // a backend pwrite, just issued from the app thread).
+  obs::LatencyHistogram* h_pwrite_ = nullptr;
+  obs::Counter* c_pwrite_bytes_ = nullptr;
+  obs::Counter* c_pwrite_errors_ = nullptr;
+  obs::Counter* c_bypass_bytes_ = nullptr;
 
   /// Open-handle registry: per-slot locking, entry resolved once at open()
   /// — the write() hot path does no global lock and no hash lookup.

@@ -1,19 +1,32 @@
 #include "crfs/io_pool.h"
 
 #include <algorithm>
-#include <span>
 
 #include "crfs/file_table.h"
 
 namespace crfs {
 
 IoThreadPool::IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool,
-                           BackendFs& backend, IoPoolObs observe, unsigned batch)
-    : queue_(queue), pool_(pool), backend_(backend), obs_(observe),
+                           BackendFs& backend, IoPoolObs observe, unsigned batch,
+                           IoEngineOptions engine, std::vector<ChunkRegion> regions)
+    : queue_(queue), pool_(pool), backend_(backend), obs_(std::move(observe)),
       batch_(batch == 0 ? 1 : batch) {
-  workers_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  // One engine per worker: each uring worker owns its ring outright, so
+  // submission and reaping never take a cross-thread lock. Feature
+  // detection runs once per worker; a fallback on one implies fallback on
+  // all (same kernel), so engine_name() can report engines_[0].
+  auto complete = [this](IoRun run, Status status, std::uint64_t t_start,
+                         std::uint64_t t_done) {
+    complete_run(std::move(run), std::move(status), t_start, t_done);
+  };
+  const unsigned n = threads == 0 ? 1 : threads;
+  engines_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    engines_.push_back(make_io_engine(engine, backend_, regions, obs_.engine, complete));
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,14 +35,45 @@ IoThreadPool::~IoThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void IoThreadPool::worker_loop() {
+void IoThreadPool::worker_loop(unsigned idx) {
+  IoEngine& eng = *engines_[idx];
   for (;;) {
-    std::vector<WriteJob> batch = queue_.pop_batch(batch_);
-    if (batch.empty()) return;  // shutdown and drained
+    // Submission window: how many more chunks this worker may take on.
+    // Sync's capacity is effectively unbounded (completions are inline),
+    // so want == batch_ and the loop degenerates to the original
+    // pop/write/repeat. Uring keeps pulling work while the ring has room
+    // and reaps when it does not.
+    const std::size_t inflight = eng.inflight();
+    const std::size_t room =
+        eng.capacity() > inflight ? eng.capacity() - inflight : 0;
+    const std::size_t want = std::min<std::size_t>(batch_, room);
+    if (want == 0) {
+      eng.reap(/*wait=*/true);
+      continue;
+    }
+
+    std::vector<WriteJob> batch;
+    if (inflight == 0) {
+      // Nothing to reap: park in the blocking pop. Shutdown is detected
+      // here — an empty pop_batch means drained, and inflight == 0 means
+      // the engine is drained too, so exiting loses nothing.
+      batch = queue_.pop_batch(want);
+      if (batch.empty()) return;
+    } else {
+      // Completions pending: never block on the queue. Either take more
+      // work or turn the idle moment into a completion wait.
+      batch = queue_.try_pop_batch(want);
+      if (batch.empty()) {
+        eng.reap(/*wait=*/true);
+        continue;
+      }
+    }
+
     // The whole batch counts as in-flight until its last chunk is
     // released: the pool-exhaustion rescue in Crfs::acquire_chunk treats
     // in_flight() > 0 as "chunks are coming back soon", which must cover
-    // chunks parked in a worker's batch, not just the one being written.
+    // chunks parked in a worker's batch or ring, not just the one being
+    // written.
     in_flight_.fetch_add(static_cast<unsigned>(batch.size()),
                          std::memory_order_acq_rel);
     if (obs_.batch_chunks != nullptr) obs_.batch_chunks->record(batch.size());
@@ -52,53 +96,47 @@ void IoThreadPool::worker_loop() {
              batch[j - 1].chunk->append_point() == batch[j].chunk->file_offset()) {
         ++j;
       }
-      write_run(std::span<WriteJob>{batch}.subspan(i, j - i));
+      IoRun run;
+      run.offset = batch[i].chunk->file_offset();
+      run.jobs.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        run.total += batch[k].chunk->fill();
+        run.jobs.push_back(std::move(batch[k]));
+      }
+      eng.submit(std::move(run));
       i = j;
     }
+    eng.flush();
+    eng.reap(/*wait=*/false);
   }
 }
 
-void IoThreadPool::write_run(std::span<WriteJob> run) {
-  FileEntry& file = *run.front().file;
-  const std::uint64_t offset = run.front().chunk->file_offset();
-  std::uint64_t total = 0;
-  for (const WriteJob& job : run) total += job.chunk->fill();
-
-  // Chunk-lifecycle ledger: one pwrite-start/pwrite-complete stamp pair
-  // per backend call is the single time source for the pwrite histogram,
-  // the trace span, per-chunk durability lag (copy-in -> durable, via
-  // Chunk::born_ns), and epoch attribution. Two clock reads per
-  // chunk-sized-or-larger IO: noise next to the IO itself.
-  const std::uint64_t t_start = obs::now_ns();
-  Status status;
-  if (run.size() == 1) {
-    status = backend_.pwrite(file.backend_file(), run.front().chunk->payload(), offset);
-  } else {
-    std::vector<BackendIoVec> iov;
-    iov.reserve(run.size());
-    for (const WriteJob& job : run) {
-      iov.push_back(BackendIoVec{job.chunk->payload().data(), job.chunk->fill()});
-    }
-    status = backend_.pwritev(file.backend_file(), iov, offset);
-    if (obs_.coalesced_pwrites != nullptr) obs_.coalesced_pwrites->add(1);
+void IoThreadPool::complete_run(IoRun run, Status status, std::uint64_t t_start,
+                                std::uint64_t t_done) {
+  // t_start/t_done bracket the backend IO (stamped by the engine): the
+  // single time source for the pwrite histogram, the trace span,
+  // per-chunk durability lag (copy-in -> durable, via Chunk::born_ns),
+  // and epoch attribution.
+  FileEntry& file = *run.jobs.front().file;
+  if (run.jobs.size() > 1 && obs_.coalesced_pwrites != nullptr) {
+    obs_.coalesced_pwrites->add(1);
   }
-  const std::uint64_t t_done = obs::now_ns();
   if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(t_done - t_start);
   if (obs_.trace != nullptr && obs_.trace->enabled()) {
     obs_.trace->ring().record("pwrite", t_start, t_done - t_start);
   }
 
   if (status.ok()) {
-    chunks_written_.fetch_add(run.size(), std::memory_order_relaxed);
-    bytes_written_.fetch_add(total, std::memory_order_relaxed);
-    if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(total);
+    chunks_written_.fetch_add(run.jobs.size(), std::memory_order_relaxed);
+    bytes_written_.fetch_add(run.total, std::memory_order_relaxed);
+    if (obs_.pwrite_bytes != nullptr) obs_.pwrite_bytes->add(run.total);
     // The run's jobs all carry the same file but may span an epoch
     // rotation; attribute durability per job, and the backend call to
     // the run's leading epoch.
-    if (run.front().epoch != nullptr) {
-      run.front().epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
+    if (run.jobs.front().epoch != nullptr) {
+      run.jobs.front().epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
     }
-    for (const WriteJob& job : run) {
+    for (const WriteJob& job : run.jobs) {
       const std::uint64_t born = job.chunk->born_ns();
       const std::uint64_t lag = born != 0 && t_done > born ? t_done - born : 0;
       const std::uint64_t residency =
@@ -114,7 +152,7 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
     }
   } else {
     if (obs_.pwrite_errors != nullptr) obs_.pwrite_errors->add(1);
-    for (const WriteJob& job : run) {
+    for (const WriteJob& job : run.jobs) {
       if (job.epoch != nullptr) {
         job.epoch->io_errors.fetch_add(1, std::memory_order_relaxed);
       }
@@ -123,8 +161,8 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
       const Error& err = status.error();
       obs_.events->push(obs::Event{
           obs::Severity::kCritical, "pwrite_error",
-          file.path() + " offset=" + std::to_string(offset) + " len=" +
-              std::to_string(total) + " chunks=" + std::to_string(run.size()) +
+          file.path() + " offset=" + std::to_string(run.offset) + " len=" +
+              std::to_string(run.total) + " chunks=" + std::to_string(run.jobs.size()) +
               " errno=" + std::to_string(err.code) + " (" + err.to_string() + ")",
           static_cast<double>(err.code), 0.0, t_done});
     }
@@ -132,7 +170,7 @@ void IoThreadPool::write_run(std::span<WriteJob> run) {
   // Every chunk in the run shares the run's fate: complete_one keeps
   // close()/fsync() blocked until write_chunks == complete_chunks, and a
   // failed run marks the sticky FileEntry error once per chunk.
-  for (WriteJob& job : run) {
+  for (WriteJob& job : run.jobs) {
     job.file->complete_one(status);
     pool_.release(std::move(job.chunk));
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);

@@ -1,6 +1,9 @@
 // IoThreadPool: the pool of worker IO threads draining the work queue
 // (paper §IV-B). Configuring the thread count throttles the number of
-// outstanding chunk writes hitting the backend at once.
+// outstanding chunk writes hitting the backend at once — unless the
+// async engine is selected, in which case each worker keeps up to
+// uring_depth coalesced runs in flight (docs/PERFORMANCE.md "IO
+// engines").
 #pragma once
 
 #include <atomic>
@@ -11,6 +14,7 @@
 
 #include "backend/backend_fs.h"
 #include "crfs/buffer_pool.h"
+#include "crfs/io_engine.h"
 #include "crfs/work_queue.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -44,6 +48,9 @@ struct IoPoolObs {
   /// completion stamp; chunks whose producer never stamped born_ns are
   /// skipped.
   obs::LatencyHistogram* durability_lag_ns = nullptr;
+  /// Engine-level sinks (crfs.io.inflight_depth / sqe_batch /
+  /// cqe_wait_ns); only the uring engine records into them.
+  IoEngineObs engine{};
   /// Called after each completed run (post chunk release) — the flight
   /// recorder's throttled-refresh hook. One indirect call per backend
   /// write (chunk-sized granularity), nullptr when no recorder exists.
@@ -52,15 +59,19 @@ struct IoPoolObs {
 
 class IoThreadPool {
  public:
-  /// Starts `threads` workers. Each worker loops: pop up to `batch`
-  /// already-queued chunks in one lock acquisition, group them by file
-  /// (keeping FIFO order within a file, so overlapping writes stay in
-  /// program order), issue one vectored backend write per run of adjacent
-  /// chunks, bump the owning files' complete-chunk counts, and return the
-  /// chunks to the pool. `batch == 1` reproduces the original
-  /// one-chunk-per-pop behaviour exactly.
+  /// Starts `threads` workers, each owning one IoEngine built from
+  /// `engine` (with runtime fallback to sync — see make_io_engine). Each
+  /// worker loops: pop up to `batch` already-queued chunks, group them by
+  /// file (keeping FIFO order within a file, so overlapping writes stay
+  /// in program order), submit one coalesced run of adjacent chunks per
+  /// engine submission, and reap completions that bump the owning files'
+  /// complete-chunk counts and return the chunks to the pool. With the
+  /// sync engine and `batch == 1` this reproduces the original
+  /// one-chunk-per-pop behaviour exactly. `regions` is the buffer pool's
+  /// chunk storage for fixed-buffer registration (pass {} to skip).
   IoThreadPool(unsigned threads, WorkQueue& queue, BufferPool& pool, BackendFs& backend,
-               IoPoolObs observe = {}, unsigned batch = 1);
+               IoPoolObs observe = {}, unsigned batch = 1, IoEngineOptions engine = {},
+               std::vector<ChunkRegion> regions = {});
 
   /// Drains the queue and joins all workers.
   ~IoThreadPool();
@@ -88,11 +99,29 @@ class IoThreadPool {
   /// Jobs currently being written by a worker (popped, not yet finished).
   unsigned in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
 
+  /// The engine actually running after feature detection ("sync"/"uring").
+  const char* engine_name() const { return engines_.front()->name(); }
+
+  /// Runs currently submitted to the kernel across all workers' engines
+  /// (0 for sync, whose submissions complete inline).
+  std::size_t engine_inflight() const {
+    std::size_t n = 0;
+    for (const auto& eng : engines_) n += eng->inflight();
+    return n;
+  }
+
+  /// Invalidates engine-cached state for `file` (registered-fd slots)
+  /// before the backend closes it. Call after the file's writes drained.
+  void forget_backend_file(BackendFile file) {
+    for (const auto& eng : engines_) eng->forget_file(file);
+  }
+
  private:
-  void worker_loop();
-  /// Writes a run of same-file, offset-adjacent jobs with one backend
-  /// call, then completes and releases every chunk in the run.
-  void write_run(std::span<WriteJob> run);
+  void worker_loop(unsigned idx);
+  /// Engine completion callback: accounts one finished run (metrics,
+  /// epoch attribution, sticky error), completes and releases every
+  /// chunk. Runs on the submitting worker's thread.
+  void complete_run(IoRun run, Status status, std::uint64_t t_start, std::uint64_t t_done);
 
   WorkQueue& queue_;
   BufferPool& pool_;
@@ -102,6 +131,7 @@ class IoThreadPool {
   std::atomic<std::uint64_t> chunks_written_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<unsigned> in_flight_{0};
+  std::vector<std::unique_ptr<IoEngine>> engines_;  ///< one per worker
   std::vector<std::thread> workers_;
 };
 

@@ -56,6 +56,11 @@ class WorkQueue {
   /// chunks into vectored backend writes (docs/PERFORMANCE.md).
   std::vector<WriteJob> pop_batch(std::size_t max);
 
+  /// Non-blocking pop_batch: returns immediately (possibly empty) instead
+  /// of waiting for the first job. Used by async IO engines that have
+  /// completions to reap while the queue is momentarily dry.
+  std::vector<WriteJob> try_pop_batch(std::size_t max);
+
   /// Lets pop() return nullopt once the queue is empty. Already-queued
   /// jobs are still handed out so teardown never loses buffered data.
   void shutdown();
@@ -69,6 +74,9 @@ class WorkQueue {
   std::uint64_t total_pushed() const;
 
  private:
+  void drain_locked(std::vector<WriteJob>& batch, std::size_t max);
+  void stamp_dequeued(std::vector<WriteJob>& batch);
+
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::deque<WriteJob> jobs_;

@@ -18,13 +18,19 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
       free_chunks_(static_cast<unsigned>(config.num_chunks() > 0 ? config.num_chunks() : 1)),
       fuse_station_(sim, 1),
       chunk_available_(sim),
-      job_ready_(sim) {
+      job_ready_(sim),
+      cqe_slot_(sim) {
   // Same registry schema as the real mount (crfs.cpp), read on virtual
   // time by an obs::Sampler via sample_loop(). The single-threaded sim
   // pays nothing for the atomics.
   h_pwrite_ = &metrics_.histogram("crfs.io.pwrite_ns");
   c_pwrite_bytes_ = &metrics_.counter("crfs.io.pwrite_bytes");
   h_lag_ = &metrics_.histogram("crfs.chunk.durability_lag_ns");
+  // Registered for both engines (schema parity with the real mount); only
+  // the uring mirror records non-trivial depths.
+  h_inflight_depth_ = &metrics_.histogram("crfs.io.inflight_depth");
+  metrics_.gauge_fn("crfs.io.engine_inflight",
+                    [this] { return static_cast<std::int64_t>(engine_inflight_); });
   metrics_.gauge_fn("crfs.pool.free_chunks",
                     [this] { return static_cast<std::int64_t>(free_chunks_); });
   metrics_.gauge_fn("crfs.queue.depth",
@@ -169,48 +175,72 @@ Task CrfsSimNode::io_worker(unsigned worker) {
     std::size_t i = 0;
     while (i < batch.size()) {
       std::size_t j = i + 1;
-      std::uint64_t run_len = batch[i].len;
       while (j < batch.size() && batch[j].file == batch[i].file &&
              batch[j - 1].offset + batch[j - 1].len == batch[j].offset) {
-        run_len += batch[j].len;
         ++j;
       }
-
-      const double pwrite_start = sim_.now();
-      co_await sim_.delay(cal_.crfs_chunk_overhead * static_cast<double>(j - i));
-      co_await backend_.write_call(node_, batch[i].file, batch[i].offset, run_len,
-                                   /*via_crfs=*/true);
-      sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now());
-      h_pwrite_->record(static_cast<std::uint64_t>((sim_.now() - pwrite_start) * 1e9));
-      c_pwrite_bytes_->add(run_len);
-
-      // Mirror of IoThreadPool::write_run's ledger attribution: the
-      // backend call goes to the run's leading epoch, durability per job.
-      const std::uint64_t t_done = now_ns();
-      if (batch[i].epoch != nullptr) {
-        batch[i].epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
-      }
-      for (std::size_t k = i; k < j; ++k) {
-        const Job& job = batch[k];
-        const std::uint64_t lag =
-            job.born_ns != 0 && t_done > job.born_ns ? t_done - job.born_ns : 0;
-        const std::uint64_t residency =
-            dequeue_now > job.enqueue_ns ? dequeue_now - job.enqueue_ns : 0;
-        if (job.born_ns != 0) h_lag_->record(lag);
-        if (job.epoch != nullptr) {
-          job.epoch->record_chunk_durable(job.len, lag, residency);
+      std::vector<Job> run(batch.begin() + static_cast<std::ptrdiff_t>(i),
+                           batch.begin() + static_cast<std::ptrdiff_t>(j));
+      if (config_.io_engine == IoEngineKind::kUring) {
+        // Uring mirror: the worker only *submits* — the run proceeds as
+        // its own task while the worker returns for more jobs, gated on
+        // ring capacity exactly like UringEngine::submit's depth drain.
+        while (engine_inflight_ >= config_.uring_depth) {
+          co_await cqe_slot_.wait();
         }
-      }
-
-      for (std::size_t k = i; k < j; ++k) {
-        FileState& st = state(batch[k].file);
-        st.complete_chunks += 1;
-        st.completion->pulse();
-        free_chunks_ += 1;
-        chunk_available_.pulse();
+        engine_inflight_ += 1;
+        h_inflight_depth_->record(engine_inflight_);
+        sim_.spawn(write_run(std::move(run), dequeue_now, worker, /*engine_slot=*/true));
+      } else {
+        // Sync engine: the worker is the run (blocking pwrite), exactly
+        // the pre-engine pipeline.
+        co_await write_run(std::move(run), dequeue_now, worker, /*engine_slot=*/false);
       }
       i = j;
     }
+  }
+}
+
+Task CrfsSimNode::write_run(std::vector<Job> run, std::uint64_t dequeue_now,
+                            unsigned worker, bool engine_slot) {
+  std::uint64_t run_len = 0;
+  for (const Job& job : run) run_len += job.len;
+
+  const double pwrite_start = sim_.now();
+  co_await sim_.delay(cal_.crfs_chunk_overhead * static_cast<double>(run.size()));
+  co_await backend_.write_call(node_, run.front().file, run.front().offset, run_len,
+                               /*via_crfs=*/true);
+  sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now());
+  h_pwrite_->record(static_cast<std::uint64_t>((sim_.now() - pwrite_start) * 1e9));
+  c_pwrite_bytes_->add(run_len);
+
+  // Mirror of IoThreadPool::complete_run's ledger attribution: the
+  // backend call goes to the run's leading epoch, durability per job.
+  const std::uint64_t t_done = now_ns();
+  if (run.front().epoch != nullptr) {
+    run.front().epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const Job& job : run) {
+    const std::uint64_t lag =
+        job.born_ns != 0 && t_done > job.born_ns ? t_done - job.born_ns : 0;
+    const std::uint64_t residency =
+        dequeue_now > job.enqueue_ns ? dequeue_now - job.enqueue_ns : 0;
+    if (job.born_ns != 0) h_lag_->record(lag);
+    if (job.epoch != nullptr) {
+      job.epoch->record_chunk_durable(job.len, lag, residency);
+    }
+  }
+
+  for (const Job& job : run) {
+    FileState& st = state(job.file);
+    st.complete_chunks += 1;
+    st.completion->pulse();
+    free_chunks_ += 1;
+    chunk_available_.pulse();
+  }
+  if (engine_slot) {
+    engine_inflight_ -= 1;
+    cqe_slot_.pulse();
   }
 }
 

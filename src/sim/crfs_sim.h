@@ -108,6 +108,15 @@ class CrfsSimNode {
   };
 
   Task io_worker(unsigned worker);
+  /// One coalesced run's backend write plus all per-chunk completion
+  /// bookkeeping (pwrite histograms, epoch attribution, pool release).
+  /// The sync engine awaits it inline (worker blocked for the duration,
+  /// exactly the pre-engine pipeline); the uring mirror spawns it as a
+  /// concurrent task gated on engine_inflight_ < uring_depth, modelling
+  /// submission/completion decoupling in virtual time. `engine_slot` is
+  /// true for spawned runs, which release their ring slot on completion.
+  Task write_run(std::vector<Job> run, std::uint64_t dequeue_now, unsigned worker,
+                 bool engine_slot);
   FileState& state(FileId file);
   /// Enqueues the file's current chunk (if non-empty).
   void flush_chunk(FileState& st, FileId file);
@@ -125,6 +134,11 @@ class CrfsSimNode {
   Event chunk_available_;
   std::deque<Job> queue_;
   Event job_ready_;
+  /// Uring mirror: runs currently "in the ring" (spawned write_run tasks
+  /// not yet completed) and the event their completions pulse so a worker
+  /// blocked at full depth can submit again.
+  unsigned engine_inflight_ = 0;
+  Event cqe_slot_;
   bool stopping_ = false;
   std::uint64_t chunks_flushed_ = 0;
   std::uint64_t pool_waits_ = 0;
@@ -135,6 +149,7 @@ class CrfsSimNode {
   obs::LatencyHistogram* h_pwrite_ = nullptr;
   obs::Counter* c_pwrite_bytes_ = nullptr;
   obs::LatencyHistogram* h_lag_ = nullptr;
+  obs::LatencyHistogram* h_inflight_depth_ = nullptr;
 
   /// Epoch ledger on virtual time (nullptr when Config::epoch_tracking is
   /// off). Same EpochTracker as the real mount; only the clock differs.

@@ -9,6 +9,7 @@
 #include "backend/mem_backend.h"
 #include "backend/null_backend.h"
 #include "backend/posix_backend.h"
+#include "backend/posix_io.h"
 #include "backend/wrappers.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -294,6 +295,160 @@ TEST(PosixBackend, RejectsEscapingPaths) {
 TEST(PosixBackend, CreateFailsOnMissingRoot) {
   auto b = PosixBackend::create("/nonexistent_root_dir_for_crfs_test");
   EXPECT_FALSE(b.ok());
+}
+
+// -------------------------------------------- posix_detail::pwritev_all
+
+// The extracted retry loop behind PosixBackend::pwritev, driven with an
+// injected write function so every kernel-edge case (EINTR, short writes
+// at and inside segment boundaries, impossible zero returns) is covered
+// without needing a filesystem that actually misbehaves.
+
+std::vector<struct iovec> make_iovecs(std::vector<std::string>& segs) {
+  std::vector<struct iovec> vecs(segs.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    vecs[i].iov_base = segs[i].data();
+    vecs[i].iov_len = segs[i].size();
+  }
+  return vecs;
+}
+
+std::string gather(const struct iovec* v, int cnt) {
+  std::string out;
+  for (int i = 0; i < cnt; ++i) {
+    out.append(static_cast<const char*>(v[i].iov_base), v[i].iov_len);
+  }
+  return out;
+}
+
+TEST(PwritevAll, EintrIsRetriedUntilComplete) {
+  std::vector<std::string> segs = {"aaaa", "bbbb"};
+  auto vecs = make_iovecs(segs);
+  int eintrs = 2;
+  std::string sink;
+  const int err = posix_detail::pwritev_all(
+      vecs, 0, [&](struct iovec* v, int cnt, off_t off) -> ssize_t {
+        if (eintrs > 0) {
+          --eintrs;
+          errno = EINTR;
+          return -1;
+        }
+        EXPECT_EQ(off, 0);
+        sink = gather(v, cnt);
+        return static_cast<ssize_t>(sink.size());
+      });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(eintrs, 0);
+  EXPECT_EQ(sink, "aaaabbbb");
+}
+
+TEST(PwritevAll, ShortWriteInsideSegmentResumesAtTrimmedOffset) {
+  std::vector<std::string> segs = {"0123", "4567", "89AB"};
+  auto vecs = make_iovecs(segs);
+  std::string sink(12, '.');
+  int calls = 0;
+  const int err = posix_detail::pwritev_all(
+      vecs, 100, [&](struct iovec* v, int cnt, off_t off) -> ssize_t {
+        ++calls;
+        // First call: 6 bytes — all of segment 0 plus half of segment 1.
+        // The loop must resume at offset 106 with "67" then "89AB".
+        const std::string data = gather(v, cnt);
+        const ssize_t n = calls == 1 ? 6 : static_cast<ssize_t>(data.size());
+        sink.replace(static_cast<std::size_t>(off - 100), static_cast<std::size_t>(n),
+                     data.substr(0, static_cast<std::size_t>(n)));
+        return n;
+      });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(sink, "0123456789AB");
+}
+
+TEST(PwritevAll, ShortWriteAtExactSegmentBoundary) {
+  std::vector<std::string> segs = {"head", "tail"};
+  auto vecs = make_iovecs(segs);
+  std::string sink;
+  int calls = 0;
+  const int err = posix_detail::pwritev_all(
+      vecs, 0, [&](struct iovec* v, int cnt, off_t off) -> ssize_t {
+        ++calls;
+        if (calls == 1) {
+          EXPECT_EQ(cnt, 2);
+          sink += gather(v, 1);  // exactly the first segment
+          return static_cast<ssize_t>(v[0].iov_len);
+        }
+        // Resume must start cleanly at segment 1, untrimmed.
+        EXPECT_EQ(off, 4);
+        EXPECT_EQ(cnt, 1);
+        sink += gather(v, cnt);
+        return static_cast<ssize_t>(v[0].iov_len);
+      });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(sink, "headtail");
+}
+
+TEST(PwritevAll, OneByteAtATimeStillCompletes) {
+  std::vector<std::string> segs = {"ab", "cd", "ef"};
+  auto vecs = make_iovecs(segs);
+  std::string sink;
+  const int err = posix_detail::pwritev_all(
+      vecs, 0, [&](struct iovec* v, int, off_t off) -> ssize_t {
+        EXPECT_EQ(off, static_cast<off_t>(sink.size()));
+        sink += static_cast<const char*>(v[0].iov_base)[0];
+        return 1;
+      });
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(sink, "abcdef");
+}
+
+TEST(PwritevAll, ZeroReturnIsReportedAsEio) {
+  // A 0-byte pwritev with non-empty segments cannot make progress; the
+  // loop must fail rather than spin forever.
+  std::vector<std::string> segs = {"stuck"};
+  auto vecs = make_iovecs(segs);
+  const int err = posix_detail::pwritev_all(
+      vecs, 0, [](struct iovec*, int, off_t) -> ssize_t { return 0; });
+  EXPECT_EQ(err, EIO);
+}
+
+TEST(PwritevAll, HardErrnoPropagatesAfterPartialProgress) {
+  std::vector<std::string> segs = {"some", "data"};
+  auto vecs = make_iovecs(segs);
+  int calls = 0;
+  const int err = posix_detail::pwritev_all(
+      vecs, 0, [&](struct iovec*, int, off_t) -> ssize_t {
+        if (++calls == 1) return 4;  // first segment lands
+        errno = ENOSPC;
+        return -1;
+      });
+  EXPECT_EQ(err, ENOSPC);
+}
+
+TEST(PosixBackend, PwritevBeyondIovMaxFallsBackToSegmentLoop) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("crfs_posix_iovmax_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto b = PosixBackend::create(dir.string());
+  ASSERT_TRUE(b.ok());
+  auto f = b.value()->open_file("wide.bin", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(f.ok());
+
+  // More segments than IOV_MAX: PosixBackend must split (via the base
+  // class loop) instead of letting ::pwritev fail with EINVAL.
+  const std::size_t count = static_cast<std::size_t>(IOV_MAX) + 10;
+  std::string payload(count, '\0');
+  for (std::size_t i = 0; i < count; ++i) payload[i] = static_cast<char>('a' + (i % 26));
+  std::vector<BackendIoVec> iov(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    iov[i] = {reinterpret_cast<const std::byte*>(payload.data() + i), 1};
+  }
+  ASSERT_TRUE(b.value()->pwritev(f.value(), iov, 0).ok());
+
+  std::vector<std::byte> back(count);
+  ASSERT_EQ(b.value()->pread(f.value(), back, 0).value(), count);
+  EXPECT_EQ(to_string(back), payload);
+  ASSERT_TRUE(b.value()->close_file(f.value()).ok());
+  std::filesystem::remove_all(dir);
 }
 
 // ----------------------------------------------------------- NullBackend

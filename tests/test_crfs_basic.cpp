@@ -80,6 +80,10 @@ TEST_F(CrfsBasic, SmallWritesCoalesceIntoOneBackendWrite) {
 }
 
 TEST_F(CrfsBasic, FullChunksFlushEagerly) {
+  // no_bypass: this test is about eager flushing of full aggregation
+  // chunks; with the default large-write bypass a 3-chunk write goes
+  // straight to the backend instead (covered in test_io_engine.cpp).
+  remount(Config{.chunk_size = 4096, .pool_size = 4 * 4096, .large_write_bypass = false});
   auto h = fs_->open("full.bin", {.create = true, .truncate = true, .write = true});
   ASSERT_TRUE(h.ok());
   std::vector<std::byte> data(4096 * 3, std::byte{0x5A});  // exactly 3 chunks
@@ -337,7 +341,10 @@ TEST_F(CrfsBasic, ZeroByteWriteIsNoop) {
 TEST(CrfsErrors, AsyncWriteErrorSurfacesAtClose) {
   auto mem = std::make_shared<MemBackend>();
   auto faulty = std::make_shared<FaultyBackend>(mem);
-  auto fs = Crfs::mount(faulty, Config{.chunk_size = 4096, .pool_size = 4 * 4096});
+  // no_bypass pins the asynchronous error path: with the bypass a
+  // 2-chunk write would fail synchronously at write() instead.
+  auto fs = Crfs::mount(faulty, Config{.chunk_size = 4096, .pool_size = 4 * 4096,
+                                       .large_write_bypass = false});
   ASSERT_TRUE(fs.ok());
 
   auto h = fs.value()->open("err.bin", {.create = true, .truncate = true, .write = true});

@@ -71,6 +71,7 @@ TEST(CrfsctlCli, StatsHumanReportMentionsPipelineStages) {
   ASSERT_EQ(res.exit_code, 0) << res.output;
   EXPECT_NE(res.output.find("app_writes"), std::string::npos);
   EXPECT_NE(res.output.find("crfs.io.pwrite_ns"), std::string::npos);
+  EXPECT_NE(res.output.find("engine="), std::string::npos);  // active IO engine
 }
 
 TEST(CrfsctlCli, TraceWritesChromeJson) {
@@ -99,6 +100,12 @@ TEST(CrfsctlCli, PromEmitsValidExposition) {
   EXPECT_NE(res.output.find("crfs_io_pwrite_bytes_total 67108864"), std::string::npos)
       << res.output;
   EXPECT_NE(res.output.find("# TYPE crfs_io_pwrite_ns histogram"), std::string::npos);
+  // Info-style engine series: active engine as a label, value 1.
+  EXPECT_NE(res.output.find("# TYPE crfs_io_engine_info gauge"), std::string::npos);
+  const bool engine_info =
+      res.output.find("crfs_io_engine_info{engine=\"sync\"} 1") != std::string::npos ||
+      res.output.find("crfs_io_engine_info{engine=\"uring\"} 1") != std::string::npos;
+  EXPECT_TRUE(engine_info) << res.output;
   // Cumulative bucket series must be monotone and +Inf must equal _count.
   double prev = 0.0, inf = -1.0, count = -1.0;
   std::size_t pos = 0;
@@ -129,6 +136,7 @@ TEST(CrfsctlCli, WatchRendersFramesAndSummary) {
   EXPECT_NE(res.output.find("MB/s"), std::string::npos);
   EXPECT_NE(res.output.find("free_chunks="), std::string::npos);
   EXPECT_NE(res.output.find("queue="), std::string::npos);
+  EXPECT_NE(res.output.find("ring="), std::string::npos);  // engine in-flight depth
   EXPECT_NE(res.output.find("samples="), std::string::npos);
   // Final report follows the live frames.
   EXPECT_NE(res.output.find("app_writes"), std::string::npos);
@@ -156,8 +164,10 @@ TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
   EXPECT_EQ(object_keys(*parsed), expected_top);
 
   const std::vector<std::string> expected_mount = {
-      "app_bytes",       "app_writes", "chunk_steals", "full_flushes",
-      "partial_flushes", "read_bytes", "reads",        "reopens"};
+      "app_bytes",     "app_writes",         "bypass_writes",
+      "chunk_steals",  "full_flushes",       "io_engine",
+      "io_engine_requested", "partial_flushes", "read_bytes",
+      "reads",         "reopens"};
   ASSERT_NE(parsed->get("mount"), nullptr);
   EXPECT_EQ(object_keys(*parsed->get("mount")), expected_mount);
 

@@ -944,6 +944,9 @@ TEST(PipelineTelemetry, FailedPwriteAttachesStructuredEvent) {
   cfg.chunk_size = 64 * KiB;
   cfg.pool_size = 1 * MiB;
   cfg.io_threads = 1;
+  // The structured pwrite_error event is an IO-pool artifact; the bypass
+  // would fail this chunk-sized write synchronously with no event.
+  cfg.large_write_bypass = false;
   auto fs = Crfs::mount(faulty, cfg);
   ASSERT_TRUE(fs.ok());
   {

@@ -209,7 +209,10 @@ TEST_F(PosixApiTest, ConcurrentFdsIndependent) {
 TEST_F(PosixApiTest, ErrorPropagationFromBackend) {
   auto mem = std::make_shared<MemBackend>();
   auto faulty = std::make_shared<FaultyBackend>(mem);
-  auto fs = Crfs::mount(faulty, Config{.chunk_size = 4096, .pool_size = 4 * 4096});
+  // no_bypass pins the asynchronous error path (the default bypass would
+  // surface the failure synchronously at write()).
+  auto fs = Crfs::mount(faulty, Config{.chunk_size = 4096, .pool_size = 4 * 4096,
+                                       .large_write_bypass = false});
   ASSERT_TRUE(fs.ok());
   FuseShim shim(*fs.value(), FuseOptions{});
   PosixApi api(shim);

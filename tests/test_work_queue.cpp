@@ -105,6 +105,34 @@ TEST(WorkQueue, PopBatchReturnsEmptyAfterShutdownDrained) {
   EXPECT_TRUE(q.pop_batch(8).empty());   // then closed
 }
 
+TEST(WorkQueue, TryPopBatchNeverBlocks) {
+  WorkQueue q;
+  EXPECT_TRUE(q.try_pop_batch(4).empty());  // empty queue: immediate return
+
+  auto entry = std::make_shared<FileEntry>("f", 1);
+  for (int i = 0; i < 3; ++i) {
+    q.push(make_job(entry, 64, static_cast<std::uint64_t>(i), 'a', 1));
+  }
+  auto batch = q.try_pop_batch(2);  // caps at max, FIFO order
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].chunk->file_offset(), 0u);
+  EXPECT_EQ(batch[1].chunk->file_offset(), 1u);
+  EXPECT_EQ(q.try_pop_batch(8).size(), 1u);
+
+  q.shutdown();
+  EXPECT_TRUE(q.try_pop_batch(8).empty());  // drained + closed: still empty
+}
+
+TEST(WorkQueue, TryPopBatchStampsDequeueTimes) {
+  WorkQueue q;
+  auto entry = std::make_shared<FileEntry>("f", 1);
+  q.push(make_job(entry, 64, 0, 'a', 1));
+  auto batch = q.try_pop_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GT(batch[0].enqueue_ns, 0u);
+  EXPECT_GE(batch[0].dequeue_ns, batch[0].enqueue_ns);
+}
+
 // --------------------------------------------------------- IoThreadPool
 
 class IoPoolTest : public ::testing::Test {
