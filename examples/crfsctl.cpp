@@ -27,6 +27,19 @@
 //                                         bandwidth per epoch
 //   crfsctl postmortem <file>             pretty-print a flight-recorder
 //                                         dump (Config::postmortem_path)
+//   crfsctl knobs <dir> [mount-options] [--json]
+//                                         mount and print the runtime knob
+//                                         table: bounds, units, current
+//                                         values, knob-plane generation
+//   crfsctl tune <dir> <knob=value[,knob=value...]> [mount-options] [--json]
+//                                         apply tunes through the
+//                                         .crfs_tune control file and
+//                                         print the resulting audited
+//                                         decisions
+//   crfsctl controller <dir> [mount-options] [--json]
+//                                         run the workload with the
+//                                         feedback controller enabled;
+//                                         print the decision log
 //   crfsctl epochs <dir> <set>            list a CheckpointSet's epochs
 //   crfsctl verify <dir> <set> [epoch]    verify an epoch (default latest)
 //
@@ -51,6 +64,7 @@
 #include "common/wall_clock.h"
 #include "crfs/mount_options.h"
 #include "crfs/posix_api.h"
+#include "obs/controller.h"
 #include "obs/epoch.h"
 #include "obs/json_lite.h"
 #include "obs/prom.h"
@@ -70,6 +84,10 @@ int usage() {
                "       crfsctl prom <dir> [mount-options]\n"
                "       crfsctl report <dir> [mount-options] [--json]\n"
                "       crfsctl postmortem <file>\n"
+               "       crfsctl knobs <dir> [mount-options] [--json]\n"
+               "       crfsctl tune <dir> <knob=value[,knob=value...]> "
+               "[mount-options] [--json]\n"
+               "       crfsctl controller <dir> [mount-options] [--json]\n"
                "       crfsctl epochs <dir> <set>\n"
                "       crfsctl verify <dir> <set> [epoch]\n");
   return 64;
@@ -402,6 +420,180 @@ int cmd_postmortem(int argc, char** argv) {
   return 0;
 }
 
+// Decision-log table shared by `crfsctl tune` and `crfsctl controller`.
+void print_decisions(const std::vector<obs::CtlDecision>& decisions) {
+  if (decisions.empty()) {
+    std::printf("no decisions recorded\n");
+    return;
+  }
+  TextTable table({"Seq", "Source", "Rule", "Knob", "Req", "From", "To",
+                   "Outcome", "Reason"});
+  for (const auto& d : decisions) {
+    char req[32], from[32], to[32];
+    std::snprintf(req, sizeof(req), "%g", d.requested);
+    std::snprintf(from, sizeof(from), "%g", d.from);
+    std::snprintf(to, sizeof(to), "%g", d.to);
+    table.add_row({std::to_string(d.seq), d.source, d.rule, d.knob, req, from,
+                   to, d.outcome, d.reason});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+// `crfsctl knobs`: mount and print the declared runtime knob table. No
+// workload — the knob plane is fully populated at mount time, so this is
+// the quickest way to see what a given option string makes tunable (and
+// what the bounds are) before touching anything.
+int cmd_knobs(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  const char* optstr = "";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  auto backend = PosixBackend::create(argv[2]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+  if (as_json) {
+    std::printf("%s\n", fs.value()->knobs_json().c_str());
+    return 0;
+  }
+  const KnobPlane& plane = fs.value()->knob_plane();
+  std::printf("crfsctl knobs: %s (engine=%s, generation=%llu)\n",
+              format_mount_options(opts.value()).c_str(),
+              fs.value()->active_io_engine(),
+              static_cast<unsigned long long>(plane.generation()));
+  const KnobSnapshot* snap = plane.snapshot();
+  TextTable table({"Knob", "Value", "Min", "Max", "Unit"});
+  for (const KnobDef& def : plane.defs()) {
+    char value[32], min[32], max[32];
+    std::snprintf(value, sizeof(value), "%g", snap->get(def.name));
+    std::snprintf(min, sizeof(min), "%g", def.min_value);
+    std::snprintf(max, sizeof(max), "%g", def.max_value);
+    table.add_row({def.name, value, min, max, def.unit});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+// `crfsctl tune`: apply `knob=value` tokens through the .crfs_tune
+// control-file shim — the same path a deployment script inside the mount
+// would use — then print the audited decisions. Exit 1 when any token is
+// rejected (the EINVAL message names the offending token).
+int cmd_tune(int argc, char** argv) {
+  if (argc < 4) return usage();
+  bool as_json = false;
+  const char* optstr = "";
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  auto backend = PosixBackend::create(argv[2]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return 1;
+  }
+  auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  {
+    FuseShim shim(*fs.value(), opts.value().fuse);
+    auto h = shim.open(opts.value().config.tune_marker_path, {.write = true});
+    if (!h.ok()) {
+      std::fprintf(stderr, "error: %s\n", h.error().to_string().c_str());
+      return 1;
+    }
+    const char* tokens = argv[3];
+    std::vector<std::byte> payload(std::strlen(tokens));
+    std::memcpy(payload.data(), tokens, payload.size());
+    auto written = shim.write(h.value(), payload, 0);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.error().to_string().c_str());
+      rc = 1;
+    }
+    (void)shim.close(h.value());
+  }
+
+  const auto decisions = fs.value()->decision_log().snapshot();
+  if (as_json) {
+    std::printf("%s\n", obs::decisions_to_json(decisions).c_str());
+  } else {
+    print_decisions(decisions);
+  }
+  return rc;
+}
+
+// `crfsctl controller`: the full telemetry loop — run the instrumented
+// workload with the sampler and feedback controller on, then print the
+// controller state: knob generation, tick count, and the decision audit
+// trail (empty when the pipeline stayed healthy, which is the expected
+// outcome on a fast local disk).
+int cmd_controller(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  const char* optstr = "";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return 1;
+  }
+  if (opts.value().config.sample_ms == 0) opts.value().config.sample_ms = 10;
+  opts.value().config.controller = true;
+  auto fs = run_instrumented_workload(argv[2], opts.value());
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return 1;
+  }
+  if (as_json) {
+    std::printf("%s\n", fs.value()->controller_json().c_str());
+    return 0;
+  }
+  const obs::Controller* ctl = fs.value()->controller();
+  std::printf("crfsctl controller: %s (engine=%s)\n",
+              format_mount_options(opts.value()).c_str(),
+              fs.value()->active_io_engine());
+  std::printf("ticks=%llu generation=%llu decisions_total=%llu\n",
+              static_cast<unsigned long long>(ctl != nullptr ? ctl->ticks() : 0),
+              static_cast<unsigned long long>(fs.value()->knob_plane().generation()),
+              static_cast<unsigned long long>(fs.value()->decision_log().total()));
+  print_decisions(fs.value()->decision_log().snapshot());
+  return 0;
+}
+
 // One refresh frame of `crfsctl watch`: windowed rates from the latest
 // sample, occupancy gauges, and the running event count. Greppable
 // (every frame starts with "WATCH") so scripts and the CLI test can
@@ -699,6 +891,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "prom") == 0) return cmd_prom(argc, argv);
   if (std::strcmp(argv[1], "report") == 0) return cmd_report(argc, argv);
   if (std::strcmp(argv[1], "postmortem") == 0) return cmd_postmortem(argc, argv);
+  if (std::strcmp(argv[1], "knobs") == 0) return cmd_knobs(argc, argv);
+  if (std::strcmp(argv[1], "tune") == 0) return cmd_tune(argc, argv);
+  if (std::strcmp(argv[1], "controller") == 0) return cmd_controller(argc, argv);
   if (std::strcmp(argv[1], "epochs") == 0) return cmd_epochs(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
   return usage();

@@ -4,9 +4,12 @@
 # snapshot), test_crfs_concurrency (full pipeline under contention),
 # test_epoch_ledger (EpochState handoff through WriteJobs while explicit
 # epochs rotate under concurrent writers, flight-recorder refresh from IO
-# threads), and test_io_engine (uring submit/reap pipeline, large-write
-# bypass racing queued chunks, concurrent streams over both engines).
-# Any data-race report fails the run (TSan exits non-zero).
+# threads), test_io_engine (uring submit/reap pipeline, large-write
+# bypass racing queued chunks, concurrent streams over both engines), and
+# test_control (knob-plane snapshot publication racing tunes, the
+# controller ticking on a real sampler thread while other threads read
+# the decision log). Any data-race report fails the run (TSan exits
+# non-zero).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,7 +18,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-2}
 
 cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs
@@ -24,5 +27,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # postmortem death test is skipped here (it runs in the plain ctest job).
 "$BUILD_DIR"/tests/test_epoch_ledger --gtest_filter='-PostmortemDeathTest.*'
 "$BUILD_DIR"/tests/test_io_engine
+"$BUILD_DIR"/tests/test_control
 
 echo "TSan: clean"

@@ -20,17 +20,17 @@ std::size_t auto_shards(std::size_t total_chunks) {
 
 BufferPool::BufferPool(std::size_t pool_bytes, std::size_t chunk_bytes, std::size_t shards)
     : chunk_bytes_(chunk_bytes) {
-  total_chunks_ = std::max<std::size_t>(1, pool_bytes / chunk_bytes);
+  const std::size_t total = std::max<std::size_t>(1, pool_bytes / chunk_bytes);
+  total_chunks_.store(total, std::memory_order_relaxed);
   const std::size_t n_shards =
-      shards == 0 ? auto_shards(total_chunks_)
-                  : std::clamp<std::size_t>(shards, 1, total_chunks_);
+      shards == 0 ? auto_shards(total) : std::clamp<std::size_t>(shards, 1, total);
   shards_.reserve(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
   // Round-robin distribution; shard sizes differ by at most one chunk.
-  regions_.reserve(total_chunks_);
-  for (std::size_t i = 0; i < total_chunks_; ++i) {
+  regions_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     Shard& shard = *shards_[i % n_shards];
     auto chunk = std::make_unique<Chunk>(chunk_bytes_);
     // pool_index links each chunk to its slot in the fixed-buffer table;
@@ -43,7 +43,7 @@ BufferPool::BufferPool(std::size_t pool_bytes, std::size_t chunk_bytes, std::siz
     shard.count.store(static_cast<std::uint32_t>(shard.free.size()),
                       std::memory_order_relaxed);
   }
-  free_count_.store(total_chunks_, std::memory_order_relaxed);
+  free_count_.store(total, std::memory_order_relaxed);
 }
 
 BufferPool::~BufferPool() { shutdown(); }
@@ -129,6 +129,61 @@ void BufferPool::release(std::unique_ptr<Chunk> chunk) {
     std::lock_guard lock(wait_mu_);
     available_.notify_one();
   }
+}
+
+std::size_t BufferPool::resize(std::size_t target_chunks) {
+  std::lock_guard resize_lock(resize_mu_);
+  if (shutdown_.load(std::memory_order_acquire)) return total_chunks();
+  target_chunks = std::max<std::size_t>(1, target_chunks);
+  std::size_t total = total_chunks();
+
+  while (total < target_chunks) {
+    // Grown chunks keep the default kNoPoolIndex: they never enter the
+    // fixed-buffer table (registered once at mount), so the uring engine
+    // submits them via WRITEV and the registration stays valid.
+    auto chunk = std::make_unique<Chunk>(chunk_bytes_);
+    Shard& shard = *shards_[total % shards_.size()];
+    {
+      std::lock_guard lock(shard.mu);
+      shard.free.push_back(std::move(chunk));
+      shard.count.store(static_cast<std::uint32_t>(shard.free.size()),
+                        std::memory_order_release);
+    }
+    free_count_.fetch_add(1, std::memory_order_relaxed);
+    total += 1;
+    total_chunks_.store(total, std::memory_order_relaxed);
+  }
+  if (total > target_chunks) {
+    // Shrink: only chunks sitting free right now are removed; anything
+    // parked, queued, or in flight stays out until released and is then
+    // simply part of the (smaller) pool again.
+    for (auto& shard_ptr : shards_) {
+      if (total == target_chunks) break;
+      Shard& shard = *shard_ptr;
+      std::lock_guard lock(shard.mu);
+      while (!shard.free.empty() && total > target_chunks) {
+        auto chunk = std::move(shard.free.back());
+        shard.free.pop_back();
+        shard.count.store(static_cast<std::uint32_t>(shard.free.size()),
+                          std::memory_order_release);
+        free_count_.fetch_sub(1, std::memory_order_relaxed);
+        total -= 1;
+        total_chunks_.store(total, std::memory_order_relaxed);
+        if (chunk->pool_index() != Chunk::kNoPoolIndex) {
+          // Mount-time chunk: its storage may be registered with a ring's
+          // fixed-buffer table, so retire it instead of freeing.
+          retired_.push_back(std::move(chunk));
+          retired_count_.store(retired_.size(), std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  // A grow may satisfy writers parked on the exhaustion path.
+  if (waiters_hint_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(wait_mu_);
+    available_.notify_all();
+  }
+  return total;
 }
 
 void BufferPool::shutdown() {

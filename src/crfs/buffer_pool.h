@@ -63,8 +63,24 @@ class BufferPool {
   /// tearing down a mount.
   void shutdown();
 
+  /// Runtime resize to `target_chunks` (knob plane, docs/OBSERVABILITY.md
+  /// "Control plane"). Growth allocates fresh chunks with no pool_index —
+  /// they never enter the fixed-buffer table, so io_uring falls back to
+  /// WRITEV for them and the mount-time buffer registration stays valid.
+  /// Shrink is best-effort over *free* chunks only (in-flight chunks are
+  /// never reclaimed): runtime-grown chunks are freed outright, while
+  /// mount-time chunks (registered with the ring) are retired — removed
+  /// from circulation but their storage retained so kernel-registered
+  /// buffers never dangle. Returns the achieved total, which on a shrink
+  /// may be above `target_chunks` when too few chunks were free.
+  std::size_t resize(std::size_t target_chunks);
+
   std::size_t chunk_size() const { return chunk_bytes_; }
-  std::size_t total_chunks() const { return total_chunks_; }
+  std::size_t total_chunks() const { return total_chunks_.load(std::memory_order_relaxed); }
+
+  /// Mount-time chunks retired by a shrink (storage retained for the
+  /// fixed-buffer table). Occupancy gauge for crfs::obs.
+  std::size_t retired_chunks() const { return retired_count_.load(std::memory_order_relaxed); }
   std::size_t shard_count() const { return shards_.size(); }
 
   /// Free chunks across all shards. Occupancy gauge for crfs::obs; the
@@ -74,7 +90,7 @@ class BufferPool {
 
   /// Chunks currently out of the pool: parked as some file's current
   /// chunk, queued, or being written. Occupancy gauge for crfs::obs.
-  std::size_t in_use_chunks() const { return total_chunks_ - free_chunks(); }
+  std::size_t in_use_chunks() const { return total_chunks() - free_chunks(); }
 
   /// Number of acquires that found the whole pool empty and had to block
   /// (backpressure events).
@@ -103,13 +119,20 @@ class BufferPool {
   std::size_t home_shard() const;
 
   const std::size_t chunk_bytes_;
-  std::size_t total_chunks_ = 0;
+  std::atomic<std::size_t> total_chunks_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ChunkRegion> regions_;  ///< immutable after construction
 
   std::atomic<std::size_t> free_count_{0};
   std::atomic<std::uint64_t> contentions_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Runtime resize (rare; serialized by the knob plane's writer mutex,
+  // but guarded here too so direct callers stay safe). Retired mount-time
+  // chunks keep their storage alive for the io_uring fixed-buffer table.
+  std::mutex resize_mu_;
+  std::vector<std::unique_ptr<Chunk>> retired_;  ///< guarded by resize_mu_
+  std::atomic<std::size_t> retired_count_{0};
 
   // Exhaustion path only: waiters park here; release() peeks the hint and
   // grabs wait_mu_ only when someone is actually parked.

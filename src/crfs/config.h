@@ -153,6 +153,29 @@ struct Config {
   /// document larger than this is dropped, keeping the previous one.
   std::size_t postmortem_buffer = 512 * 1024;
 
+  /// Feedback controller (docs/OBSERVABILITY.md "Control plane"): when
+  /// true, an obs::Controller runs on the Sampler's tick path and retunes
+  /// the knob plane under pipeline pathology (grow the pool on
+  /// starvation, widen submission when the queue rises against a healthy
+  /// backend, shed toward the paper's §IV throttling when the backend is
+  /// the bottleneck). Every decision — applied, clamped, or vetoed — is
+  /// audited in the decision log, crfs.ctl.* metrics, stats_json, and the
+  /// postmortem. Requires sample_ms > 0. Mount option `controller=on`.
+  bool controller = false;
+
+  /// Upper bound (bytes) for runtime buffer-pool growth via the knob
+  /// plane; requests above it are clamped. 0 auto-sizes to 4x pool_size.
+  std::size_t tune_pool_max = 0;
+
+  /// Upper bound for runtime io_batch raises via the knob plane.
+  unsigned tune_io_batch_max = 256;
+
+  /// Control-file path for runtime tuning: writing "knob=value" tokens
+  /// (comma/whitespace separated) to this path via the normal write API
+  /// drives Crfs::tune without touching the backend. Empty disables the
+  /// shim; Crfs::tune and crfsctl tune keep working either way.
+  std::string tune_marker_path = ".crfs_tune";
+
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
     if (chunk_size == 0) return Error{EINVAL, "chunk_size must be > 0"};
@@ -180,6 +203,15 @@ struct Config {
     if (!postmortem_path.empty() && postmortem_buffer < 4096) {
       return Error{EINVAL, "postmortem_buffer must be >= 4096"};
     }
+    if (controller && sample_ms == 0) {
+      return Error{EINVAL, "controller=on requires sample_ms > 0"};
+    }
+    if (tune_io_batch_max == 0) {
+      return Error{EINVAL, "tune_io_batch_max must be > 0"};
+    }
+    if (tune_pool_max != 0 && tune_pool_max < pool_size) {
+      return Error{EINVAL, "tune_pool_max must be >= pool_size"};
+    }
     return {};
   }
 
@@ -197,6 +229,7 @@ struct Config {
            (!large_write_bypass ? " no_bypass" : "") +
            (enable_tracing ? " tracing=on" : "") +
            (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "") +
+           (controller ? " controller=on" : "") +
            (!epoch_tracking ? " epochs=off" : "") +
            (!postmortem_path.empty() ? " postmortem=" + postmortem_path : "");
   }

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/table.h"
 #include "obs/chrome_trace.h"
@@ -131,19 +132,153 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
     return static_cast<std::int64_t>(table_.open_count());
   });
 
-  // Live telemetry plane: background sampler + health rules. Started last
-  // so every gauge_fn above is registered before the first tick.
+  // Live telemetry plane: background sampler + health rules. Construction
+  // only here — the thread starts below, after the control plane is wired,
+  // so the first tick already sees the tick observer.
   if (cfg_.sample_ms > 0) {
     health_ = std::make_unique<obs::HealthMonitor>(cfg_.health, events_);
     sampler_ = std::make_unique<obs::Sampler>(
         metrics_, obs::SamplerOptions{.ring_capacity = cfg_.sample_ring});
     sampler_->set_health_monitor(health_.get());
-    sampler_->start(std::chrono::milliseconds(cfg_.sample_ms));
   }
+
+  // Control plane (docs/OBSERVABILITY.md "Control plane"): the knob plane
+  // and decision log always exist (crfsctl tune works on any mount); the
+  // feedback controller only with controller=on.
+  define_knobs();
+  decisions_ = std::make_unique<obs::DecisionLog>(cfg_.event_capacity, &metrics_, &events_);
+  if (flight_ != nullptr) {
+    // Every audited decision refreshes the postmortem (throttled), so a
+    // crash shortly after a knob change still shows what was retuned.
+    decisions_->set_listener([this](const obs::CtlDecision&) { refresh_flight(false); });
+  }
+  metrics_.gauge_fn("crfs.ctl.generation", [this] {
+    return static_cast<std::int64_t>(knobs_->generation());
+  });
+  for (const KnobDef& def : knobs_->defs()) {
+    metrics_.gauge_fn("crfs.knob." + def.name, [this, name = def.name] {
+      return static_cast<std::int64_t>(knobs_->snapshot()->get(name, 0.0));
+    });
+  }
+  if (cfg_.controller) {
+    // validate() guarantees sample_ms > 0 here, so sampler_ exists.
+    controller_ = std::make_unique<obs::Controller>(
+        obs::ControllerConfig{}, *decisions_, &events_, &metrics_,
+        [this](std::string_view name, double fallback) {
+          return knobs_->snapshot()->get(name, fallback);
+        },
+        [this](std::string_view name, double requested) {
+          const TuneResult r = knobs_->tune(name, requested);
+          return obs::TuneOutcome{r.outcome, r.from, r.to, r.reason, r.generation};
+        });
+    sampler_->set_tick_observer([this](const obs::Sample& s) { controller_->tick(s); });
+  }
+
+  if (sampler_ != nullptr) sampler_->start(std::chrono::milliseconds(cfg_.sample_ms));
 
   // Seed the flight recorder so a crash before the first IO completion
   // still leaves a (mostly empty) parseable document.
   refresh_flight(/*force=*/true);
+}
+
+void Crfs::define_knobs() {
+  knobs_ = std::make_unique<KnobPlane>();
+
+  // pool_chunks: grow/shrink the buffer pool by whole chunks, ceiling from
+  // tune_pool_max (0 = 4x the mount-time pool). Shrinks are best-effort
+  // over free chunks, so the apply reports what it actually achieved. A
+  // resize also re-clamps the effective IO batch against the new
+  // half-the-pool cap (same invariant the mount ctor establishes).
+  const std::size_t pool_cap_bytes =
+      cfg_.tune_pool_max != 0 ? cfg_.tune_pool_max : cfg_.pool_size * 4;
+  const std::size_t pool_cap_chunks =
+      std::max<std::size_t>(1, pool_cap_bytes / cfg_.chunk_size);
+  knobs_->define(
+      KnobDef{"pool_chunks", 1.0, static_cast<double>(pool_cap_chunks), "chunks"},
+      static_cast<double>(cfg_.num_chunks()),
+      [this](double v, double* achieved, std::string* reason) {
+        const std::size_t got = pool_->resize(static_cast<std::size_t>(v));
+        if (got != static_cast<std::size_t>(v)) {
+          *achieved = static_cast<double>(got);
+          *reason = "shrink bounded by free chunks";
+        }
+        const unsigned cap = static_cast<unsigned>(std::max<std::size_t>(1, got / 2));
+        const auto tuned_batch = static_cast<unsigned>(
+            knobs_->snapshot()->get("io_batch", io_pool_->batch()));
+        io_pool_->set_batch(std::min(tuned_batch, cap));
+        return true;
+      });
+
+  // io_batch: chunks per work-queue drain. The half-the-pool cap is
+  // enforced at apply time (and re-checked when pool_chunks changes).
+  knobs_->define(
+      KnobDef{"io_batch", 1.0, static_cast<double>(cfg_.tune_io_batch_max), "chunks"},
+      static_cast<double>(io_pool_->batch()),
+      [this](double v, double* achieved, std::string* reason) {
+        const unsigned cap = static_cast<unsigned>(
+            std::max<std::size_t>(1, pool_->total_chunks() / 2));
+        const auto want = static_cast<unsigned>(v);
+        const unsigned eff = std::min(want, cap);
+        io_pool_->set_batch(eff);
+        if (eff != want) {
+          *achieved = static_cast<double>(eff);
+          *reason = "capped at half the pool (" + std::to_string(cap) + " chunks)";
+        }
+        return true;
+      });
+
+  // uring_depth: soft in-flight cap per worker ring, re-armed on the next
+  // submit window. Vetoed on the sync engine — there is no ring to re-arm.
+  knobs_->define(
+      KnobDef{"uring_depth", 1.0, 4096.0, "sqes"},
+      static_cast<double>(cfg_.uring_depth),
+      [this](double v, double* achieved, std::string* reason) {
+        const unsigned eff = io_pool_->set_uring_depth(static_cast<unsigned>(v));
+        if (eff == 0) {
+          *reason = "io engine '" + std::string(io_pool_->engine_name()) + "' has no ring";
+          return false;
+        }
+        *achieved = static_cast<double>(eff);
+        return true;
+      });
+
+  // sample_ms: background sampler period, picked up on the next wakeup.
+  knobs_->define(
+      KnobDef{"sample_ms", 1.0, 10000.0, "ms"}, static_cast<double>(cfg_.sample_ms),
+      [this](double v, double*, std::string* reason) {
+        if (sampler_ == nullptr) {
+          *reason = "sampler disabled (mount with sample_ms > 0)";
+          return false;
+        }
+        sampler_->set_interval(std::chrono::milliseconds(static_cast<long long>(v)));
+        return true;
+      });
+
+  // slow_pwrite_ms: the health rule's p99 threshold; 0 disables the rule.
+  knobs_->define(
+      KnobDef{"slow_pwrite_ms", 0.0, 100000.0, "ms"},
+      static_cast<double>(cfg_.health.slow_pwrite_p99_ns) / 1e6,
+      [this](double v, double*, std::string* reason) {
+        if (health_ == nullptr) {
+          *reason = "health monitor disabled (mount with sample_ms > 0)";
+          return false;
+        }
+        health_->set_slow_pwrite_p99_ns(static_cast<std::uint64_t>(v * 1e6));
+        return true;
+      });
+
+  // epoch_gap_ms: the auto-rotation quiet window of the epoch tracker.
+  knobs_->define(
+      KnobDef{"epoch_gap_ms", 1.0, 600000.0, "ms"},
+      static_cast<double>(cfg_.epoch_gap_ms),
+      [this](double v, double*, std::string* reason) {
+        if (epochs_ == nullptr) {
+          *reason = "epoch tracking disabled (no_epochs)";
+          return false;
+        }
+        epochs_->set_gap_ns(static_cast<std::uint64_t>(v) * 1'000'000);
+        return true;
+      });
 }
 
 Crfs::~Crfs() {
@@ -169,6 +304,13 @@ Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
   if (cfg_.epoch_tracking && path == cfg_.epoch_marker_path) {
     auto dummy = std::make_shared<FileEntry>(path, BackendFile{0});
     return handles_.insert(HandleState{std::move(dummy), flags.write, /*epoch_marker=*/true});
+  }
+  // Tune control file: same detached-dummy scheme, writes carry
+  // "knob=value" commands for the knob plane.
+  if (!cfg_.tune_marker_path.empty() && path == cfg_.tune_marker_path) {
+    auto dummy = std::make_shared<FileEntry>(path, BackendFile{0});
+    return handles_.insert(HandleState{std::move(dummy), flags.write,
+                                       /*epoch_marker=*/false, /*tune_marker=*/true});
   }
 
   bool reopened = true;
@@ -247,6 +389,7 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
   if (!state_result.ok()) return state_result.error();
   if (!state_result.value().writable) return Error{EBADF, "write on read-only handle"};
   if (state_result.value().epoch_marker) return handle_epoch_marker(data);
+  if (state_result.value().tune_marker) return handle_tune_marker(data);
   const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
   FileEntry& entry = *entry_sp;
 
@@ -419,7 +562,9 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
                                std::uint64_t offset) {
   auto state_result = state_for(handle);
   if (!state_result.ok()) return state_result.error();
-  if (state_result.value().epoch_marker) return std::size_t{0};  // control file is empty
+  if (state_result.value().epoch_marker || state_result.value().tune_marker) {
+    return std::size_t{0};  // control files read as empty
+  }
   const std::shared_ptr<FileEntry>& entry_result = state_result.value().entry;
   FileEntry& entry = *entry_result;
 
@@ -441,7 +586,9 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
 Status Crfs::fsync(FileHandle handle) {
   auto state_result = state_for(handle);
   if (!state_result.ok()) return state_result.error();
-  if (state_result.value().epoch_marker) return {};  // nothing buffered, no backend
+  if (state_result.value().epoch_marker || state_result.value().tune_marker) {
+    return {};  // nothing buffered, no backend
+  }
   const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
 
   drain(entry_sp);
@@ -452,7 +599,9 @@ Status Crfs::fsync(FileHandle handle) {
 Status Crfs::close(FileHandle handle) {
   auto removed = handles_.remove(handle);
   if (!removed) return Error{EBADF, "close: unknown CRFS handle"};
-  if (removed->epoch_marker) return {};  // control file: nothing to flush
+  if (removed->epoch_marker || removed->tune_marker) {
+    return {};  // control file: nothing to flush
+  }
   std::shared_ptr<FileEntry> entry = std::move(removed->entry);
 
   // Paper §IV-C: enqueue remaining data, then block until the complete
@@ -559,7 +708,9 @@ std::string Crfs::stats_report() const {
 
 std::string Crfs::stats_json() const {
   const MountStats::Snapshot s = stats_.snapshot();
-  std::string out = "{\"mount\":{";
+  // schema_version counts breaking shape changes of this document (and of
+  // the postmortem, which embeds the same sections): 2 = control plane.
+  std::string out = "{\"schema_version\":2,\"mount\":{";
   out += "\"app_writes\":" + std::to_string(s.app_writes);
   out += ",\"app_bytes\":" + std::to_string(s.app_bytes);
   out += ",\"full_flushes\":" + std::to_string(s.full_flushes);
@@ -583,6 +734,7 @@ std::string Crfs::stats_json() const {
   if (sampler_ != nullptr) {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }
+  out += ",\"controller\":" + controller_json();
   out += "}";
   return out;
 }
@@ -629,6 +781,73 @@ Status Crfs::handle_epoch_marker(std::span<const std::byte> data) {
   return Error{EINVAL, "epoch marker: expected \"begin [label]\" or \"end\", got \"" + cmd + "\""};
 }
 
+// -- Control plane ----------------------------------------------------------
+
+obs::CtlDecision Crfs::tune(std::string_view knob, double value, std::string source) {
+  const TuneResult r = knobs_->tune(knob, value);
+  obs::CtlDecision d;
+  d.ts_ns = obs::now_ns();
+  d.source = std::move(source);
+  d.rule = "tune";
+  d.knob = r.knob;
+  d.requested = r.requested;
+  d.from = r.from;
+  d.to = r.to;
+  d.outcome = r.outcome;
+  d.reason = r.reason;
+  d.generation = r.generation;
+  d.seq = decisions_->record(d);
+  return d;
+}
+
+Status Crfs::handle_tune_marker(std::span<const std::byte> data) {
+  const std::string text(reinterpret_cast<const char*>(data.data()), data.size());
+  const auto is_sep = [](unsigned char c) { return std::isspace(c) != 0 || c == ','; };
+  std::size_t i = 0;
+  bool any = false;
+  while (i < text.size()) {
+    while (i < text.size() && is_sep(text[i])) ++i;
+    std::size_t j = i;
+    while (j < text.size() && !is_sep(text[j])) ++j;
+    if (j > i) {
+      const std::string token = text.substr(i, j - i);
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        return Error{EINVAL, "tune marker: expected knob=value, got \"" + token + "\""};
+      }
+      const std::string value_str = token.substr(eq + 1);
+      char* end = nullptr;
+      const double value = std::strtod(value_str.c_str(), &end);
+      if (end == value_str.c_str() || *end != '\0') {
+        return Error{EINVAL, "tune marker: bad value in \"" + token + "\""};
+      }
+      // Vetoes (unknown knob, apply refusal) fail the write with the
+      // offending token; clamps succeed — the audit trail carries the
+      // clamp detail either way.
+      const obs::CtlDecision d = tune(token.substr(0, eq), value, "ctlfile");
+      if (!d.outcome.empty() && d.outcome == "vetoed") {
+        return Error{EINVAL, "tune marker: \"" + token + "\": " + d.reason};
+      }
+      any = true;
+    }
+    i = j;
+  }
+  if (!any) return Error{EINVAL, "tune marker: expected knob=value, got empty command"};
+  return {};
+}
+
+std::string Crfs::controller_json() const {
+  std::string out = "{\"enabled\":";
+  out += controller_ != nullptr ? "true" : "false";
+  out += ",\"generation\":" + std::to_string(knobs_->generation());
+  out += ",\"ticks\":" + std::to_string(controller_ != nullptr ? controller_->ticks() : 0);
+  out += ",\"knob_plane\":" + knobs_->to_json();
+  out += ",\"decisions\":" + decisions_->to_json();
+  out += ",\"decisions_total\":" + std::to_string(decisions_->total());
+  out += "}";
+  return out;
+}
+
 // -- Flight recorder --------------------------------------------------------
 
 void Crfs::refresh_flight(bool force) {
@@ -654,6 +873,7 @@ void Crfs::refresh_flight(bool force) {
 std::string Crfs::render_postmortem() const {
   const std::uint64_t now = obs::now_ns();
   std::string out = "{\"crfs_postmortem\":1";
+  out += ",\"schema_version\":2";
   out += ",\"rendered_ns\":" + std::to_string(now);
   out += ",\"config\":\"";
   append_json_escaped(out, cfg_.describe());
@@ -678,6 +898,7 @@ std::string Crfs::render_postmortem() const {
 
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
   out += ",\"pipeline\":" + metrics_.snapshot().to_json();
+  out += ",\"controller\":" + controller_json();
   if (sampler_ != nullptr) {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }

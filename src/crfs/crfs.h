@@ -14,6 +14,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "backend/backend_fs.h"
@@ -22,7 +23,9 @@
 #include "crfs/file_table.h"
 #include "crfs/handle_table.h"
 #include "crfs/io_pool.h"
+#include "crfs/knobs.h"
 #include "crfs/work_queue.h"
+#include "obs/controller.h"
 #include "obs/epoch.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
@@ -176,6 +179,35 @@ class Crfs {
   /// Snapshot of the still-running epoch, if any.
   std::optional<obs::EpochRecord> open_epoch() const;
 
+  // -- Control plane (docs/OBSERVABILITY.md "Control plane") ----------------
+  /// Runtime-tunes one knob ("pool_chunks", "io_batch", "uring_depth",
+  /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms"). Out-of-bounds
+  /// requests are clamped, impossible ones vetoed; every outcome is
+  /// recorded in the decision log (and thus metrics/events/postmortem)
+  /// before the returned CtlDecision is handed back. `source` tags the
+  /// audit trail: "manual" (API/crfsctl), "ctlfile" (.crfs_tune), or
+  /// "controller".
+  obs::CtlDecision tune(std::string_view knob, double value,
+                        std::string source = "manual");
+
+  /// The knob plane: declared bounds plus the lock-free current snapshot.
+  KnobPlane& knob_plane() { return *knobs_; }
+  const KnobPlane& knob_plane() const { return *knobs_; }
+
+  /// Audit trail of every knob-change decision (bounded ring).
+  obs::DecisionLog& decision_log() { return *decisions_; }
+  const obs::DecisionLog& decision_log() const { return *decisions_; }
+
+  /// Feedback controller; nullptr unless Config::controller.
+  obs::Controller* controller() { return controller_.get(); }
+
+  /// {"generation":...,"knobs":[{name,value,min,max,unit},...]}.
+  std::string knobs_json() const { return knobs_->to_json(); }
+
+  /// Controller/knob-plane state as one JSON object: enabled flag, knob
+  /// generation, knob table, decision ring, decision total, tick count.
+  std::string controller_json() const;
+
   // -- Flight recorder (docs/OBSERVABILITY.md "Postmortem") -----------------
   /// nullptr unless Config::postmortem_path is set.
   obs::FlightRecorder* flight_recorder() { return flight_.get(); }
@@ -227,6 +259,14 @@ class Crfs {
   /// Epoch control-file write: parses "begin [label]" / "end".
   Status handle_epoch_marker(std::span<const std::byte> data);
 
+  /// Tune control-file write: parses "knob=value" tokens (comma/whitespace
+  /// separated), each routed through tune() with source "ctlfile". The
+  /// first vetoed or malformed token fails the write, naming the token.
+  Status handle_tune_marker(std::span<const std::byte> data);
+
+  /// Registers the runtime knob set against the live pipeline stages.
+  void define_knobs();
+
   /// Flight-recorder refresh; `force` skips the postmortem_refresh_ms
   /// throttle (epoch transitions, critical events). No-op without a
   /// recorder.
@@ -256,6 +296,13 @@ class Crfs {
   // in ~Crfs so it never reads a gauge of a destroyed stage.
   std::unique_ptr<obs::HealthMonitor> health_;
   std::unique_ptr<obs::Sampler> sampler_;
+
+  // Control plane: knob apply callbacks reach back into the pipeline
+  // stages above, and the controller ticks from the sampler thread (which
+  // ~Crfs stops before anything here is destroyed).
+  std::unique_ptr<KnobPlane> knobs_;
+  std::unique_ptr<obs::DecisionLog> decisions_;
+  std::unique_ptr<obs::Controller> controller_;
 
   // Hot-path metric handles, resolved once at mount (see obs::Registry).
   obs::LatencyHistogram* h_write_copy_ = nullptr;

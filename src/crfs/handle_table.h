@@ -39,6 +39,9 @@ struct HandleState {
   /// reaches the backend. The entry is a detached dummy (not in the
   /// FileTable) so the slot machinery treats the handle as live.
   bool epoch_marker = false;
+  /// Tune control-file handle (Config::tune_marker_path): writes carry
+  /// "knob=value" tokens for the KnobPlane; same detached-dummy scheme.
+  bool tune_marker = false;
 };
 
 class HandleTable {

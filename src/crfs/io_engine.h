@@ -80,6 +80,16 @@ class IoEngine {
   /// unbounded for sync, whose submit completes inline).
   virtual std::size_t capacity() const = 0;
 
+  /// Runtime re-arm of the submission depth (knob plane). The ring itself
+  /// is sized once at mount, so this moves a soft cap clamped to
+  /// [1, ring size]; it takes effect on the worker's next submit window
+  /// (capacity() is re-read per iteration). Returns the effective depth,
+  /// or 0 when the engine has no ring to re-arm (sync). Thread-safe.
+  virtual unsigned set_depth(unsigned depth) {
+    (void)depth;
+    return 0;
+  }
+
   /// "sync" or "uring" — the engine actually running after fallback.
   virtual const char* name() const = 0;
 

@@ -29,6 +29,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -117,7 +118,7 @@ class UringEngine final : public IoEngine {
     const FileEntry* file = run.jobs.front().file.get();
     while (overlaps_inflight(file, run.offset, run_end)) reap(/*wait=*/true);
 
-    while (inflight_.load(std::memory_order_relaxed) >= depth_) reap(/*wait=*/true);
+    while (inflight_.load(std::memory_order_relaxed) >= capacity()) reap(/*wait=*/true);
 
     auto rs = std::make_unique<RunState>();
     rs->run = std::move(run);
@@ -214,7 +215,20 @@ class UringEngine final : public IoEngine {
   }
 
   std::size_t inflight() const override { return inflight_.load(std::memory_order_relaxed); }
-  std::size_t capacity() const override { return depth_; }
+
+  /// Effective depth: the runtime soft cap, never above the ring actually
+  /// allocated at mount. Lowering it does not cancel in-flight runs; the
+  /// worker just stops submitting until inflight drains below the cap.
+  std::size_t capacity() const override {
+    return std::min<std::size_t>(depth_, soft_depth_.load(std::memory_order_relaxed));
+  }
+
+  unsigned set_depth(unsigned depth) override {
+    const unsigned effective = std::clamp(depth, 1u, depth_);
+    soft_depth_.store(effective, std::memory_order_relaxed);
+    return effective;
+  }
+
   const char* name() const override { return "uring"; }
 
   void forget_file(BackendFile file) override {
@@ -248,6 +262,7 @@ class UringEngine final : public IoEngine {
               CompleteFn complete)
       : ring_fd_(ring_fd),
         depth_(depth),
+        soft_depth_(depth),
         backend_(backend),
         obs_(obs),
         complete_(std::move(complete)) {}
@@ -417,6 +432,9 @@ class UringEngine final : public IoEngine {
 
   const int ring_fd_;
   const unsigned depth_;
+  /// Runtime soft cap on capacity() (knob plane); in [1, depth_]. Written
+  /// by tune callers, read by the owning worker every submit window.
+  std::atomic<unsigned> soft_depth_;
   BackendFs& backend_;
   IoEngineObs obs_;
   CompleteFn complete_;

@@ -46,7 +46,11 @@ void IoThreadPool::worker_loop(unsigned idx) {
     const std::size_t inflight = eng.inflight();
     const std::size_t room =
         eng.capacity() > inflight ? eng.capacity() - inflight : 0;
-    const std::size_t want = std::min<std::size_t>(batch_, room);
+    // batch_ and the engine's capacity are both re-read every iteration,
+    // so a runtime tune (set_batch / set_uring_depth) lands on the next
+    // submission window without waking anyone.
+    const std::size_t want =
+        std::min<std::size_t>(batch_.load(std::memory_order_relaxed), room);
     if (want == 0) {
       eng.reap(/*wait=*/true);
       continue;

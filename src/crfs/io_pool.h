@@ -116,6 +116,23 @@ class IoThreadPool {
     for (const auto& eng : engines_) eng->forget_file(file);
   }
 
+  /// Runtime io_batch re-arm (knob plane): workers pick the new value up
+  /// on their next dequeue. The caller pre-clamps to the half-the-pool
+  /// cap (Crfs re-derives it whenever the pool or the knob moves).
+  void set_batch(unsigned batch) {
+    batch_.store(batch == 0 ? 1 : batch, std::memory_order_relaxed);
+  }
+  unsigned batch() const { return batch_.load(std::memory_order_relaxed); }
+
+  /// Runtime ring re-arm: forwards to every worker's engine. Returns the
+  /// effective depth (soft cap clamped to the mount-time ring size), or 0
+  /// when the engine is sync and has no ring.
+  unsigned set_uring_depth(unsigned depth) {
+    unsigned effective = 0;
+    for (const auto& eng : engines_) effective = eng->set_depth(depth);
+    return effective;
+  }
+
  private:
   void worker_loop(unsigned idx);
   /// Engine completion callback: accounts one finished run (metrics,
@@ -127,7 +144,7 @@ class IoThreadPool {
   BufferPool& pool_;
   BackendFs& backend_;
   IoPoolObs obs_;
-  unsigned batch_;
+  std::atomic<unsigned> batch_;
   std::atomic<std::uint64_t> chunks_written_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<unsigned> in_flight_{0};

@@ -1,0 +1,163 @@
+#include "crfs/knobs.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crfs {
+namespace {
+
+// Deterministic numeric rendering for knob values: integral values print
+// with no fraction (the common case — chunk counts, batch sizes, ms), the
+// rest with %g. Byte-identical output is part of the decision-log replay
+// contract, so everything funnels through here.
+void append_num(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+double KnobSnapshot::get(std::string_view name, double fallback) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const auto& kv, std::string_view n) { return kv.first < n; });
+  if (it == values.end() || it->first != name) return fallback;
+  return it->second;
+}
+
+void KnobPlane::define(KnobDef def, double initial, ApplyFn apply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      defs_.begin(), defs_.end(), def.name,
+      [](const KnobDef& d, const std::string& n) { return d.name < n; });
+  const auto idx = static_cast<std::size_t>(it - defs_.begin());
+  defs_.insert(it, std::move(def));
+  applies_.insert(applies_.begin() + static_cast<std::ptrdiff_t>(idx), std::move(apply));
+  values_.insert(values_.begin() + static_cast<std::ptrdiff_t>(idx), initial);
+  publish_locked();
+}
+
+TuneResult KnobPlane::tune(std::string_view name, double requested) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TuneResult r;
+  r.knob = std::string(name);
+  r.requested = requested;
+  r.generation = generation_;
+
+  const auto it = std::lower_bound(
+      defs_.begin(), defs_.end(), name,
+      [](const KnobDef& d, std::string_view n) { return d.name < n; });
+  if (it == defs_.end() || it->name != name) {
+    r.outcome = "vetoed";
+    r.reason = "unknown knob '" + std::string(name) + "'";
+    return r;
+  }
+  const auto idx = static_cast<std::size_t>(it - defs_.begin());
+  const KnobDef& def = defs_[idx];
+  r.from = values_[idx];
+
+  double want = requested;
+  bool clamped = false;
+  if (want < def.min_value) {
+    want = def.min_value;
+    clamped = true;
+  } else if (want > def.max_value) {
+    want = def.max_value;
+    clamped = true;
+  }
+  if (clamped) {
+    r.reason = "clamped to [";
+    append_num(r.reason, def.min_value);
+    r.reason += ", ";
+    append_num(r.reason, def.max_value);
+    r.reason += "]";
+  }
+
+  double achieved = want;
+  std::string apply_reason;
+  if (applies_[idx] && !applies_[idx](want, &achieved, &apply_reason)) {
+    r.outcome = "vetoed";
+    r.to = r.from;
+    r.reason = apply_reason.empty() ? "apply refused" : apply_reason;
+    return r;
+  }
+  if (achieved != want) {
+    clamped = true;
+    if (!apply_reason.empty()) {
+      if (!r.reason.empty()) r.reason += "; ";
+      r.reason += apply_reason;
+    }
+  }
+
+  values_[idx] = achieved;
+  generation_ += 1;
+  publish_locked();
+  r.to = achieved;
+  r.outcome = clamped ? "clamped" : "applied";
+  r.generation = generation_;
+  return r;
+}
+
+const KnobSnapshot* KnobPlane::snapshot() const {
+  const KnobSnapshot* s = current_.load(std::memory_order_acquire);
+  return s != nullptr ? s : &empty_;
+}
+
+std::vector<KnobDef> KnobPlane::defs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defs_;
+}
+
+void KnobPlane::publish_locked() {
+  auto snap = std::make_unique<KnobSnapshot>();
+  snap->generation = generation_;
+  snap->values.reserve(defs_.size());
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    snap->values.emplace_back(defs_[i].name, values_[i]);
+  }
+  current_.store(snap.get(), std::memory_order_release);
+  history_.push_back(std::move(snap));
+}
+
+std::string KnobPlane::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"generation\":";
+  append_num(out, static_cast<double>(generation_));
+  out += ",\"knobs\":[";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    append_escaped(out, defs_[i].name);
+    out += "\",\"value\":";
+    append_num(out, values_[i]);
+    out += ",\"min\":";
+    append_num(out, defs_[i].min_value);
+    out += ",\"max\":";
+    append_num(out, defs_[i].max_value);
+    out += ",\"unit\":\"";
+    append_escaped(out, defs_[i].unit);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace crfs

@@ -118,6 +118,37 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         return Error{EINVAL, "postmortem= needs a file path"};
       }
       out.config.postmortem_path = std::string(value);
+    } else if (key == "postmortem_refresh_ms") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad value for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      out.config.postmortem_refresh_ms = parsed;
+    } else if (key == "controller") {
+      if (value.empty() || value == "on") {
+        out.config.controller = true;
+      } else if (value == "off") {
+        out.config.controller = false;
+      } else {
+        return Error{EINVAL, "bad controller (want on|off): '" + std::string(value) + "'"};
+      }
+    } else if (key == "no_controller") {
+      out.config.controller = false;
+    } else if (key == "tune_pool_max") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.tune_pool_max));
+    } else if (key == "tune_io_batch_max") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end || parsed == 0) {
+        return Error{EINVAL, "bad tune_io_batch_max: '" + std::string(value) + "'"};
+      }
+      out.config.tune_io_batch_max = parsed;
     } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms") {
       unsigned parsed = 0;
       const auto* begin = value.data();
@@ -206,6 +237,16 @@ std::string format_mount_options(const MountOptions& options) {
   }
   if (!options.config.postmortem_path.empty()) {
     s += ",postmortem=" + options.config.postmortem_path;
+    if (options.config.postmortem_refresh_ms != Config{}.postmortem_refresh_ms) {
+      s += ",postmortem_refresh_ms=" + std::to_string(options.config.postmortem_refresh_ms);
+    }
+  }
+  if (options.config.controller) s += ",controller=on";
+  if (options.config.tune_pool_max != 0) {
+    s += ",tune_pool_max=" + exact_size(options.config.tune_pool_max);
+  }
+  if (options.config.tune_io_batch_max != Config{}.tune_io_batch_max) {
+    s += ",tune_io_batch_max=" + std::to_string(options.config.tune_io_batch_max);
   }
   return s;
 }

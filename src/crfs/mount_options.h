@@ -45,6 +45,22 @@ struct MountOptions {
 ///   postmortem=<path>   enable the flight recorder; dump the
 ///                       pre-rendered postmortem to <path> on a fatal
 ///                       signal or error burst
+///   postmortem_refresh_ms=<n>
+///                       min interval between IO-completion-driven
+///                       postmortem refreshes, 0=every completion
+///                                                       (default 50)
+///   sample_ms=<n>       live sampler period, 0=off      (default 0)
+///   sample_ring=<n>     sampler frames kept             (default 600)
+///   slow_pwrite_ms=<n>  health threshold: pwrite p99 above this fires
+///                       a slow_pwrite event
+///   controller=on|off   feedback controller on the sampler tick path
+///                       (requires sample_ms > 0)        (default off)
+///   no_controller       same as controller=off
+///   tune_pool_max=<size>
+///                       runtime pool-growth ceiling for the knob
+///                       plane, 0=auto (4x pool)         (default 0)
+///   tune_io_batch_max=<n>
+///                       runtime io_batch ceiling        (default 256)
 /// Sizes accept K/M/G suffixes. Unknown keys, malformed values, or a
 /// configuration that fails Config::validate() return an error.
 Result<MountOptions> parse_mount_options(std::string_view text);

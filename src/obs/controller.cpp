@@ -1,0 +1,242 @@
+#include "obs/controller.h"
+
+#include <cstdio>
+
+namespace crfs::obs {
+namespace {
+
+// Deterministic numeric rendering shared by the decision JSON and event
+// messages: integral values print with no fraction, the rest with %g.
+// Byte-identical logs across identical replays are part of the contract.
+void append_num(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CtlDecision::to_json() const {
+  std::string out = "{\"seq\":";
+  append_num(out, static_cast<double>(seq));
+  out += ",\"ts_ns\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(ts_ns));
+  out += buf;
+  out += ",\"source\":\"";
+  append_escaped(out, source);
+  out += "\",\"rule\":\"";
+  append_escaped(out, rule);
+  out += "\",\"knob\":\"";
+  append_escaped(out, knob);
+  out += "\",\"requested\":";
+  append_num(out, requested);
+  out += ",\"from\":";
+  append_num(out, from);
+  out += ",\"to\":";
+  append_num(out, to);
+  out += ",\"outcome\":\"";
+  append_escaped(out, outcome);
+  out += "\",\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"generation\":";
+  append_num(out, static_cast<double>(generation));
+  out += "}";
+  return out;
+}
+
+std::string decisions_to_json(const std::vector<CtlDecision>& decisions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += decisions[i].to_json();
+  }
+  out += "]";
+  return out;
+}
+
+DecisionLog::DecisionLog(std::size_t capacity, Registry* metrics, EventBuffer* events)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics), events_(events) {}
+
+std::uint64_t DecisionLog::record(CtlDecision d) {
+  CtlDecision copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += 1;
+    d.seq = total_;
+    ring_.push_back(d);
+    while (ring_.size() > capacity_) ring_.pop_front();
+    copy = d;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("crfs.ctl.decisions").add(1);
+    if (copy.outcome == "applied") {
+      metrics_->counter("crfs.ctl.applied").add(1);
+    } else if (copy.outcome == "clamped") {
+      metrics_->counter("crfs.ctl.clamped").add(1);
+    } else {
+      metrics_->counter("crfs.ctl.vetoed").add(1);
+    }
+  }
+  if (events_ != nullptr) {
+    Event ev;
+    ev.severity = Severity::kInfo;
+    ev.rule = "ctl." + copy.rule;
+    ev.message = copy.source + " " + copy.knob + " ";
+    append_num(ev.message, copy.from);
+    ev.message += " -> ";
+    append_num(ev.message, copy.to);
+    ev.message += " (" + copy.outcome + (copy.reason.empty() ? "" : ": " + copy.reason) + ")";
+    ev.value = copy.to;
+    ev.threshold = copy.from;
+    ev.ts_ns = copy.ts_ns;
+    events_->push(std::move(ev));
+  }
+  if (listener_) listener_(copy);
+  return copy.seq;
+}
+
+std::vector<CtlDecision> DecisionLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t DecisionLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string DecisionLog::to_json() const { return decisions_to_json(snapshot()); }
+
+Controller::Controller(ControllerConfig cfg, DecisionLog& log, EventBuffer* health_events,
+                       Registry* metrics, KnobReadFn read, KnobTuneFn tune)
+    : cfg_(cfg),
+      log_(log),
+      health_events_(health_events),
+      metrics_(metrics),
+      read_(std::move(read)),
+      tune_(std::move(tune)) {
+  if (metrics_ != nullptr) {
+    c_ticks_ = &metrics_->counter("crfs.ctl.ticks");
+    c_fired_[kGrow] = &metrics_->counter("crfs.ctl.fired.grow_pool");
+    c_fired_[kWiden] = &metrics_->counter("crfs.ctl.fired.widen_io");
+    c_fired_[kShed] = &metrics_->counter("crfs.ctl.fired.shed_io");
+  }
+}
+
+bool Controller::cooled(Rule r, std::uint64_t ts_ns) const {
+  if (!fired_once_[r]) return true;
+  return ts_ns - last_fire_ns_[r] >= cfg_.cooldown_ns;
+}
+
+void Controller::fire(const Sample& s, Rule r, const char* rule_name,
+                      std::string_view knob, double requested) {
+  CtlDecision d;
+  d.ts_ns = s.ts_ns;
+  d.source = "controller";
+  d.rule = rule_name;
+  d.knob = std::string(knob);
+  d.requested = requested;
+  const TuneOutcome out = tune_(knob, requested);
+  d.outcome = out.outcome;
+  d.from = out.from;
+  d.to = out.to;
+  d.reason = out.reason;
+  d.generation = out.generation;
+  log_.record(std::move(d));
+  // The cooldown stamps even on a veto: a knob the plane refuses to move
+  // should produce one audited veto per cooldown window, not one per tick.
+  last_fire_ns_[r] = s.ts_ns;
+  fired_once_[r] = true;
+  if (c_fired_[r] != nullptr) c_fired_[r]->add(1);
+}
+
+void Controller::tick(const Sample& s) {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (c_ticks_ != nullptr) c_ticks_->add(1);
+
+  // HealthMonitor edges arrive as events; replay only the ones pushed
+  // since the previous tick (the buffer is bounded, so map ring indices
+  // back to global sequence via total() - size()).
+  bool starved_edge = false;
+  if (health_events_ != nullptr) {
+    const auto events = health_events_->snapshot();
+    const std::uint64_t total = health_events_->total();
+    const std::uint64_t base = total - events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (base + i < seen_events_) continue;
+      if (events[i].rule == "pool_starvation") starved_edge = true;
+    }
+    seen_events_ = total;
+  }
+
+  const std::int64_t depth = s.gauge("crfs.queue.depth").value_or(0);
+  const HistogramSnapshot* pwrite = s.histogram("crfs.io.pwrite_ns");
+  const double p99 = (pwrite != nullptr && pwrite->count > 0) ? pwrite->p99() : 0.0;
+  const HistogramSnapshot* cqe = s.histogram("crfs.io.cqe_wait_ns");
+  const double cqe_p50 = (cqe != nullptr && cqe->count > 0) ? cqe->p50() : 0.0;
+
+  if (have_prev_depth_ && depth > prev_depth_) {
+    rising_run_ += 1;
+  } else {
+    rising_run_ = 0;
+  }
+  prev_depth_ = depth;
+  have_prev_depth_ = true;
+
+  // grow_pool: an epoch burst exhausted the buffer pool.
+  if (starved_edge && cooled(kGrow, s.ts_ns)) {
+    const double cur = read_("pool_chunks", 0.0);
+    if (cur > 0.0) fire(s, kGrow, "grow_pool", "pool_chunks", cur * cfg_.grow_factor);
+  }
+
+  // shed_io takes precedence over widen_io: a saturated backend with a
+  // standing queue means submit-side concurrency is the throttle (§IV).
+  bool shed_now = false;
+  if (p99 >= cfg_.shed_min_p99_ns && depth >= cfg_.shed_min_depth &&
+      cooled(kShed, s.ts_ns)) {
+    shed_now = true;
+    const double batch = read_("io_batch", 0.0);
+    if (batch > 1.0) {
+      fire(s, kShed, "shed_io", "io_batch", batch / 2.0);
+    }
+    const double ring = read_("uring_depth", 0.0);
+    if (ring > 1.0) {
+      fire(s, kShed, "shed_io", "uring_depth", ring / 2.0);
+    }
+  }
+
+  // widen_io: work arriving faster than we submit, backend healthy.
+  if (!shed_now && rising_run_ >= cfg_.widen_rising_samples &&
+      p99 < cfg_.widen_max_p99_ns && cqe_p50 < cfg_.widen_max_cqe_wait_ns &&
+      cooled(kWiden, s.ts_ns)) {
+    const double batch = read_("io_batch", 0.0);
+    if (batch > 0.0) {
+      fire(s, kWiden, "widen_io", "io_batch", batch * 2.0);
+    }
+    const double ring = read_("uring_depth", 0.0);
+    if (ring > 0.0) {
+      fire(s, kWiden, "widen_io", "uring_depth", ring * 2.0);
+    }
+    rising_run_ = 0;
+  }
+}
+
+}  // namespace crfs::obs

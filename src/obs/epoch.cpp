@@ -107,7 +107,8 @@ std::string epochs_to_prometheus(const std::vector<EpochRecord>& records) {
   return out;
 }
 
-EpochTracker::EpochTracker(Options opts, Registry* registry) : opts_(opts) {
+EpochTracker::EpochTracker(Options opts, Registry* registry)
+    : opts_(opts), gap_ns_(opts.gap_ns) {
   if (registry != nullptr) {
     c_completed_ = &registry->counter("crfs.epoch.completed");
     c_bytes_ = &registry->counter("crfs.epoch.bytes");
@@ -195,7 +196,7 @@ std::shared_ptr<EpochState> EpochTracker::on_open(const std::string& path,
     const bool generation_changed =
         !key.empty() && !active_->ckpt_key.empty() && key != active_->ckpt_key;
     const bool gap_expired = open_handles_ == 0 && now_ns >= last_event_ns_ &&
-                             now_ns - last_event_ns_ > opts_.gap_ns;
+                             now_ns - last_event_ns_ > gap_ns();
     if (generation_changed || gap_expired) finalize_locked(now_ns);
   }
   if (active_ == nullptr) {

@@ -191,6 +191,13 @@ class EpochTracker {
   /// "" when the path carries no generation number.
   static std::string ckpt_key(const std::string& path);
 
+  /// Runtime re-arm of the quiet-gap threshold (knob epoch_gap_ms);
+  /// applies to the next rotation check. Thread-safe.
+  void set_gap_ns(std::uint64_t gap_ns) {
+    gap_ns_.store(gap_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t gap_ns() const { return gap_ns_.load(std::memory_order_relaxed); }
+
  private:
   EpochRecord snapshot_locked(const EpochState& st, std::uint64_t end_ns,
                               bool open) const;
@@ -199,6 +206,7 @@ class EpochTracker {
                     bool explicit_marker);
 
   const Options opts_;
+  std::atomic<std::uint64_t> gap_ns_;  ///< runtime-tunable copy of opts_.gap_ns
   Counter* c_completed_ = nullptr;
   Counter* c_bytes_ = nullptr;
   Counter* c_files_ = nullptr;

@@ -131,18 +131,21 @@ void HealthMonitor::evaluate(const Sample& s) {
   }
 
   // -- slow_pwrite --------------------------------------------------------
-  if (cfg_.slow_pwrite_p99_ns > 0) {
+  // The threshold is runtime-tunable (knob slow_pwrite_ms), so it is read
+  // once per frame from the atomic rather than from the static config.
+  const std::uint64_t slow_p99_ns = slow_pwrite_p99_ns();
+  if (slow_p99_ns > 0) {
     const HistogramSnapshot* pwrite_hist = s.histogram("crfs.io.pwrite_ns");
     const double p99 = pwrite_hist != nullptr && pwrite_hist->count > 0
                            ? pwrite_hist->p99()
                            : 0.0;
-    if (p99 > static_cast<double>(cfg_.slow_pwrite_p99_ns)) {
+    if (p99 > static_cast<double>(slow_p99_ns)) {
       if (!slow_fired_) {
         slow_fired_ = true;
         out_.push(Event{Severity::kWarning, "slow_pwrite",
                         "pwrite p99 " + format_ns(p99) + " above threshold " +
-                            format_ns(static_cast<double>(cfg_.slow_pwrite_p99_ns)),
-                        p99, static_cast<double>(cfg_.slow_pwrite_p99_ns), s.ts_ns});
+                            format_ns(static_cast<double>(slow_p99_ns)),
+                        p99, static_cast<double>(slow_p99_ns), s.ts_ns});
       }
     } else {
       slow_fired_ = false;

@@ -26,6 +26,7 @@
 // log is the single post-hoc record of everything that went wrong.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -108,14 +109,27 @@ struct HealthConfig {
 /// Sampler's tick path); the output EventBuffer is thread-safe.
 class HealthMonitor {
  public:
-  HealthMonitor(HealthConfig cfg, EventBuffer& out) : cfg_(cfg), out_(out) {}
+  HealthMonitor(HealthConfig cfg, EventBuffer& out)
+      : cfg_(cfg), slow_p99_ns_(cfg.slow_pwrite_p99_ns), out_(out) {}
 
   void evaluate(const Sample& s);
 
+  /// Static thresholds as configured; the slow_pwrite threshold may have
+  /// been retuned since — read it via slow_pwrite_p99_ns().
   const HealthConfig& config() const { return cfg_; }
+
+  /// Runtime re-arm of the slow_pwrite threshold (knob plane); 0
+  /// disables the rule. Thread-safe against the evaluating driver.
+  void set_slow_pwrite_p99_ns(std::uint64_t ns) {
+    slow_p99_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t slow_pwrite_p99_ns() const {
+    return slow_p99_ns_.load(std::memory_order_relaxed);
+  }
 
  private:
   HealthConfig cfg_;
+  std::atomic<std::uint64_t> slow_p99_ns_;
   EventBuffer& out_;
 
   // Per-rule run lengths and fired/armed state (hysteresis).

@@ -98,21 +98,25 @@ Sample Sampler::tick(std::uint64_t ts_ns) {
   while (ring_.size() > opts_.ring_capacity) ring_.pop_front();
 
   if (health_ != nullptr) health_->evaluate(s);
+  if (tick_observer_) tick_observer_(s);
   return s;
 }
 
 void Sampler::start(std::chrono::milliseconds interval) {
   if (thread_.joinable()) return;
+  set_interval(interval);
   {
     std::lock_guard lock(wake_mu_);
     stop_requested_ = false;
   }
-  thread_ = std::thread([this, interval] {
+  thread_ = std::thread([this] {
     std::unique_lock lock(wake_mu_);
     for (;;) {
       // Interruptible sleep: stop() wakes us immediately instead of
-      // blocking unmount for up to one period.
-      if (wake_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) return;
+      // blocking unmount for up to one period. The period is re-read each
+      // pass so a runtime set_interval() lands on the next wakeup.
+      const auto period = this->interval();
+      if (wake_cv_.wait_for(lock, period, [this] { return stop_requested_; })) return;
       lock.unlock();
       tick(now_ns());
       lock.lock();

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -92,9 +94,28 @@ class Sampler {
   /// Attach before the first tick; `hm` must outlive the Sampler.
   void set_health_monitor(HealthMonitor* hm) { health_ = hm; }
 
+  /// Per-tick hook invoked after the HealthMonitor, with the fresh frame
+  /// (the feedback controller's drive point — same call site whether the
+  /// driver is the real thread or the sim coroutine). Attach before the
+  /// first tick; read unsynchronized after.
+  void set_tick_observer(std::function<void(const Sample&)> observer) {
+    tick_observer_ = std::move(observer);
+  }
+
   /// Starts the background thread ticking every `interval` on the
   /// monotonic clock. No-op if already running.
   void start(std::chrono::milliseconds interval);
+
+  /// Runtime re-arm of the background period (knob plane); picked up on
+  /// the next wakeup. No effect on a sim-driven Sampler (no thread).
+  void set_interval(std::chrono::milliseconds interval) {
+    interval_ms_.store(interval.count() > 0 ? interval.count() : 1,
+                       std::memory_order_relaxed);
+  }
+
+  std::chrono::milliseconds interval() const {
+    return std::chrono::milliseconds(interval_ms_.load(std::memory_order_relaxed));
+  }
 
   /// Joins the background thread. Idempotent; safe without start().
   void stop();
@@ -113,6 +134,8 @@ class Sampler {
   const Registry& registry_;
   const SamplerOptions opts_;
   HealthMonitor* health_ = nullptr;
+  std::function<void(const Sample&)> tick_observer_;
+  std::atomic<long long> interval_ms_{100};
 
   mutable std::mutex mu_;
   std::deque<Sample> ring_;

@@ -42,6 +42,78 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
             .ledger_capacity = config_.epoch_ledger},
         &metrics_);
   }
+  define_knobs();
+}
+
+void CrfsSimNode::define_knobs() {
+  // Same names/bounds as Crfs::define_knobs; the applies mutate config_
+  // and free_chunks_, which io_worker/app_write re-read each iteration —
+  // a tune takes effect on the next virtual-time step, mirroring the
+  // atomic re-reads of the real pipeline.
+  const std::size_t pool_cap_bytes =
+      config_.tune_pool_max != 0 ? config_.tune_pool_max : config_.pool_size * 4;
+  const std::size_t pool_cap_chunks =
+      std::max<std::size_t>(1, pool_cap_bytes / config_.chunk_size);
+  knobs_.define(
+      crfs::KnobDef{"pool_chunks", 1.0, static_cast<double>(pool_cap_chunks), "chunks"},
+      static_cast<double>(config_.num_chunks()),
+      [this](double v, double* achieved, std::string* reason) {
+        const auto target = static_cast<std::size_t>(v);
+        const std::size_t total = config_.num_chunks();
+        std::size_t got = target;
+        if (target > total) {
+          free_chunks_ += static_cast<unsigned>(target - total);
+          chunk_available_.pulse();
+        } else if (target < total) {
+          // Shrink best-effort over free chunks, like BufferPool::resize.
+          const std::size_t removable =
+              std::min<std::size_t>(total - target, free_chunks_);
+          free_chunks_ -= static_cast<unsigned>(removable);
+          got = total - removable;
+          if (got != target) *reason = "shrink bounded by free chunks";
+        }
+        config_.pool_size = got * config_.chunk_size;
+        *achieved = static_cast<double>(got);
+        return true;
+      });
+  knobs_.define(
+      crfs::KnobDef{"io_batch", 1.0, static_cast<double>(config_.tune_io_batch_max),
+                    "chunks"},
+      static_cast<double>(config_.io_batch),
+      [this](double v, double* achieved, std::string* reason) {
+        const auto cap = static_cast<unsigned>(
+            std::max<std::size_t>(1, config_.num_chunks() / 2));
+        const auto want = static_cast<unsigned>(v);
+        const unsigned eff = std::min(want, cap);
+        config_.io_batch = eff;
+        if (eff != want) {
+          *achieved = static_cast<double>(eff);
+          *reason = "capped at half the pool (" + std::to_string(cap) + " chunks)";
+        }
+        return true;
+      });
+  knobs_.define(
+      crfs::KnobDef{"uring_depth", 1.0, 4096.0, "sqes"},
+      static_cast<double>(config_.uring_depth),
+      [this](double v, double*, std::string* reason) {
+        if (config_.io_engine != IoEngineKind::kUring) {
+          *reason = "io engine 'sync' has no ring";
+          return false;
+        }
+        config_.uring_depth = static_cast<unsigned>(v);
+        return true;
+      });
+  knobs_.define(
+      crfs::KnobDef{"epoch_gap_ms", 1.0, 600000.0, "ms"},
+      static_cast<double>(config_.epoch_gap_ms),
+      [this](double v, double*, std::string* reason) {
+        if (epochs_ == nullptr) {
+          *reason = "epoch tracking disabled (no_epochs)";
+          return false;
+        }
+        epochs_->set_gap_ns(static_cast<std::uint64_t>(v) * 1'000'000);
+        return true;
+      });
 }
 
 void CrfsSimNode::start() {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "crfs/config.h"
+#include "crfs/knobs.h"
 #include "obs/epoch.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -82,6 +83,17 @@ class CrfsSimNode {
   /// ledger and the mirrored histograms run on).
   std::uint64_t now_ns() const { return static_cast<std::uint64_t>(sim_.now() * 1e9); }
 
+  // -- Control plane (virtual-time twin of the mount's knob plane) ----------
+  /// Same knob names and bounds semantics as Crfs::define_knobs, applied
+  /// straight to the sim state the io_worker re-reads every iteration:
+  /// pool_chunks mutates the free-chunk count (and pulses waiters on
+  /// grow), io_batch/uring_depth mutate the config the worker consults,
+  /// epoch_gap_ms re-arms the tracker; uring_depth is vetoed on the sync
+  /// engine, exactly like the real mount. An obs::Controller wired to
+  /// this plane and driven from sample_loop's ticks replays policy
+  /// decisions deterministically on virtual time.
+  crfs::KnobPlane& knob_plane() { return knobs_; }
+
  private:
   struct FileState {
     std::uint64_t append = 0;        ///< next file offset
@@ -108,6 +120,8 @@ class CrfsSimNode {
   };
 
   Task io_worker(unsigned worker);
+  /// Registers the runtime knob set against the sim state (ctor tail).
+  void define_knobs();
   /// One coalesced run's backend write plus all per-chunk completion
   /// bookkeeping (pwrite histograms, epoch attribution, pool release).
   /// The sync engine awaits it inline (worker blocked for the duration,
@@ -154,6 +168,9 @@ class CrfsSimNode {
   /// Epoch ledger on virtual time (nullptr when Config::epoch_tracking is
   /// off). Same EpochTracker as the real mount; only the clock differs.
   std::unique_ptr<obs::EpochTracker> epochs_;
+
+  /// Runtime knob plane (see knob_plane()).
+  crfs::KnobPlane knobs_;
 };
 
 }  // namespace crfs::sim

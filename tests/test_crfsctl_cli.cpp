@@ -160,8 +160,16 @@ TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
   ASSERT_TRUE(parsed.has_value()) << res.output;
 
   const std::vector<std::string> expected_top = {
-      "epoch_open", "epochs", "epochs_completed", "events", "mount", "pipeline"};
+      "controller", "epoch_open",     "epochs", "epochs_completed",
+      "events",     "mount",          "pipeline", "schema_version"};
   EXPECT_EQ(object_keys(*parsed), expected_top);
+  EXPECT_DOUBLE_EQ(parsed->get("schema_version")->number, 2.0);
+
+  const std::vector<std::string> expected_controller = {
+      "decisions", "decisions_total", "enabled", "generation", "knob_plane",
+      "ticks"};
+  ASSERT_NE(parsed->get("controller"), nullptr);
+  EXPECT_EQ(object_keys(*parsed->get("controller")), expected_controller);
 
   const std::vector<std::string> expected_mount = {
       "app_bytes",     "app_writes",         "bypass_writes",
@@ -257,6 +265,25 @@ TEST(CrfsctlCli, PostmortemPrettyPrintsARealDump) {
     ASSERT_TRUE(fs.value()->close(h.value()).ok());
     ASSERT_TRUE(fs.value()->dump_postmortem().ok());
   }
+  // The dump itself is versioned and carries the controller section.
+  {
+    std::string text;
+    std::FILE* f = std::fopen(dump.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    auto doc = obs::json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_NE(doc->get("schema_version"), nullptr);
+    EXPECT_DOUBLE_EQ(doc->get("schema_version")->number, 2.0);
+    const auto* ctl = doc->get("controller");
+    ASSERT_TRUE(ctl != nullptr && ctl->is_object());
+    EXPECT_FALSE(ctl->get("enabled")->boolean);
+    ASSERT_NE(ctl->get("knob_plane"), nullptr);
+  }
+
   const RunResult res = run_crfsctl("postmortem " + dump);
   ASSERT_EQ(res.exit_code, 0) << res.output;
   EXPECT_NE(res.output.find("CRFS postmortem"), std::string::npos);
@@ -289,6 +316,64 @@ TEST(CrfsctlCli, PostmortemRejectsMissingOrForeignFiles) {
     std::fclose(f);
   }
   EXPECT_EQ(run_crfsctl("postmortem " + unparseable).exit_code, 2);
+}
+
+TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
+  const std::string dir = fresh_dir("knobs");
+  const RunResult table = run_crfsctl("knobs " + dir);
+  ASSERT_EQ(table.exit_code, 0) << table.output;
+  EXPECT_NE(table.output.find("generation=0"), std::string::npos);
+  EXPECT_NE(table.output.find("pool_chunks"), std::string::npos);
+  EXPECT_NE(table.output.find("uring_depth"), std::string::npos);
+
+  const RunResult res = run_crfsctl("knobs " + dir + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  EXPECT_DOUBLE_EQ(parsed->get("generation")->number, 0.0);
+  const auto* knobs = parsed->get("knobs");
+  ASSERT_TRUE(knobs != nullptr && knobs->is_array());
+  EXPECT_EQ(knobs->array->size(), 6u);
+  const std::vector<std::string> knob_keys = {"max", "min", "name", "unit", "value"};
+  for (const auto& k : *knobs->array) EXPECT_EQ(object_keys(k), knob_keys);
+}
+
+TEST(CrfsctlCli, TuneAppliesTokensAndAuditsCtlfileDecisions) {
+  const std::string dir = fresh_dir("tune");
+  const RunResult res = run_crfsctl("tune " + dir + " pool_chunks=8,io_batch=2 --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->array->size(), 2u);
+  EXPECT_EQ((*parsed->array)[0].get("source")->string, "ctlfile");
+  EXPECT_EQ((*parsed->array)[0].get("knob")->string, "pool_chunks");
+  EXPECT_EQ((*parsed->array)[0].get("outcome")->string, "applied");
+  EXPECT_DOUBLE_EQ((*parsed->array)[0].get("to")->number, 8.0);
+  EXPECT_EQ((*parsed->array)[1].get("knob")->string, "io_batch");
+
+  // A rejected token names itself in the error and fails the command.
+  const RunResult bad = run_crfsctl("tune " + dir + " warp_factor=9");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("\"warp_factor=9\""), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("unknown knob"), std::string::npos);
+}
+
+TEST(CrfsctlCli, ControllerRunsTheLoopAndEmitsItsJson) {
+  const RunResult res = run_crfsctl("controller " + fresh_dir("ctl") + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  EXPECT_TRUE(parsed->get("enabled")->boolean);
+  EXPECT_GT(parsed->get("ticks")->number, 0.0);
+  ASSERT_NE(parsed->get("knob_plane"), nullptr);
+  ASSERT_NE(parsed->get("decisions"), nullptr);
+  EXPECT_TRUE(parsed->get("decisions")->is_array());
+
+  const RunResult human = run_crfsctl("controller " + fresh_dir("ctlh"));
+  ASSERT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("crfsctl controller:"), std::string::npos);
+  EXPECT_NE(human.output.find("ticks="), std::string::npos);
 }
 
 TEST(CrfsctlCli, BadMountOptionFailsCleanly) {
