@@ -8,9 +8,22 @@
 //                                         workload, print the per-stage
 //                                         pipeline report (crfs::obs);
 //                                         --json emits stats_json() instead
-//   crfsctl trace <dir> <out.json> [mount-options]
+//   crfsctl trace <dir> <out.json> [mount-options] [--thread=N]
+//                [--since-ms=N] [--file=substr]
 //                                         same workload with span tracing;
-//                                         writes a Chrome/Perfetto trace
+//                                         writes a Chrome/Perfetto trace,
+//                                         optionally filtered to one lane,
+//                                         a trailing time window, or spans
+//                                         tagged with a file substring
+//   crfsctl slow <dir> [mount-options] [--json] [--inject-slow[=MBps]]
+//                                         run the workload and print the
+//                                         tail-latency forensic store:
+//                                         slow-chunk exemplars with their
+//                                         full causal chains (stage times,
+//                                         queue depths, knob generation);
+//                                         --inject-slow throttles the
+//                                         backend so a fast disk still
+//                                         produces exemplars
 //   crfsctl watch <dir> [mount-options]   drive the workload with the live
 //                                         sampler on; refresh a terminal
 //                                         view of rates, occupancy, and
@@ -46,7 +59,15 @@
 // Examples:
 //   crfsctl bench /scratch "chunk=4M,pool=16M,threads=4"
 //   crfsctl trace /scratch /tmp/epoch.json "chunk=1M,pool=4M"
+//   crfsctl slow /scratch --inject-slow=32 --json
 //   crfsctl verify /scratch job42
+//
+// Exit codes (stable, scripts may rely on them):
+//   0   success
+//   1   bad arguments / rejected tune tokens / workload failure
+//   2   malformed document (stats, trace, postmortem failed to parse)
+//   3   mount unreachable (backend create or Crfs::mount failed)
+//   64  usage error (unknown command / missing operands)
 #include <unistd.h>
 
 #include <algorithm>
@@ -58,28 +79,40 @@
 #include <vector>
 
 #include "backend/posix_backend.h"
+#include "backend/wrappers.h"
 #include "blcr/checkpoint_set.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "common/wall_clock.h"
 #include "crfs/mount_options.h"
 #include "crfs/posix_api.h"
+#include "obs/chrome_trace.h"
 #include "obs/controller.h"
 #include "obs/epoch.h"
 #include "obs/json_lite.h"
 #include "obs/prom.h"
 #include "obs/sampler.h"
+#include "obs/slow_store.h"
 
 using namespace crfs;
 
 namespace {
+
+// Stable exit codes (see the file header): 1 = bad arguments, 2 =
+// malformed document, 3 = mount unreachable. Scripts branch on these.
+constexpr int kExitBadArgs = 1;
+constexpr int kExitMalformed = 2;
+constexpr int kExitUnreachable = 3;
 
 int usage() {
   std::fprintf(stderr,
                "usage: crfsctl options <mount-options>\n"
                "       crfsctl bench <dir> [mount-options]\n"
                "       crfsctl stats <dir> [mount-options] [--json]\n"
-               "       crfsctl trace <dir> <out.json> [mount-options]\n"
+               "       crfsctl trace <dir> <out.json> [mount-options] "
+               "[--thread=N] [--since-ms=N] [--file=substr]\n"
+               "       crfsctl slow <dir> [mount-options] [--json] "
+               "[--inject-slow[=MBps]]\n"
                "       crfsctl watch <dir> [mount-options]\n"
                "       crfsctl prom <dir> [mount-options]\n"
                "       crfsctl report <dir> [mount-options] [--json]\n"
@@ -146,12 +179,12 @@ int cmd_stats(int argc, char** argv) {
   auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   auto fs = run_instrumented_workload(argv[2], opts.value());
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   if (as_json) {
     std::printf("%s\n", fs.value()->stats_json().c_str());
@@ -164,22 +197,63 @@ int cmd_stats(int argc, char** argv) {
 int cmd_trace(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string out_path = argv[3];
-  auto opts = parse_mount_options(argc >= 5 ? argv[4] : "");
+  long long thread_filter = -1;
+  double since_ms = -1.0;
+  std::string file_filter;
+  const char* optstr = "";
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--thread=", 9) == 0) {
+      thread_filter = std::atoll(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--since-ms=", 11) == 0) {
+      since_ms = std::atof(argv[i] + 11);
+      if (since_ms <= 0) {
+        std::fprintf(stderr, "error: bad --since-ms value: %s\n", argv[i]);
+        return kExitBadArgs;
+      }
+    } else if (std::strncmp(argv[i], "--file=", 7) == 0) {
+      file_filter = argv[i] + 7;
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   opts.value().config.enable_tracing = true;
   auto fs = run_instrumented_workload(argv[2], opts.value());
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
-  const auto events = fs.value()->trace().snapshot();
-  const Status written = fs.value()->export_trace(out_path);
+  auto events = fs.value()->trace().snapshot();
+  // Filters narrow the exported document, not the capture: --thread keeps
+  // one lane, --since-ms keeps the trailing window (relative to the last
+  // span end — monotonic timestamps have no meaningful absolute origin),
+  // --file keeps spans tagged with a path containing the substring.
+  if (thread_filter >= 0 || since_ms > 0 || !file_filter.empty()) {
+    std::uint64_t max_end = 0;
+    for (const auto& e : events) max_end = std::max(max_end, e.ts_ns + e.dur_ns);
+    const std::uint64_t window_ns = static_cast<std::uint64_t>(since_ms * 1e6);
+    const std::uint64_t horizon =
+        since_ms > 0 ? (max_end > window_ns ? max_end - window_ns : 0) : 0;
+    std::erase_if(events, [&](const obs::TraceEvent& e) {
+      if (thread_filter >= 0 && e.tid != static_cast<std::uint32_t>(thread_filter)) {
+        return true;
+      }
+      if (since_ms > 0 && e.ts_ns + e.dur_ns < horizon) return true;
+      if (!file_filter.empty() &&
+          (e.tag == nullptr || std::strstr(e.tag, file_filter.c_str()) == nullptr)) {
+        return true;
+      }
+      return false;
+    });
+  }
+  const Status written = obs::write_chrome_trace(out_path, events);
   if (!written.ok()) {
     std::fprintf(stderr, "error: %s\n", written.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   // Self-check: the exported document must parse back with a traceEvents
   // array — the same schema check the tests apply.
@@ -197,11 +271,138 @@ int cmd_trace(int argc, char** argv) {
   if (!parsed.has_value() || parsed->get("traceEvents") == nullptr ||
       !parsed->get("traceEvents")->is_array()) {
     std::fprintf(stderr, "error: emitted trace failed schema self-check\n");
-    return 2;
+    return kExitMalformed;
   }
   std::printf("wrote %zu span events to %s (load in chrome://tracing or "
               "https://ui.perfetto.dev)\n%s",
               events.size(), out_path.c_str(), fs.value()->stats_report().c_str());
+  return 0;
+}
+
+// `crfsctl slow`: run a small checkpoint workload and print the
+// tail-latency forensic store — each exemplar is one slow chunk's full
+// causal chain (trace id, the copy-in -> durable stamp chain, disjoint
+// stage durations) plus the pipeline state it saw. On a fast local disk
+// nothing crosses the default 1 s threshold, so --inject-slow wraps the
+// backend in a ThrottledBackend (default 64 MB/s) and arms a 5 ms
+// threshold — the supported way to demo the store and what the CLI test
+// uses to guarantee an exemplar.
+int cmd_slow(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  double inject_mbps = 0.0;
+  const char* optstr = "";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strncmp(argv[i], "--inject-slow", 13) == 0) {
+      inject_mbps = 64.0;
+      if (argv[i][13] == '=') {
+        inject_mbps = std::atof(argv[i] + 14);
+      }
+      if (argv[i][13] != '\0' && argv[i][13] != '=') {
+        std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+        return kExitBadArgs;
+      }
+      if (inject_mbps <= 0) {
+        std::fprintf(stderr, "error: bad --inject-slow value: %s\n", argv[i]);
+        return kExitBadArgs;
+      }
+    } else {
+      optstr = argv[i];
+    }
+  }
+  auto opts = parse_mount_options(optstr);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
+    return kExitBadArgs;
+  }
+  auto backend = PosixBackend::create(argv[2]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+    return kExitUnreachable;
+  }
+  std::shared_ptr<BackendFs> shared = std::move(backend.value());
+  if (inject_mbps > 0) {
+    shared = std::make_shared<ThrottledBackend>(std::move(shared), inject_mbps * 1e6);
+    // Throttled transfers are tens of ms per chunk; arm a threshold that
+    // catches them unless the caller chose one explicitly.
+    if (opts.value().config.slow_capture_ms == Config{}.slow_capture_ms) {
+      opts.value().config.slow_capture_ms = 5;
+    }
+  }
+  auto fs = Crfs::mount(shared, opts.value().config);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
+    return kExitUnreachable;
+  }
+
+  constexpr unsigned kRanks = 2;
+  constexpr std::size_t kPerRank = 4 * MiB;
+  constexpr std::size_t kRecord = 64 * KiB;
+  {
+    FuseShim shim(*fs.value(), opts.value().fuse);
+    std::vector<std::thread> ranks;
+    for (unsigned r = 0; r < kRanks; ++r) {
+      ranks.emplace_back([&, r] {
+        const std::string path = ".crfsctl_slow_rank" + std::to_string(r);
+        std::vector<std::byte> record(kRecord, static_cast<std::byte>(r));
+        auto h = shim.open(path, {.create = true, .truncate = true, .write = true});
+        if (!h.ok()) return;
+        for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+          (void)shim.write(h.value(), record, off);
+        }
+        (void)shim.fsync(h.value());
+        (void)shim.close(h.value());
+      });
+    }
+    for (auto& t : ranks) t.join();
+  }
+  for (unsigned r = 0; r < kRanks; ++r) {
+    (void)fs.value()->unlink(".crfsctl_slow_rank" + std::to_string(r));
+  }
+
+  if (as_json) {
+    std::printf("%s\n", fs.value()->slow_json().c_str());
+    return 0;
+  }
+  const obs::SlowStore& store = fs.value()->slow_store();
+  const auto exemplars = store.snapshot();
+  std::printf("crfsctl slow: %u ranks x %s into %s (%s, engine=%s)\n", kRanks,
+              format_bytes(kPerRank).c_str(), argv[2],
+              format_mount_options(opts.value()).c_str(),
+              fs.value()->active_io_engine());
+  std::printf("threshold=%llu ms captured=%llu kept=%zu/%zu\n",
+              static_cast<unsigned long long>(store.threshold_ns() / 1'000'000),
+              static_cast<unsigned long long>(store.captured()), exemplars.size(),
+              store.capacity());
+  if (exemplars.empty()) {
+    std::printf("no slow exemplars captured (nothing crossed the threshold; "
+                "try --inject-slow or a lower slow_capture_ms)\n");
+    return 0;
+  }
+  for (const auto& ex : exemplars) {
+    std::printf("SLOW trace_id=%llu path=%s len=%llu total_ms=%.2f device_ms=%.2f\n",
+                static_cast<unsigned long long>(ex.trace_id), ex.path.c_str(),
+                static_cast<unsigned long long>(ex.len),
+                static_cast<double>(ex.total_lag_ns) / 1e6,
+                static_cast<double>(ex.device_ns) / 1e6);
+  }
+  TextTable table({"Trace", "Path", "Len", "Stall", "Fill", "Queue", "Submit",
+                   "Device", "Total", "Qdepth", "Free", "Gen"});
+  const auto ms = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  for (const auto& ex : exemplars) {
+    table.add_row({std::to_string(ex.trace_id), ex.path, format_bytes(ex.len),
+                   ms(ex.pool_stall_ns), ms(ex.fill_ns), ms(ex.queue_ns),
+                   ms(ex.submit_wait_ns), ms(ex.device_ns), ms(ex.total_lag_ns),
+                   std::to_string(ex.queue_depth), std::to_string(ex.free_chunks),
+                   std::to_string(ex.knob_generation)});
+  }
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -210,12 +411,12 @@ int cmd_prom(int argc, char** argv) {
   auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   auto fs = run_instrumented_workload(argv[2], opts.value());
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   // Finalize the auto epoch the workload opened so the crfs_epoch_*
   // series cover it too.
@@ -252,11 +453,11 @@ int cmd_report(int argc, char** argv) {
   auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   if (!opts.value().config.epoch_tracking) {
     std::fprintf(stderr, "error: crfsctl report needs epoch tracking (drop no_epochs)\n");
-    return 1;
+    return kExitBadArgs;
   }
 
   constexpr unsigned kEpochs = 2;
@@ -267,12 +468,12 @@ int cmd_report(int argc, char** argv) {
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
 
   {
@@ -335,6 +536,38 @@ int cmd_report(int argc, char** argv) {
                    lmean, lmax});
   }
   std::printf("%s", table.render().c_str());
+
+  // Critical-path attribution: where the epoch's chunks spent their
+  // lifetime, summed over chunks (so concurrent stages can exceed wall
+  // time on multi-thread pipelines). Copy/stall come from the app side,
+  // queue/submit/device from the IO side; barrier is the close()/fsync()
+  // drain wait, which overlaps the background stages and is reported
+  // beside the decomposition, not summed into it.
+  std::printf("critical path (per-epoch stage times, summed over chunks):\n");
+  TextTable stages({"Epoch", "Wall", "Copy", "Pool stall", "Queue", "Submit",
+                    "Device", "Barrier"});
+  const auto ms = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  for (const auto& rec : records) {
+    std::printf("STAGES id=%llu copy_ns=%llu pool_stall_ns=%llu queue_ns=%llu "
+                "submit_wait_ns=%llu device_ns=%llu barrier_ns=%llu\n",
+                static_cast<unsigned long long>(rec.id),
+                static_cast<unsigned long long>(rec.copy_ns),
+                static_cast<unsigned long long>(rec.pool_stall_ns),
+                static_cast<unsigned long long>(rec.queue_residency_ns),
+                static_cast<unsigned long long>(rec.submit_wait_ns),
+                static_cast<unsigned long long>(rec.device_ns),
+                static_cast<unsigned long long>(rec.barrier_ns));
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.2f ms", rec.wall_seconds() * 1e3);
+    stages.add_row({std::to_string(rec.id), wall, ms(rec.copy_ns),
+                    ms(rec.pool_stall_ns), ms(rec.queue_residency_ns),
+                    ms(rec.submit_wait_ns), ms(rec.device_ns), ms(rec.barrier_ns)});
+  }
+  std::printf("%s", stages.render().c_str());
   return 0;
 }
 
@@ -348,7 +581,7 @@ int cmd_postmortem(int argc, char** argv) {
     std::FILE* f = std::fopen(argv[2], "r");
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
-      return 2;
+      return kExitMalformed;
     }
     char buf[65536];
     std::size_t n;
@@ -358,7 +591,7 @@ int cmd_postmortem(int argc, char** argv) {
   auto doc = obs::json::parse(text);
   if (!doc.has_value() || !doc->is_object() || doc->get("crfs_postmortem") == nullptr) {
     std::fprintf(stderr, "error: %s is not a CRFS postmortem document\n", argv[2]);
-    return 2;
+    return kExitMalformed;
   }
 
   const auto num = [&](const obs::json::Value* v) -> double {
@@ -406,6 +639,21 @@ int cmd_postmortem(int argc, char** argv) {
       std::printf("    EVENT %s: %s\n",
                   rule != nullptr && rule->is_string() ? rule->string.c_str() : "?",
                   msg != nullptr && msg->is_string() ? msg->string.c_str() : "");
+    }
+  }
+  if (const auto* slow = doc->get("slow"); slow != nullptr && slow->is_object()) {
+    const auto* ex = slow->get("exemplars");
+    std::printf("  slow exemplars: %zu (threshold_ms=%.0f captured=%.0f)\n",
+                ex != nullptr && ex->is_array() ? ex->array->size() : 0,
+                num(slow->get("threshold_ms")), num(slow->get("captured")));
+    if (ex != nullptr && ex->is_array()) {
+      for (const auto& s : *ex->array) {
+        const auto* path = s.get("path");
+        std::printf("    SLOW trace_id=%.0f path=%s total_ms=%.2f device_ms=%.2f\n",
+                    num(s.get("trace_id")),
+                    path != nullptr && path->is_string() ? path->string.c_str() : "?",
+                    num(s.get("total_lag_ns")) / 1e6, num(s.get("device_ns")) / 1e6);
+      }
     }
   }
   if (const auto* tail = doc->get("trace_tail"); tail != nullptr && tail->is_array()) {
@@ -457,17 +705,17 @@ int cmd_knobs(int argc, char** argv) {
   auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   if (as_json) {
     std::printf("%s\n", fs.value()->knobs_json().c_str());
@@ -509,17 +757,17 @@ int cmd_tune(int argc, char** argv) {
   auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
 
   int rc = 0;
@@ -569,14 +817,14 @@ int cmd_controller(int argc, char** argv) {
   auto opts = parse_mount_options(optstr);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   if (opts.value().config.sample_ms == 0) opts.value().config.sample_ms = 10;
   opts.value().config.controller = true;
   auto fs = run_instrumented_workload(argv[2], opts.value());
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   if (as_json) {
     std::printf("%s\n", fs.value()->controller_json().c_str());
@@ -628,7 +876,7 @@ int cmd_watch(int argc, char** argv) {
   auto opts = parse_mount_options(argc >= 4 ? argv[3] : "");
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   if (opts.value().config.sample_ms == 0) opts.value().config.sample_ms = 50;
 
@@ -639,12 +887,12 @@ int cmd_watch(int argc, char** argv) {
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), opts.value().config);
   if (!fs.ok()) {
     std::fprintf(stderr, "error: %s\n", fs.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
 
   std::printf("crfsctl watch: %u ranks x %s into %s (%s)\n", kRanks,
@@ -714,7 +962,7 @@ int cmd_options(int argc, char** argv) {
   auto opts = parse_mount_options(argv[2]);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
   std::printf("%s\n", format_mount_options(opts.value()).c_str());
   return 0;
@@ -726,7 +974,7 @@ int cmd_bench(int argc, char** argv) {
   auto opts = options_from(argc, argv, 3);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n", opts.error().to_string().c_str());
-    return 1;
+    return kExitBadArgs;
   }
 
   constexpr unsigned kWriters = 4;
@@ -790,7 +1038,7 @@ int cmd_bench(int argc, char** argv) {
   const double crfs = best(true);
   if (direct < 0 || crfs < 0) {
     std::fprintf(stderr, "bench failed (is %s writable?)\n", dir.c_str());
-    return 1;
+    return kExitUnreachable;
   }
   const double bytes = static_cast<double>(kWriters) * kPerWriter;
   TextTable table({"Path", "Time", "Throughput"});
@@ -810,10 +1058,10 @@ int cmd_epochs(int argc, char** argv) {
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), Config{});
-  if (!fs.ok()) return 1;
+  if (!fs.ok()) return kExitUnreachable;
   FuseShim shim(*fs.value(), FuseOptions{});
   auto set = blcr::CheckpointSet::open(shim, argv[3]);
   if (!set.ok()) {
@@ -847,10 +1095,10 @@ int cmd_verify(int argc, char** argv) {
   auto backend = PosixBackend::create(argv[2]);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
-    return 1;
+    return kExitUnreachable;
   }
   auto fs = Crfs::mount(std::move(backend.value()), Config{});
-  if (!fs.ok()) return 1;
+  if (!fs.ok()) return kExitUnreachable;
   FuseShim shim(*fs.value(), FuseOptions{});
   auto set = blcr::CheckpointSet::open(shim, argv[3]);
   if (!set.ok()) return 1;
@@ -887,6 +1135,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "bench") == 0) return cmd_bench(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
   if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
+  if (std::strcmp(argv[1], "slow") == 0) return cmd_slow(argc, argv);
   if (std::strcmp(argv[1], "watch") == 0) return cmd_watch(argc, argv);
   if (std::strcmp(argv[1], "prom") == 0) return cmd_prom(argc, argv);
   if (std::strcmp(argv[1], "report") == 0) return cmd_report(argc, argv);

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# check_metrics_docs.sh — fail the build when the metric registry and
+# docs/OBSERVABILITY.md drift apart.
+#
+# Registered names are every "crfs.*" string literal in src/. A literal
+# ending in '.' (e.g. "crfs.knob.") is a dynamic-prefix family whose full
+# names are formed at runtime; the doc must mention at least one member.
+# The doc may use brace shorthand (crfs.epoch.{completed,bytes}) — it is
+# expanded before comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=docs/OBSERVABILITY.md
+fail=0
+
+mapfile -t registered < <(grep -rhoE '"crfs\.[a-z0-9_.]+"' src/ | tr -d '"' | sort -u)
+
+# Documented names: crfs.* tokens in the doc, brace shorthand expanded,
+# sentence-final dots stripped.
+mapfile -t documented < <(
+  grep -ohE 'crfs\.[a-z0-9_.]+(\{[a-z0-9_,]+\})?' "$doc" |
+    sed 's/\.$//' |
+    while IFS= read -r tok; do
+      case "$tok" in
+        *\{*) eval "printf '%s\n' ${tok}" ;; # charset limited by the grep above
+        *) printf '%s\n' "$tok" ;;
+      esac
+    done | sort -u
+)
+
+in_set() { # needle, then haystack items
+  local needle=$1; shift
+  local x
+  for x in "$@"; do [[ $x == "$needle" ]] && return 0; done
+  return 1
+}
+
+for name in "${registered[@]}"; do
+  if [[ $name == *. ]]; then
+    # Dynamic prefix: require at least one documented member.
+    if ! printf '%s\n' "${documented[@]}" | grep -q "^${name//./\\.}[a-z0-9_]"; then
+      echo "UNDOCUMENTED metric family: ${name}<name> (no member in $doc)"
+      fail=1
+    fi
+  elif ! in_set "$name" "${documented[@]}"; then
+    echo "UNDOCUMENTED metric: $name (registered in src/, missing from $doc)"
+    fail=1
+  fi
+done
+
+for name in "${documented[@]}"; do
+  ok=0
+  if in_set "$name" "${registered[@]}" || in_set "${name}." "${registered[@]}"; then
+    ok=1
+  else
+    for r in "${registered[@]}"; do
+      [[ $r == *. && $name == "$r"* ]] && { ok=1; break; }
+    done
+  fi
+  if [[ $ok == 0 ]]; then
+    echo "STALE doc entry: $name (in $doc, not registered in src/)"
+    fail=1
+  fi
+done
+
+if [[ $fail == 0 ]]; then
+  echo "check_metrics_docs: ${#registered[@]} registered names all documented," \
+    "${#documented[@]} documented names all registered."
+fi
+exit $fail

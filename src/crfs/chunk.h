@@ -59,11 +59,27 @@ class Chunk {
   std::uint64_t born_ns() const { return born_ns_; }
   void set_born_ns(std::uint64_t ns) { born_ns_ = ns; }
 
+  /// Causal chain id (docs/OBSERVABILITY.md "Causal tracing"): assigned by
+  /// the writer that acquired the chunk, from the mount's monotone id
+  /// counter. Rides the chunk across the queue so the IO worker can stitch
+  /// its spans to the producer's without any lookup. 0 = unattributed.
+  std::uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+
+  /// Pool-wait nanoseconds the producer spent acquiring THIS chunk
+  /// (born_ns is stamped before the wait, so fill = born->enqueue splits
+  /// into stall + copy using this). Stamped with the writer's existing
+  /// clock reads — no extra clock on the hot path.
+  std::uint64_t stall_ns() const { return stall_ns_; }
+  void set_stall_ns(std::uint64_t ns) { stall_ns_ = ns; }
+
   /// Rewinds the chunk for reuse against a new file position.
   void reset(std::uint64_t file_offset) {
     fill_ = 0;
     file_offset_ = file_offset;
     born_ns_ = 0;
+    trace_id_ = 0;
+    stall_ns_ = 0;
   }
 
   /// File offset one past the last byte currently buffered.
@@ -87,6 +103,8 @@ class Chunk {
   std::size_t fill_ = 0;
   std::uint64_t file_offset_ = 0;
   std::uint64_t born_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t stall_ns_ = 0;
   std::uint16_t pool_index_ = kNoPoolIndex;
 };
 

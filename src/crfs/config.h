@@ -170,6 +170,20 @@ struct Config {
   /// Upper bound for runtime io_batch raises via the knob plane.
   unsigned tune_io_batch_max = 256;
 
+  /// Tail-latency forensics (docs/OBSERVABILITY.md "Slow exemplars"):
+  /// a chunk whose copy-in -> durable lag OR backend device time reaches
+  /// this many milliseconds has its full causal chain (all stage stamps,
+  /// queue depth, free chunks, knob generation) captured into a bounded
+  /// exemplar store, surfaced via stats_json "slow", `crfsctl slow`, and
+  /// the postmortem. 0 disables capture (the store still exists so the
+  /// JSON schema is stable). Runtime-tunable via the `slow_capture_ms`
+  /// knob. Mount option `slow_capture_ms=N`.
+  unsigned slow_capture_ms = 1000;
+
+  /// Exemplars kept in the slow store (oldest evicted; `captured` keeps
+  /// the lifetime total). Mount option `slow_exemplars=N`.
+  std::size_t slow_exemplars = 32;
+
   /// Control-file path for runtime tuning: writing "knob=value" tokens
   /// (comma/whitespace separated) to this path via the normal write API
   /// drives Crfs::tune without touching the backend. Empty disables the
@@ -209,6 +223,9 @@ struct Config {
     if (tune_io_batch_max == 0) {
       return Error{EINVAL, "tune_io_batch_max must be > 0"};
     }
+    if (slow_exemplars == 0) {
+      return Error{EINVAL, "slow_exemplars must be > 0"};
+    }
     if (tune_pool_max != 0 && tune_pool_max < pool_size) {
       return Error{EINVAL, "tune_pool_max must be >= pool_size"};
     }
@@ -229,6 +246,9 @@ struct Config {
            (!large_write_bypass ? " no_bypass" : "") +
            (enable_tracing ? " tracing=on" : "") +
            (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "") +
+           (slow_capture_ms != 1000
+                ? " slow_capture_ms=" + std::to_string(slow_capture_ms)
+                : "") +
            (controller ? " controller=on" : "") +
            (!epoch_tracking ? " epochs=off" : "") +
            (!postmortem_path.empty() ? " postmortem=" + postmortem_path : "");

@@ -42,7 +42,9 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
     : backend_(std::move(backend)),
       cfg_(cfg),
       trace_(cfg.trace_ring_events),
-      events_(cfg.event_capacity) {
+      events_(cfg.event_capacity),
+      slow_(cfg.slow_exemplars,
+            static_cast<std::uint64_t>(cfg.slow_capture_ms) * 1'000'000) {
   trace_.set_enabled(cfg_.enable_tracing);
   if (cfg_.epoch_tracking) {
     epochs_ = std::make_unique<obs::EpochTracker>(
@@ -77,6 +79,13 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   io_obs.engine.inflight_depth = &metrics_.histogram("crfs.io.inflight_depth");
   io_obs.engine.sqe_batch = &metrics_.histogram("crfs.io.sqe_batch");
   io_obs.engine.cqe_wait_ns = &metrics_.histogram("crfs.io.cqe_wait_ns");
+  io_obs.slow = &slow_;
+  io_obs.slow_captured = &metrics_.counter("crfs.slow.captured");
+  // The knob plane is built after the pool (define_knobs below); no job
+  // can complete before the ctor finishes, but guard anyway.
+  io_obs.knob_generation = [this]() -> std::uint64_t {
+    return knobs_ != nullptr ? knobs_->generation() : 0;
+  };
 
   // Flight recorder before the IO pool exists: the pool's run-complete
   // hook and the event listener below reference it, and nothing can fire
@@ -131,6 +140,14 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   metrics_.gauge_fn("crfs.files.open", [this] {
     return static_cast<std::int64_t>(table_.open_count());
   });
+  // Self-health gauges (docs/OBSERVABILITY.md "Observing the observer"):
+  // spans lost to ring wrap-around, and slow-exemplar buffer occupancy.
+  metrics_.gauge_fn("crfs.trace.dropped_spans", [this] {
+    return static_cast<std::int64_t>(trace_.dropped());
+  });
+  metrics_.gauge_fn("crfs.slow.exemplars", [this] {
+    return static_cast<std::int64_t>(slow_.size());
+  });
 
   // Live telemetry plane: background sampler + health rules. Construction
   // only here — the thread starts below, after the control plane is wired,
@@ -140,6 +157,7 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
     sampler_ = std::make_unique<obs::Sampler>(
         metrics_, obs::SamplerOptions{.ring_capacity = cfg_.sample_ring});
     sampler_->set_health_monitor(health_.get());
+    sampler_->set_overrun_counter(&metrics_.counter("crfs.obs.sampler_overruns"));
   }
 
   // Control plane (docs/OBSERVABILITY.md "Control plane"): the knob plane
@@ -267,6 +285,16 @@ void Crfs::define_knobs() {
         return true;
       });
 
+  // slow_capture_ms: the tail-latency exemplar threshold (durability lag
+  // OR device time); 0 disables capture. Applied as one relaxed store.
+  knobs_->define(
+      KnobDef{"slow_capture_ms", 0.0, 100000.0, "ms"},
+      static_cast<double>(cfg_.slow_capture_ms),
+      [this](double v, double*, std::string*) {
+        slow_.set_threshold_ns(static_cast<std::uint64_t>(v) * 1'000'000);
+        return true;
+      });
+
   // epoch_gap_ms: the auto-rotation quiet window of the epoch tracker.
   knobs_->define(
       KnobDef{"epoch_gap_ms", 1.0, 600000.0, "ms"},
@@ -365,6 +393,7 @@ std::uint64_t Crfs::flush_current_locked(const std::shared_ptr<FileEntry>& entry
   if (entry->current != nullptr && !entry->current->empty()) {
     obs::TraceSpan span(trace_, "flush");
     auto chunk = std::move(entry->current);
+    span.set_trace_id(chunk->trace_id());
     entry->write_chunks.fetch_add(1, std::memory_order_acq_rel);
     if (partial) {
       stats_.partial_flushes.fetch_add(1, std::memory_order_relaxed);
@@ -442,6 +471,8 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
       // as one chunk-equivalent backend write, so epoch aggregation
       // ratios reflect that bypassed bytes were never aggregated.
       entry.epoch->record_chunk_durable(nbytes, t_done - t0, 0);
+      // Critical path: the whole call was device time (direct pwrite).
+      entry.epoch->device_ns.fetch_add(t_done - t0, std::memory_order_relaxed);
     }
     const std::uint64_t end = offset + nbytes;
     std::uint64_t seen = entry.size_seen.load(std::memory_order_relaxed);
@@ -458,12 +489,21 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
       flush_current_locked(entry_sp, /*partial=*/true);
     }
     if (entry.current == nullptr) {
+      const std::uint64_t wait_before = pool_wait_ns;
       entry.current = acquire_chunk(entry, offset, &pool_wait_ns);
       if (entry.current == nullptr) return Error{EIO, "CRFS shutting down"};
       // Chunk-lifecycle ledger: birth = first copy-in. Reuses this call's
       // t0 instead of a fresh clock read; the IO pool derives durability
       // lag (copy-in -> pwrite-complete) from it.
       entry.current->set_born_ns(t0);
+      // Causal chain: one relaxed fetch_add per chunk; the id rides the
+      // chunk across the queue so the IO worker's spans stitch to this
+      // call's. The stall is the wait THIS chunk's acquisition cost, so
+      // the chunk's fill window (born -> enqueue) splits into stall+copy.
+      const std::uint64_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+      entry.current->set_trace_id(id);
+      entry.current->set_stall_ns(pool_wait_ns - wait_before);
+      span.set_trace_id(id);
     }
     const std::size_t consumed = entry.current->append(data);
     data = data.subspan(consumed);
@@ -485,6 +525,10 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     if (pool_wait_ns > 0) {
       entry.epoch->pool_stall_ns.fetch_add(pool_wait_ns, std::memory_order_relaxed);
     }
+    // Critical-path attribution: the same copy-stage quantity the
+    // crfs.write.copy_ns histogram records, charged to the epoch.
+    entry.epoch->copy_ns.fetch_add(elapsed > pool_wait_ns ? elapsed - pool_wait_ns : 0,
+                                   std::memory_order_relaxed);
   }
 
   // Track the furthest byte written for getattr on still-buffered files.
@@ -546,16 +590,26 @@ std::unique_ptr<Chunk> Crfs::acquire_chunk(FileEntry& entry, std::uint64_t offse
 
 void Crfs::drain(const std::shared_ptr<FileEntry>& entry) {
   std::uint64_t target;
+  std::shared_ptr<obs::EpochState> epoch;
   {
     std::lock_guard agg(entry->agg_mu);
     target = flush_current_locked(entry, /*partial=*/true);
+    epoch = entry->epoch;  // captured under the lock that guards it
   }
   // Drain wait: how long close()/fsync() block on the pipeline emptying —
   // the paper's §IV-C reconciliation of write vs. complete chunk counts.
   const std::uint64_t t0 = obs::now_ns();
   obs::TraceSpan span(trace_, "drain");
+  if (trace_.enabled()) span.set_tag(trace_.intern(entry->path()));
   entry->wait_for_completion(target);
-  h_drain_wait_->record(obs::now_ns() - t0);
+  const std::uint64_t waited = obs::now_ns() - t0;
+  h_drain_wait_->record(waited);
+  // Critical path: the fsync/close barrier. NOTE this overlaps the
+  // background stages (queue/submit/device run while we wait), so it is
+  // reported beside, not summed into, the chunk-lifetime decomposition.
+  if (epoch != nullptr && waited > 0) {
+    epoch->barrier_ns.fetch_add(waited, std::memory_order_relaxed);
+  }
 }
 
 Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
@@ -724,6 +778,7 @@ std::string Crfs::stats_json() const {
   out += ",\"io_engine_requested\":\"" + std::string(io_engine_name(cfg_.io_engine)) + "\"";
   out += "},\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
+  out += ",\"slow\":" + slow_.to_json();
   if (epochs_ != nullptr) {
     out += ",\"epochs\":" + obs::epochs_to_json(epochs_->records());
     const auto open = epochs_->open_epoch(obs::now_ns());
@@ -897,6 +952,7 @@ std::string Crfs::render_postmortem() const {
   }
 
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
+  out += ",\"slow\":" + slow_.to_json();
   out += ",\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"controller\":" + controller_json();
   if (sampler_ != nullptr) {
@@ -916,7 +972,8 @@ std::string Crfs::render_postmortem() const {
     append_json_escaped(out, spans[i].name);
     out += "\",\"tid\":" + std::to_string(spans[i].tid);
     out += ",\"ts_ns\":" + std::to_string(spans[i].ts_ns);
-    out += ",\"dur_ns\":" + std::to_string(spans[i].dur_ns) + "}";
+    out += ",\"dur_ns\":" + std::to_string(spans[i].dur_ns);
+    out += ",\"trace_id\":" + std::to_string(spans[i].trace_id) + "}";
   }
   out += "]}";
   return out;

@@ -31,6 +31,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slow_store.h"
 #include "obs/trace.h"
 
 namespace crfs {
@@ -179,9 +180,21 @@ class Crfs {
   /// Snapshot of the still-running epoch, if any.
   std::optional<obs::EpochRecord> open_epoch() const;
 
+  // -- Tail-latency forensics (docs/OBSERVABILITY.md "Slow exemplars") ------
+  /// Bounded store of slow-chunk exemplars: full causal chain + pipeline
+  /// state for every chunk whose durability lag or device time crossed
+  /// Config::slow_capture_ms. Always present (capture disabled when the
+  /// threshold is 0), so the stats_json "slow" key is schema-stable.
+  obs::SlowStore& slow_store() { return slow_; }
+  const obs::SlowStore& slow_store() const { return slow_; }
+
+  /// The slow store as one JSON object (stats_json "slow" section).
+  std::string slow_json() const { return slow_.to_json(); }
+
   // -- Control plane (docs/OBSERVABILITY.md "Control plane") ----------------
   /// Runtime-tunes one knob ("pool_chunks", "io_batch", "uring_depth",
-  /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms"). Out-of-bounds
+  /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms", "slow_capture_ms").
+  /// Out-of-bounds
   /// requests are clamped, impossible ones vetoed; every outcome is
   /// recorded in the decision log (and thus metrics/events/postmortem)
   /// before the returned CtlDecision is handed back. `source` tags the
@@ -283,6 +296,9 @@ class Crfs {
   // hold EpochState shared_ptrs and the IO pool's on_run_complete hook
   // refreshes the recorder, so both must outlive io_pool_.
   std::unique_ptr<obs::EpochTracker> epochs_;
+  // Slow store sits with the sinks: IO workers capture into it, so it
+  // must outlive io_pool_.
+  obs::SlowStore slow_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::atomic<std::uint64_t> last_flight_refresh_ns_{0};
   std::unique_ptr<BufferPool> pool_;
@@ -314,6 +330,11 @@ class Crfs {
   obs::Counter* c_pwrite_bytes_ = nullptr;
   obs::Counter* c_pwrite_errors_ = nullptr;
   obs::Counter* c_bypass_bytes_ = nullptr;
+
+  /// Causal chain ids (docs/OBSERVABILITY.md "Causal tracing"): one
+  /// relaxed fetch_add per chunk acquired; id 0 is reserved for
+  /// "unattributed".
+  std::atomic<std::uint64_t> next_trace_id_{1};
 
   /// Open-handle registry: per-slot locking, entry resolved once at open()
   /// — the write() hot path does no global lock and no hash lookup.

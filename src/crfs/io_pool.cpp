@@ -126,8 +126,41 @@ void IoThreadPool::complete_run(IoRun run, Status status, std::uint64_t t_start,
     obs_.coalesced_pwrites->add(1);
   }
   if (obs_.pwrite_ns != nullptr) obs_.pwrite_ns->record(t_done - t_start);
-  if (obs_.trace != nullptr && obs_.trace->enabled()) {
-    obs_.trace->ring().record("pwrite", t_start, t_done - t_start);
+  const bool tracing = obs_.trace != nullptr && obs_.trace->enabled();
+  const char* path_tag = "";
+  if (tracing) {
+    // Stitch the cross-thread chain: the producer recorded write/pool_wait
+    // spans under the chunk's trace id; here the worker retro-records the
+    // queue and submit-wait stages from the stamps the job already carries
+    // (no new clock reads), then the device span. All land on this
+    // worker's own ring — single-writer invariant holds.
+    path_tag = obs_.trace->intern(file.path());
+    obs::TraceRing& ring = obs_.trace->ring();
+    for (const WriteJob& job : run.jobs) {
+      const std::uint64_t id = job.chunk->trace_id();
+      if (job.enqueue_ns != 0 && job.dequeue_ns > job.enqueue_ns) {
+        ring.record("queue", job.enqueue_ns, job.dequeue_ns - job.enqueue_ns, id,
+                    path_tag);
+      }
+      if (job.dequeue_ns != 0 && t_start > job.dequeue_ns) {
+        ring.record("submit", job.dequeue_ns, t_start - job.dequeue_ns, id, path_tag);
+      }
+    }
+    ring.record("pwrite", t_start, t_done - t_start,
+                run.jobs.front().chunk->trace_id(), path_tag);
+  }
+  // Critical-path attribution: the backend call is one event, so its
+  // submit-wait and device time are charged ONCE per run, to the run's
+  // leading epoch (mirrors the backend_writes attribution below).
+  if (run.jobs.front().epoch != nullptr) {
+    obs::EpochState& ep = *run.jobs.front().epoch;
+    const std::uint64_t dq = run.jobs.front().dequeue_ns;
+    if (dq != 0 && t_start > dq) {
+      ep.submit_wait_ns.fetch_add(t_start - dq, std::memory_order_relaxed);
+    }
+    if (t_done > t_start) {
+      ep.device_ns.fetch_add(t_done - t_start, std::memory_order_relaxed);
+    }
   }
 
   if (status.ok()) {
@@ -152,6 +185,34 @@ void IoThreadPool::complete_run(IoRun run, Status status, std::uint64_t t_start,
       }
       if (job.epoch != nullptr) {
         job.epoch->record_chunk_durable(job.chunk->fill(), lag, residency);
+      }
+      if (obs_.slow != nullptr && obs_.slow->over_threshold(lag, t_done - t_start)) {
+        // Tail-latency forensics: this chunk blew the threshold — freeze
+        // its whole causal chain plus the pipeline state it saw. Cold by
+        // construction (the IO already took >= threshold).
+        obs::SlowExemplar ex;
+        ex.trace_id = job.chunk->trace_id();
+        ex.path = file.path();
+        ex.offset = job.chunk->file_offset();
+        ex.len = job.chunk->fill();
+        ex.born_ns = born;
+        ex.enqueue_ns = job.enqueue_ns;
+        ex.dequeue_ns = job.dequeue_ns;
+        ex.submit_ns = t_start;
+        ex.durable_ns = t_done;
+        ex.pool_stall_ns = job.chunk->stall_ns();
+        ex.fill_ns = born != 0 && job.enqueue_ns > born ? job.enqueue_ns - born : 0;
+        ex.queue_ns = residency;
+        ex.submit_wait_ns =
+            job.dequeue_ns != 0 && t_start > job.dequeue_ns ? t_start - job.dequeue_ns : 0;
+        ex.device_ns = t_done > t_start ? t_done - t_start : 0;
+        ex.total_lag_ns = lag;
+        ex.queue_depth = queue_.depth();
+        ex.free_chunks = pool_.free_chunks();
+        ex.knob_generation = obs_.knob_generation ? obs_.knob_generation() : 0;
+        ex.engine = engines_.front()->name();
+        obs_.slow->capture(std::move(ex));
+        if (obs_.slow_captured != nullptr) obs_.slow_captured->add(1);
       }
     }
   } else {

@@ -18,6 +18,7 @@
 #include "crfs/work_queue.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/slow_store.h"
 #include "obs/trace.h"
 
 namespace crfs {
@@ -51,6 +52,16 @@ struct IoPoolObs {
   /// Engine-level sinks (crfs.io.inflight_depth / sqe_batch /
   /// cqe_wait_ns); only the uring engine records into them.
   IoEngineObs engine{};
+  /// Tail-latency forensic store (docs/OBSERVABILITY.md "Slow exemplars"):
+  /// a chunk whose durability lag or device time crosses the store's
+  /// threshold gets its full causal chain captured here. The threshold
+  /// check is one relaxed load plus two compares per chunk; the capture
+  /// itself only fires when the IO was already slow.
+  obs::SlowStore* slow = nullptr;
+  obs::Counter* slow_captured = nullptr;  ///< crfs.slow.captured
+  /// Knob-plane generation at capture time (0 when no knob plane); lets a
+  /// slow exemplar say which tuning state it was captured under.
+  std::function<std::uint64_t()> knob_generation;
   /// Called after each completed run (post chunk release) — the flight
   /// recorder's throttled-refresh hook. One indirect call per backend
   /// write (chunk-sized granularity), nullptr when no recorder exists.

@@ -149,7 +149,8 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         return Error{EINVAL, "bad tune_io_batch_max: '" + std::string(value) + "'"};
       }
       out.config.tune_io_batch_max = parsed;
-    } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms") {
+    } else if (key == "sample_ms" || key == "sample_ring" || key == "slow_pwrite_ms" ||
+               key == "slow_capture_ms" || key == "slow_exemplars") {
       unsigned parsed = 0;
       const auto* begin = value.data();
       const auto* end = value.data() + value.size();
@@ -162,6 +163,10 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         out.config.sample_ms = parsed;
       } else if (key == "sample_ring") {
         out.config.sample_ring = parsed;
+      } else if (key == "slow_capture_ms") {
+        out.config.slow_capture_ms = parsed;
+      } else if (key == "slow_exemplars") {
+        out.config.slow_exemplars = parsed;
       } else {
         out.config.health.slow_pwrite_p99_ns =
             static_cast<std::uint64_t>(parsed) * 1'000'000;
@@ -227,6 +232,12 @@ std::string format_mount_options(const MountOptions& options) {
   if (options.config.health.slow_pwrite_p99_ns > 0) {
     s += ",slow_pwrite_ms=" +
          std::to_string(options.config.health.slow_pwrite_p99_ns / 1'000'000);
+  }
+  if (options.config.slow_capture_ms != Config{}.slow_capture_ms) {
+    s += ",slow_capture_ms=" + std::to_string(options.config.slow_capture_ms);
+  }
+  if (options.config.slow_exemplars != Config{}.slow_exemplars) {
+    s += ",slow_exemplars=" + std::to_string(options.config.slow_exemplars);
   }
   if (!options.config.epoch_tracking) s += ",no_epochs";
   if (options.config.epoch_gap_ms != Config{}.epoch_gap_ms) {

@@ -5,6 +5,26 @@
 
 namespace crfs::obs {
 
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
 std::string to_chrome_json(std::span<const TraceEvent> events) {
   std::string out = "{\"traceEvents\":[";
   char buf[192];
@@ -16,11 +36,31 @@ std::string to_chrome_json(std::span<const TraceEvent> events) {
     // in the decimals.
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"cat\":\"crfs\",\"ph\":\"X\",\"pid\":1,"
-                  "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
                   ev.name != nullptr ? ev.name : "", ev.tid,
                   static_cast<double>(ev.ts_ns) / 1e3,
                   static_cast<double>(ev.dur_ns) / 1e3);
     out += buf;
+    // Causal context rides in "args" (Perfetto surfaces it in the span
+    // detail pane and `trace_id` is query-able), emitted only when set so
+    // untagged spans keep the compact schema.
+    const bool has_tag = ev.tag != nullptr && ev.tag[0] != '\0';
+    if (ev.trace_id != 0 || has_tag) {
+      out += ",\"args\":{";
+      if (ev.trace_id != 0) {
+        std::snprintf(buf, sizeof(buf), "\"trace_id\":%llu",
+                      static_cast<unsigned long long>(ev.trace_id));
+        out += buf;
+      }
+      if (has_tag) {
+        if (ev.trace_id != 0) out += ",";
+        out += "\"file\":\"";
+        append_escaped(out, ev.tag);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

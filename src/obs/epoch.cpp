@@ -54,6 +54,10 @@ std::string EpochRecord::to_json() const {
   out += ",\"durable_bytes\":" + std::to_string(durable_bytes);
   out += ",\"pool_stall_ns\":" + std::to_string(pool_stall_ns);
   out += ",\"queue_residency_ns\":" + std::to_string(queue_residency_ns);
+  out += ",\"copy_ns\":" + std::to_string(copy_ns);
+  out += ",\"submit_wait_ns\":" + std::to_string(submit_wait_ns);
+  out += ",\"device_ns\":" + std::to_string(device_ns);
+  out += ",\"barrier_ns\":" + std::to_string(barrier_ns);
   out += ",\"durability_lag_sum_ns\":" + std::to_string(durability_lag_sum_ns);
   out += ",\"durability_lag_max_ns\":" + std::to_string(durability_lag_max_ns);
   out += ",\"io_errors\":" + std::to_string(io_errors);
@@ -155,6 +159,10 @@ EpochRecord EpochTracker::snapshot_locked(const EpochState& st, std::uint64_t en
   r.durability_lag_sum_ns = st.durability_lag_sum_ns.load(std::memory_order_relaxed);
   r.durability_lag_max_ns = st.durability_lag_max_ns.load(std::memory_order_relaxed);
   r.io_errors = st.io_errors.load(std::memory_order_relaxed);
+  r.copy_ns = st.copy_ns.load(std::memory_order_relaxed);
+  r.submit_wait_ns = st.submit_wait_ns.load(std::memory_order_relaxed);
+  r.device_ns = st.device_ns.load(std::memory_order_relaxed);
+  r.barrier_ns = st.barrier_ns.load(std::memory_order_relaxed);
   return r;
 }
 

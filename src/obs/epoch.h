@@ -72,6 +72,13 @@ class EpochState {
   std::atomic<std::uint64_t> durability_lag_sum_ns{0};
   std::atomic<std::uint64_t> durability_lag_max_ns{0};
   std::atomic<std::uint64_t> io_errors{0};
+  // Critical-path stage times (docs/OBSERVABILITY.md "Critical-path
+  // attribution"): together with pool_stall_ns and queue_residency_ns
+  // these decompose where the epoch's chunks spent their lifetime.
+  std::atomic<std::uint64_t> copy_ns{0};        ///< write() minus pool wait
+  std::atomic<std::uint64_t> submit_wait_ns{0}; ///< dequeue -> engine submit
+  std::atomic<std::uint64_t> device_ns{0};      ///< engine submit -> durable
+  std::atomic<std::uint64_t> barrier_ns{0};     ///< close/fsync drain wait
 
   /// IO-thread hook: one chunk of this epoch became durable.
   void record_chunk_durable(std::uint64_t chunk_bytes, std::uint64_t lag_ns,
@@ -106,6 +113,10 @@ struct EpochRecord {
   std::uint64_t durability_lag_sum_ns = 0;
   std::uint64_t durability_lag_max_ns = 0;
   std::uint64_t io_errors = 0;
+  std::uint64_t copy_ns = 0;
+  std::uint64_t submit_wait_ns = 0;
+  std::uint64_t device_ns = 0;
+  std::uint64_t barrier_ns = 0;
 
   double wall_seconds() const {
     return end_ns > start_ns ? static_cast<double>(end_ns - start_ns) / 1e9 : 0.0;

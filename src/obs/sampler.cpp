@@ -118,7 +118,16 @@ void Sampler::start(std::chrono::milliseconds interval) {
       const auto period = this->interval();
       if (wake_cv_.wait_for(lock, period, [this] { return stop_requested_; })) return;
       lock.unlock();
-      tick(now_ns());
+      const std::uint64_t t0 = now_ns();
+      tick(t0);
+      // Self-health: a tick that outruns its own period means telemetry is
+      // falling behind (crfs.obs.sampler_overruns).
+      if (overruns_ != nullptr) {
+        const std::uint64_t elapsed = now_ns() - t0;
+        const auto period_ns =
+            static_cast<std::uint64_t>(period.count()) * 1'000'000ULL;
+        if (elapsed > period_ns) overruns_->add(1);
+      }
       lock.lock();
     }
   });

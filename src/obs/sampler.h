@@ -124,6 +124,12 @@ class Sampler {
 
   std::uint64_t samples_taken() const { return seq_.load(std::memory_order_relaxed); }
 
+  /// Self-health: counter bumped whenever one tick (snapshot + health
+  /// rules + observer) took longer than the configured period, i.e. the
+  /// sampler is falling behind its own schedule. Attach before start();
+  /// `c` must outlive the Sampler. Exposed as `crfs.obs.sampler_overruns`.
+  void set_overrun_counter(Counter* c) { overruns_ = c; }
+
   /// Most recent frame; nullopt before the first tick.
   std::optional<Sample> latest() const;
 
@@ -135,6 +141,7 @@ class Sampler {
   const SamplerOptions opts_;
   HealthMonitor* health_ = nullptr;
   std::function<void(const Sample&)> tick_observer_;
+  Counter* overruns_ = nullptr;
   std::atomic<long long> interval_ms_{100};
 
   mutable std::mutex mu_;

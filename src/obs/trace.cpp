@@ -23,6 +23,8 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
     ev.tid = tid_;
     ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
     ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    ev.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    ev.tag = slot.tag.load(std::memory_order_relaxed);
     out.push_back(ev);
   }
   return out;
@@ -75,6 +77,24 @@ std::uint64_t TraceCollector::total_recorded() const {
 std::size_t TraceCollector::ring_count() const {
   std::lock_guard lock(mu_);
   return rings_.size();
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t recorded = ring->recorded();
+    if (recorded > ring->capacity()) total += recorded - ring->capacity();
+  }
+  return total;
+}
+
+const char* TraceCollector::intern(const std::string& s) {
+  std::lock_guard lock(mu_);
+  auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  interned_.push_back(s);
+  return intern_index_.emplace(s, interned_.back().c_str()).first->second;
 }
 
 }  // namespace crfs::obs

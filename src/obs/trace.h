@@ -39,6 +39,8 @@ struct TraceEvent {
   std::uint32_t tid = 0;    ///< ring index (creation order) or sim node id
   std::uint64_t ts_ns = 0;  ///< begin timestamp (monotonic or virtual ns)
   std::uint64_t dur_ns = 0; ///< span duration
+  std::uint64_t trace_id = 0;  ///< causal chain id (0 = unattributed)
+  const char* tag = "";     ///< interned/static detail (file path); never freed
 };
 
 /// Fixed-capacity single-writer ring of spans. Oldest events are
@@ -51,11 +53,14 @@ class TraceRing {
   TraceRing& operator=(const TraceRing&) = delete;
 
   /// Called only by the owning thread.
-  void record(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  void record(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+              std::uint64_t trace_id = 0, const char* tag = "") {
     Slot& slot = slots_[head_.load(std::memory_order_relaxed) % slots_.size()];
     slot.name.store(name, std::memory_order_relaxed);
     slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
     slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.tag.store(tag, std::memory_order_relaxed);
     // Release-publish so a snapshot that observes the new head also
     // observes the slot it covers.
     head_.fetch_add(1, std::memory_order_release);
@@ -74,6 +79,8 @@ class TraceRing {
     std::atomic<const char*> name{""};
     std::atomic<std::uint64_t> ts_ns{0};
     std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<const char*> tag{""};
   };
 
   std::uint32_t tid_;
@@ -99,6 +106,15 @@ class TraceCollector {
 
   std::uint64_t total_recorded() const;
   std::size_t ring_count() const;
+  /// Spans overwritten before any snapshot could see them: per ring,
+  /// max(0, recorded - capacity), summed. Monotone; feeds the
+  /// `crfs.trace.dropped_spans` self-health gauge.
+  std::uint64_t dropped() const;
+
+  /// Interns a string (e.g. a file path) into collector-lifetime stable
+  /// storage so TraceEvent::tag can outlive the FileEntry that named it.
+  /// Deduplicated; mutex-guarded (cold path — once per run completion).
+  const char* intern(const std::string& s);
 
  private:
   std::uint64_t id_;
@@ -107,6 +123,8 @@ class TraceCollector {
   mutable std::mutex mu_;
   std::deque<std::unique_ptr<TraceRing>> rings_;
   std::unordered_map<std::thread::id, TraceRing*> by_thread_;
+  std::deque<std::string> interned_;
+  std::unordered_map<std::string, const char*> intern_index_;
 };
 
 /// RAII span: stamps begin on construction, records on destruction.
@@ -120,9 +138,15 @@ class TraceSpan {
 
   ~TraceSpan() {
     if (collector_ != nullptr) {
-      collector_->ring().record(name_, start_ns_, now_ns() - start_ns_);
+      collector_->ring().record(name_, start_ns_, now_ns() - start_ns_, trace_id_, tag_);
     }
   }
+
+  /// Attaches a causal chain id, discovered after construction (e.g. the
+  /// id of the chunk a write() call landed in). Plain stores — safe to
+  /// call unconditionally on the hot path.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  void set_tag(const char* tag) { tag_ = tag; }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -131,6 +155,8 @@ class TraceSpan {
   TraceCollector* collector_;
   const char* name_;
   std::uint64_t start_ns_;
+  std::uint64_t trace_id_ = 0;
+  const char* tag_ = "";
 };
 
 /// Unbounded single-threaded span log — the simulator's sink, recording
@@ -138,8 +164,9 @@ class TraceSpan {
 class EventLog {
  public:
   void record(const char* name, std::uint32_t tid, std::uint64_t ts_ns,
-              std::uint64_t dur_ns) {
-    events_.push_back(TraceEvent{name, tid, ts_ns, dur_ns});
+              std::uint64_t dur_ns, std::uint64_t trace_id = 0,
+              const char* tag = "") {
+    events_.push_back(TraceEvent{name, tid, ts_ns, dur_ns, trace_id, tag});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

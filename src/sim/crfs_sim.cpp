@@ -19,7 +19,9 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
       fuse_station_(sim, 1),
       chunk_available_(sim),
       job_ready_(sim),
-      cqe_slot_(sim) {
+      cqe_slot_(sim),
+      slow_(config.slow_exemplars,
+            static_cast<std::uint64_t>(config.slow_capture_ms) * 1'000'000) {
   // Same registry schema as the real mount (crfs.cpp), read on virtual
   // time by an obs::Sampler via sample_loop(). The single-threaded sim
   // pays nothing for the atomics.
@@ -104,6 +106,13 @@ void CrfsSimNode::define_knobs() {
         return true;
       });
   knobs_.define(
+      crfs::KnobDef{"slow_capture_ms", 0.0, 100000.0, "ms"},
+      static_cast<double>(config_.slow_capture_ms),
+      [this](double v, double*, std::string*) {
+        slow_.set_threshold_ns(static_cast<std::uint64_t>(v) * 1'000'000);
+        return true;
+      });
+  knobs_.define(
       crfs::KnobDef{"epoch_gap_ms", 1.0, 600000.0, "ms"},
       static_cast<double>(config_.epoch_gap_ms),
       [this](double v, double*, std::string* reason) {
@@ -145,6 +154,8 @@ void CrfsSimNode::flush_chunk(FileState& st, FileId file) {
   job.len = st.chunk_fill;
   job.born_ns = st.chunk_born_ns;
   job.enqueue_ns = now_ns();
+  job.trace_id = st.chunk_trace_id;
+  job.stall_ns = st.chunk_stall_ns;
   job.epoch = st.epoch;
   if (job.epoch != nullptr) {
     job.epoch->chunks.fetch_add(1, std::memory_order_relaxed);
@@ -161,10 +172,13 @@ Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
   const double span_start = sim_.now();
   FileState& st = state(file);
   const std::uint64_t max_req = fuse_.max_write();
+  std::uint64_t span_trace_id = 0;  ///< last chunk acquired (mirror of write())
 
   std::uint64_t remaining = len;
   while (remaining > 0) {
     const std::uint64_t req = std::min(remaining, max_req);
+    const std::uint64_t req_start_ns = now_ns();
+    std::uint64_t req_stall_ns = 0;
     // The FUSE request queue serializes all writers on the node: each
     // request pays the user<->kernel crossing plus the payload copy into
     // the chunk buffer (the paper's "multiple buffer copies" overhead).
@@ -186,21 +200,29 @@ Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
     while (req_remaining > 0) {
       if (!st.has_chunk) {
         // Buffer-pool acquire: may block until an IO worker releases.
+        // Birth is stamped BEFORE the wait (mirror of write()'s t0), so
+        // the chunk's fill window splits into stall + copy like the real
+        // pipeline's.
         const double pool_wait_start = sim_.now();
+        const std::uint64_t born = now_ns();
         while (free_chunks_ == 0) {
           pool_waits_ += 1;
           co_await chunk_available_.wait();
         }
-        if (st.epoch != nullptr && sim_.now() > pool_wait_start) {
-          st.epoch->pool_stall_ns.fetch_add(
-              static_cast<std::uint64_t>((sim_.now() - pool_wait_start) * 1e9),
-              std::memory_order_relaxed);
+        const std::uint64_t stall =
+            static_cast<std::uint64_t>((sim_.now() - pool_wait_start) * 1e9);
+        if (st.epoch != nullptr && stall > 0) {
+          st.epoch->pool_stall_ns.fetch_add(stall, std::memory_order_relaxed);
         }
+        req_stall_ns += stall;
         free_chunks_ -= 1;
         st.has_chunk = true;
         st.chunk_offset = st.append;
         st.chunk_fill = 0;
-        st.chunk_born_ns = now_ns();
+        st.chunk_born_ns = born;
+        st.chunk_trace_id = next_trace_id_++;
+        st.chunk_stall_ns = stall;
+        span_trace_id = st.chunk_trace_id;
       }
       const std::uint64_t space = config_.chunk_size - st.chunk_fill;
       const std::uint64_t take = std::min(space, req_remaining);
@@ -211,9 +233,17 @@ Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
         flush_chunk(st, file);
       }
     }
+    // Critical-path attribution mirror: this request's elapsed time minus
+    // its pool stalls is the copy stage (same quantity write() charges).
+    if (st.epoch != nullptr) {
+      const std::uint64_t req_elapsed = now_ns() - req_start_ns;
+      st.epoch->copy_ns.fetch_add(
+          req_elapsed > req_stall_ns ? req_elapsed - req_stall_ns : 0,
+          std::memory_order_relaxed);
+    }
     remaining -= req;
   }
-  sim_.trace_complete("write", app_lane(), span_start, sim_.now());
+  sim_.trace_complete("write", app_lane(), span_start, sim_.now(), span_trace_id);
 }
 
 Task CrfsSimNode::io_worker(unsigned worker) {
@@ -279,18 +309,43 @@ Task CrfsSimNode::write_run(std::vector<Job> run, std::uint64_t dequeue_now,
   for (const Job& job : run) run_len += job.len;
 
   const double pwrite_start = sim_.now();
+  const std::uint64_t submit_ns = now_ns();
   co_await sim_.delay(cal_.crfs_chunk_overhead * static_cast<double>(run.size()));
   co_await backend_.write_call(node_, run.front().file, run.front().offset, run_len,
                                /*via_crfs=*/true);
-  sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now());
+  // Causal chain mirror of complete_run: retro-record queue and submit
+  // spans from the stamps the jobs carry, then the device span, all under
+  // the jobs' trace ids.
+  for (const Job& job : run) {
+    if (job.enqueue_ns != 0 && dequeue_now > job.enqueue_ns) {
+      sim_.trace_complete("queue", io_lane(worker),
+                          static_cast<double>(job.enqueue_ns) / 1e9,
+                          static_cast<double>(dequeue_now) / 1e9, job.trace_id);
+    }
+    if (submit_ns > dequeue_now) {
+      sim_.trace_complete("submit", io_lane(worker),
+                          static_cast<double>(dequeue_now) / 1e9,
+                          static_cast<double>(submit_ns) / 1e9, job.trace_id);
+    }
+  }
+  sim_.trace_complete("pwrite", io_lane(worker), pwrite_start, sim_.now(),
+                      run.front().trace_id);
   h_pwrite_->record(static_cast<std::uint64_t>((sim_.now() - pwrite_start) * 1e9));
   c_pwrite_bytes_->add(run_len);
 
   // Mirror of IoThreadPool::complete_run's ledger attribution: the
-  // backend call goes to the run's leading epoch, durability per job.
+  // backend call goes to the run's leading epoch, durability per job;
+  // submit-wait and device time are charged once per run.
   const std::uint64_t t_done = now_ns();
   if (run.front().epoch != nullptr) {
-    run.front().epoch->backend_writes.fetch_add(1, std::memory_order_relaxed);
+    obs::EpochState& ep = *run.front().epoch;
+    ep.backend_writes.fetch_add(1, std::memory_order_relaxed);
+    if (submit_ns > dequeue_now) {
+      ep.submit_wait_ns.fetch_add(submit_ns - dequeue_now, std::memory_order_relaxed);
+    }
+    if (t_done > submit_ns) {
+      ep.device_ns.fetch_add(t_done - submit_ns, std::memory_order_relaxed);
+    }
   }
   for (const Job& job : run) {
     const std::uint64_t lag =
@@ -300,6 +355,35 @@ Task CrfsSimNode::write_run(std::vector<Job> run, std::uint64_t dequeue_now,
     if (job.born_ns != 0) h_lag_->record(lag);
     if (job.epoch != nullptr) {
       job.epoch->record_chunk_durable(job.len, lag, residency);
+    }
+    const std::uint64_t device =
+        t_done > submit_ns ? t_done - submit_ns : 0;
+    if (slow_.over_threshold(lag, device)) {
+      // Same exemplar shape as the real IO pool, on virtual time; two
+      // replays of one workload capture byte-identical chains.
+      obs::SlowExemplar ex;
+      ex.trace_id = job.trace_id;
+      ex.path = "sim/file" + std::to_string(job.file);
+      ex.offset = job.offset;
+      ex.len = job.len;
+      ex.born_ns = job.born_ns;
+      ex.enqueue_ns = job.enqueue_ns;
+      ex.dequeue_ns = dequeue_now;
+      ex.submit_ns = submit_ns;
+      ex.durable_ns = t_done;
+      ex.pool_stall_ns = job.stall_ns;
+      ex.fill_ns = job.born_ns != 0 && job.enqueue_ns > job.born_ns
+                       ? job.enqueue_ns - job.born_ns
+                       : 0;
+      ex.queue_ns = residency;
+      ex.submit_wait_ns = submit_ns > dequeue_now ? submit_ns - dequeue_now : 0;
+      ex.device_ns = device;
+      ex.total_lag_ns = lag;
+      ex.queue_depth = queue_.size();
+      ex.free_chunks = free_chunks_;
+      ex.knob_generation = knobs_.generation();
+      ex.engine = io_engine_name(config_.io_engine);
+      slow_.capture(std::move(ex));
     }
   }
 
@@ -331,6 +415,12 @@ Task CrfsSimNode::close_file(FileId file) {
     co_await st.completion->wait();
   }
   sim_.trace_complete("drain", app_lane(), drain_start, sim_.now());
+  // Critical-path mirror of Crfs::drain: the close/fsync barrier wait.
+  if (st.epoch != nullptr && sim_.now() > drain_start) {
+    st.epoch->barrier_ns.fetch_add(
+        static_cast<std::uint64_t>((sim_.now() - drain_start) * 1e9),
+        std::memory_order_relaxed);
+  }
   co_await backend_.close_file(node_, file, /*via_crfs=*/true);
   if (epochs_ != nullptr) {
     epochs_->on_close("sim/file" + std::to_string(file), now_ns());

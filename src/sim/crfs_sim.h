@@ -21,6 +21,7 @@
 #include "obs/epoch.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slow_store.h"
 #include "sim/backend_sim.h"
 
 namespace crfs::sim {
@@ -79,6 +80,14 @@ class CrfsSimNode {
   /// runs of the same workload produce byte-identical epochs_to_json().
   std::vector<obs::EpochRecord> epochs() const;
 
+  // -- Tail-latency forensics (virtual-time twin of Crfs::slow_store) -------
+  /// Slow-chunk exemplars on virtual nanoseconds. Trace ids come from the
+  /// node's own deterministic counter, so two runs of the same workload
+  /// produce byte-identical slow_json().
+  obs::SlowStore& slow_store() { return slow_; }
+  const obs::SlowStore& slow_store() const { return slow_; }
+  std::string slow_json() const { return slow_.to_json(); }
+
   /// Current virtual time as integer nanoseconds (the clock the epoch
   /// ledger and the mirrored histograms run on).
   std::uint64_t now_ns() const { return static_cast<std::uint64_t>(sim_.now() * 1e9); }
@@ -101,6 +110,8 @@ class CrfsSimNode {
     std::uint64_t chunk_offset = 0;  ///< file offset of current chunk
     std::uint64_t chunk_fill = 0;
     std::uint64_t chunk_born_ns = 0; ///< virtual ns of first copy-in
+    std::uint64_t chunk_trace_id = 0;  ///< causal chain id of the current chunk
+    std::uint64_t chunk_stall_ns = 0;  ///< pool wait paid acquiring it
     std::uint64_t write_chunks = 0;
     std::uint64_t complete_chunks = 0;
     std::unique_ptr<Event> completion;
@@ -113,9 +124,11 @@ class CrfsSimNode {
     std::uint64_t offset = 0;
     std::uint64_t len = 0;
     /// Chunk-lifecycle ledger mirror: virtual-ns stamps and the epoch
-    /// captured at enqueue (mirror of WriteJob).
+    /// captured at enqueue (mirror of WriteJob + the chunk's causal id).
     std::uint64_t born_ns = 0;
     std::uint64_t enqueue_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t stall_ns = 0;
     std::shared_ptr<obs::EpochState> epoch;
   };
 
@@ -168,6 +181,12 @@ class CrfsSimNode {
   /// Epoch ledger on virtual time (nullptr when Config::epoch_tracking is
   /// off). Same EpochTracker as the real mount; only the clock differs.
   std::unique_ptr<obs::EpochTracker> epochs_;
+
+  /// Slow-exemplar store on virtual time (same SlowStore as the mount).
+  obs::SlowStore slow_;
+  /// Deterministic causal-id counter (mirror of Crfs::next_trace_id_; a
+  /// plain integer — the sim is single-threaded).
+  std::uint64_t next_trace_id_ = 1;
 
   /// Runtime knob plane (see knob_plane()).
   crfs::KnobPlane knobs_;

@@ -5,12 +5,12 @@
 namespace crfs::sim {
 
 void Simulation::trace_complete(const char* name, std::uint32_t tid, double start_s,
-                                double end_s) {
+                                double end_s, std::uint64_t trace_id, const char* tag) {
   if (!tracing_) return;
   if (end_s < start_s) end_s = start_s;
   // Virtual seconds -> the trace schema's nanosecond time base.
   trace_.record(name, tid, static_cast<std::uint64_t>(start_s * 1e9),
-                static_cast<std::uint64_t>((end_s - start_s) * 1e9));
+                static_cast<std::uint64_t>((end_s - start_s) * 1e9), trace_id, tag);
 }
 
 Status Simulation::export_trace(const std::string& path) const {

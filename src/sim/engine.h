@@ -135,8 +135,11 @@ class Simulation {
   bool tracing() const { return tracing_; }
 
   /// Records a completed span [start_s, end_s] (virtual seconds). `tid`
-  /// distinguishes lanes (e.g. simulated node or worker id).
-  void trace_complete(const char* name, std::uint32_t tid, double start_s, double end_s);
+  /// distinguishes lanes (e.g. simulated node or worker id). `trace_id`
+  /// attaches the causal chain id (0 = unattributed) and `tag` a static/
+  /// interned detail string, mirroring the real TraceRing slots.
+  void trace_complete(const char* name, std::uint32_t tid, double start_s, double end_s,
+                      std::uint64_t trace_id = 0, const char* tag = "");
 
   const std::vector<obs::TraceEvent>& trace_events() const { return trace_.events(); }
 

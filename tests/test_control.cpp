@@ -24,6 +24,7 @@
 #include "obs/health.h"
 #include "obs/json_lite.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/sampler.h"
 #include "sim/crfs_sim.h"
 #include "sim/engine.h"
@@ -233,7 +234,7 @@ TEST(CrfsTune, StatsJsonCarriesSchemaVersionAndControllerSection) {
   EXPECT_EQ((*decisions->array)[0].get("knob")->string, "pool_chunks");
   const auto* knobs = ctl->get("knob_plane")->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 6u);
+  EXPECT_EQ(knobs->array->size(), 7u);
 }
 
 // ----------------------------------------------- .crfs_tune control file
@@ -537,6 +538,55 @@ TEST(ControllerRules, WidenFiresOnRisingQueueWithHealthyBackend) {
   EXPECT_DOUBLE_EQ(decisions[0].to, 8.0);
   EXPECT_EQ(decisions[1].knob, "uring_depth");
   EXPECT_DOUBLE_EQ(decisions[1].to, 32.0);
+}
+
+// Prometheus exposition is a scrape endpoint: it must be readable while
+// the controller (or an operator) retunes knobs and the pipeline writes.
+// Runs under the TSan CI job — any knob-plane/registry/exposition data
+// race fails the suite there.
+TEST(ControlPlane, PrometheusScrapeRacesKnobRetunes) {
+  Config cfg = small_config();
+  cfg.sample_ms = 5;  // live sampler ticking alongside
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(), cfg);
+  ASSERT_TRUE(fs.ok());
+  Crfs& crfs = *fs.value();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    FuseShim shim(crfs, FuseOptions{});
+    std::vector<std::byte> record(64 * KiB, std::byte{1});
+    auto h = shim.open("scrape.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(h.ok());
+    for (std::size_t off = 0; off < 8 * MiB; off += record.size()) {
+      ASSERT_TRUE(shim.write(h.value(), record, off).ok());
+    }
+    ASSERT_TRUE(shim.close(h.value()).ok());
+    done.store(true);
+  });
+  std::thread tuner([&] {
+    // Hammer every hot-path-visible knob, including the slow-store
+    // threshold the IO completion path reads per chunk.
+    for (int i = 0; !done.load() || i < 16; ++i) {
+      (void)crfs.tune("io_batch", 1.0 + i % 4);
+      (void)crfs.tune("pool_chunks", 4.0 + i % 3);
+      (void)crfs.tune("slow_capture_ms", (i % 2) != 0 ? 1.0 : 1000.0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (i >= 1000) break;  // safety against a stuck writer
+    }
+  });
+  std::string last;
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    last = obs::to_prometheus(crfs.metrics().snapshot());
+    EXPECT_NE(last.find("crfs_"), std::string::npos);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+  tuner.join();
+  // The final exposition carries the knob gauges with legal values.
+  last = obs::to_prometheus(crfs.metrics().snapshot());
+  EXPECT_NE(last.find("crfs_knob_io_batch"), std::string::npos);
+  EXPECT_NE(last.find("crfs_knob_slow_capture_ms"), std::string::npos);
+  EXPECT_GT(crfs.knob_plane().generation(), 0u);
 }
 
 }  // namespace

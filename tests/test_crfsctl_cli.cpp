@@ -161,7 +161,7 @@ TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
 
   const std::vector<std::string> expected_top = {
       "controller", "epoch_open",     "epochs", "epochs_completed",
-      "events",     "mount",          "pipeline", "schema_version"};
+      "events",     "mount",          "pipeline", "schema_version", "slow"};
   EXPECT_EQ(object_keys(*parsed), expected_top);
   EXPECT_DOUBLE_EQ(parsed->get("schema_version")->number, 2.0);
 
@@ -213,8 +213,11 @@ TEST(CrfsctlCli, ReportJsonIsArrayOfEpochRecords) {
   const std::vector<std::string> expected = {"aggregation_ratio",
                                             "app_writes",
                                             "backend_writes",
+                                            "barrier_ns",
                                             "bytes",
                                             "chunks",
+                                            "copy_ns",
+                                            "device_ns",
                                             "durability_lag_max_ns",
                                             "durability_lag_mean_ns",
                                             "durability_lag_sum_ns",
@@ -230,6 +233,7 @@ TEST(CrfsctlCli, ReportJsonIsArrayOfEpochRecords) {
                                             "pool_stall_ns",
                                             "queue_residency_ns",
                                             "start_ns",
+                                            "submit_wait_ns",
                                             "wall_seconds"};
   for (const auto& rec : *parsed->array) {
     EXPECT_EQ(object_keys(rec), expected);
@@ -333,7 +337,7 @@ TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
   EXPECT_DOUBLE_EQ(parsed->get("generation")->number, 0.0);
   const auto* knobs = parsed->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 6u);
+  EXPECT_EQ(knobs->array->size(), 7u);
   const std::vector<std::string> knob_keys = {"max", "min", "name", "unit", "value"};
   for (const auto& k : *knobs->array) EXPECT_EQ(object_keys(k), knob_keys);
 }
@@ -378,8 +382,136 @@ TEST(CrfsctlCli, ControllerRunsTheLoopAndEmitsItsJson) {
 
 TEST(CrfsctlCli, BadMountOptionFailsCleanly) {
   const RunResult res = run_crfsctl("prom " + fresh_dir("bad") + " sample_ms=banana");
-  EXPECT_NE(res.exit_code, 0);
+  EXPECT_EQ(res.exit_code, 1);  // argument error, not unreachable/malformed
   EXPECT_NE(res.output.find("error"), std::string::npos);
+}
+
+// Exit-code contract: 3 = mount unreachable, 2 = malformed document,
+// 1 = bad arguments, 64 = usage. Scripts branch on these, so each class
+// must stay distinct.
+TEST(CrfsctlCli, ExitCodesDistinguishFailureClasses) {
+  const std::string missing = ::testing::TempDir() + "crfsctl_cli_no_such_dir_xyz";
+  std::filesystem::remove_all(missing);
+  EXPECT_EQ(run_crfsctl("stats " + missing + " --json").exit_code, 3);
+  EXPECT_EQ(run_crfsctl("knobs " + missing).exit_code, 3);
+  EXPECT_EQ(run_crfsctl("report " + missing).exit_code, 3);
+  EXPECT_EQ(run_crfsctl("slow " + missing).exit_code, 3);
+  // Malformed document (the postmortem parser) stays 2 — see
+  // PostmortemRejectsMissingOrForeignFiles.
+  EXPECT_EQ(run_crfsctl("nonsense-subcommand").exit_code, 64);
+  EXPECT_EQ(run_crfsctl("stats").exit_code, 64);
+}
+
+// `crfsctl slow --inject-slow` must always produce exemplars: the
+// throttled backend makes every chunk pwrite tens of ms while the armed
+// threshold is 5 ms. This is the acceptance check that an injected slow
+// pwrite yields a causal chain covering copy-in -> durable.
+TEST(CrfsctlCli, SlowInjectCapturesExemplarsWithFullChain) {
+  const RunResult res = run_crfsctl("slow " + fresh_dir("slow") +
+                                    " chunk=1M,pool=4M --inject-slow=64 --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+
+  const std::vector<std::string> expected_store = {"capacity", "captured",
+                                                   "exemplars", "threshold_ms"};
+  EXPECT_EQ(object_keys(*parsed), expected_store);
+  EXPECT_DOUBLE_EQ(parsed->get("threshold_ms")->number, 5.0);
+  const auto* exemplars = parsed->get("exemplars");
+  ASSERT_TRUE(exemplars != nullptr && exemplars->is_array());
+  ASSERT_GT(exemplars->array->size(), 0u) << res.output;
+
+  const std::vector<std::string> expected_ex = {
+      "born_ns",      "dequeue_ns",   "device_ns",        "durable_ns",
+      "engine",       "enqueue_ns",   "fill_ns",          "free_chunks",
+      "knob_generation", "len",       "offset",           "path",
+      "pool_stall_ns", "queue_depth", "queue_ns",         "submit_ns",
+      "submit_wait_ns", "total_lag_ns", "trace_id"};
+  for (const auto& ex : *exemplars->array) {
+    EXPECT_EQ(object_keys(ex), expected_ex);
+    // The causal chain covers copy-in -> durable with monotone stamps...
+    EXPECT_GT(ex.get("trace_id")->number, 0.0);
+    EXPECT_GT(ex.get("born_ns")->number, 0.0);
+    EXPECT_GE(ex.get("enqueue_ns")->number, ex.get("born_ns")->number);
+    EXPECT_GE(ex.get("dequeue_ns")->number, ex.get("enqueue_ns")->number);
+    EXPECT_GE(ex.get("submit_ns")->number, ex.get("dequeue_ns")->number);
+    EXPECT_GT(ex.get("durable_ns")->number, ex.get("submit_ns")->number);
+    // ...and the disjoint stages reassemble the total lag.
+    const double stages = ex.get("fill_ns")->number + ex.get("queue_ns")->number +
+                          ex.get("submit_wait_ns")->number +
+                          ex.get("device_ns")->number;
+    EXPECT_NEAR(stages, ex.get("total_lag_ns")->number,
+                ex.get("total_lag_ns")->number * 0.01 + 1000);
+    // The injected throttle is what made it slow: device dominates.
+    EXPECT_GE(ex.get("device_ns")->number, 5e6);
+  }
+
+  // The human rendering carries greppable SLOW lines and the chain table.
+  const RunResult human =
+      run_crfsctl("slow " + fresh_dir("slowh") + " chunk=1M,pool=4M --inject-slow=64");
+  ASSERT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("SLOW trace_id="), std::string::npos) << human.output;
+  EXPECT_NE(human.output.find("Device"), std::string::npos);
+}
+
+TEST(CrfsctlCli, SlowWithoutInjectionReportsEmptyStoreCleanly) {
+  // Default threshold is 1 s; a RAM-backed temp dir never crosses it.
+  const RunResult res = run_crfsctl("slow " + fresh_dir("slowempty"));
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("no slow exemplars captured"), std::string::npos)
+      << res.output;
+}
+
+TEST(CrfsctlCli, ReportPrintsCriticalPathStageLines) {
+  const RunResult res = run_crfsctl("report " + fresh_dir("stages"));
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  // One STAGES line per epoch with every stage field present.
+  EXPECT_NE(res.output.find("STAGES id=1 copy_ns="), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("STAGES id=2 copy_ns="), std::string::npos);
+  for (const char* field : {"pool_stall_ns=", "queue_ns=", "submit_wait_ns=",
+                            "device_ns=", "barrier_ns="}) {
+    EXPECT_NE(res.output.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(res.output.find("critical path"), std::string::npos);
+}
+
+TEST(CrfsctlCli, TraceFiltersNarrowTheExportedDocument) {
+  const std::string dir = fresh_dir("tracef");
+  const auto span_count = [&](const std::string& args, const std::string& out) {
+    const RunResult res = run_crfsctl("trace " + dir + " " + out + " " + args);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    std::string content;
+    std::FILE* f = std::fopen(out.c_str(), "r");
+    if (f == nullptr) return static_cast<std::size_t>(0);
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+    std::fclose(f);
+    auto parsed = obs::json::parse(content);
+    if (!parsed.has_value() || parsed->get("traceEvents") == nullptr) {
+      return static_cast<std::size_t>(0);
+    }
+    return parsed->get("traceEvents")->array->size();
+  };
+  const std::size_t all = span_count("", dir + "/all.json");
+  ASSERT_GT(all, 0u);
+  // One lane is a strict subset of the whole capture.
+  const std::size_t lane = span_count("--thread=0", dir + "/lane.json");
+  EXPECT_GT(lane, 0u);
+  EXPECT_LT(lane, all);
+  // A file-substring filter keeps only tagged spans (IO-side stages carry
+  // the interned path; rank3 excludes rank0..2's spans).
+  const std::size_t file = span_count("--file=rank3", dir + "/file.json");
+  EXPECT_GT(file, 0u);
+  EXPECT_LT(file, all);
+  // A generous trailing window keeps everything; the flag must parse.
+  const std::size_t recent = span_count("--since-ms=600000", dir + "/recent.json");
+  EXPECT_GT(recent, 0u);
+  EXPECT_LE(recent, all);
+  // A bad filter value is an argument error.
+  EXPECT_EQ(run_crfsctl("trace " + dir + " " + dir + "/bad.json --since-ms=banana")
+                .exit_code,
+            1);
 }
 
 }  // namespace

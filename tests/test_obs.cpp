@@ -6,10 +6,13 @@
 // when Config::enable_tracing is set.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/mem_backend.h"
@@ -24,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/prom.h"
 #include "obs/sampler.h"
+#include "obs/slow_store.h"
 #include "obs/trace.h"
 #include "sim/crfs_sim.h"
 #include "sim/engine.h"
@@ -1079,6 +1083,255 @@ TEST(SimTrace, VirtualTimeSpansShareTheSchema) {
   sim::Simulation quiet;
   quiet.trace_complete("write", 0, 0.0, 1.0);
   EXPECT_TRUE(quiet.trace_events().empty());
+}
+
+// ------------------------------------------------- causal trace chains
+
+TEST(CausalTrace, ChunkChainStitchesAcrossThreads) {
+  auto fs = run_checkpoint(/*tracing=*/true);
+  const auto events = fs->trace().snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Group spans by causal id: every traced chunk must show its app-side
+  // birth ("write", recorded by the writer thread) and its IO-side
+  // stages ("queue"/"submit"/"pwrite", retro-recorded by the worker) —
+  // the cross-thread stitch is exactly these ids matching.
+  std::unordered_map<std::uint64_t, std::vector<std::string>> chains;
+  for (const auto& ev : events) {
+    if (ev.trace_id != 0) chains[ev.trace_id].emplace_back(ev.name);
+  }
+  ASSERT_FALSE(chains.empty());
+  bool full_chain = false;
+  bool io_side = false;
+  for (const auto& [id, names] : chains) {
+    const auto has = [&](const char* n) {
+      return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    if (has("queue")) io_side = true;
+    if (has("write") && has("queue") && has("pwrite")) full_chain = true;
+  }
+  EXPECT_TRUE(io_side);
+  EXPECT_TRUE(full_chain);
+
+  // IO-side spans carry the interned file path as their tag.
+  bool tagged = false;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "pwrite" && ev.tag != nullptr &&
+        std::string(ev.tag).find("rank") != std::string::npos) {
+      tagged = true;
+    }
+  }
+  EXPECT_TRUE(tagged);
+
+  // Ids are attached to the Chrome export as span args.
+  const std::string json = obs::to_chrome_json(events);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+}
+
+TEST(TraceCollector, DroppedCountsOverwrittenSpans) {
+  obs::TraceCollector collector(/*ring_capacity=*/8);
+  collector.set_enabled(true);
+  obs::TraceRing& ring = collector.ring();
+  for (std::uint64_t i = 0; i < 20; ++i) ring.record("x", i, 1);
+  EXPECT_EQ(collector.dropped(), 12u);  // 20 recorded, 8 retained
+  EXPECT_EQ(collector.snapshot().size(), 8u);
+}
+
+// --------------------------------------------- tail-latency forensics
+
+TEST(SlowStore, ThresholdGateAndBoundedRing) {
+  obs::SlowStore store(/*capacity=*/2, /*threshold_ns=*/1'000'000);
+  EXPECT_FALSE(store.over_threshold(999'999, 0));
+  EXPECT_TRUE(store.over_threshold(1'000'000, 0));       // lag trips it
+  EXPECT_TRUE(store.over_threshold(0, 2'000'000));       // pwrite time trips it
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    obs::SlowExemplar ex;
+    ex.trace_id = id;
+    ex.path = "f" + std::to_string(id);
+    store.capture(std::move(ex));
+  }
+  EXPECT_EQ(store.size(), 2u);       // bounded: oldest evicted
+  EXPECT_EQ(store.captured(), 3u);   // lifetime total survives eviction
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.front().trace_id, 2u);
+  EXPECT_EQ(snap.back().trace_id, 3u);
+
+  // 0 disables the gate entirely.
+  store.set_threshold_ns(0);
+  EXPECT_FALSE(store.over_threshold(~std::uint64_t{0}, ~std::uint64_t{0}));
+
+  auto doc = obs::json::parse(store.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->get("capacity")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc->get("captured")->number, 3.0);
+  ASSERT_NE(doc->get("exemplars"), nullptr);
+  EXPECT_EQ(doc->get("exemplars")->array->size(), 2u);
+}
+
+TEST(SlowStoreMount, ThrottledBackendCapturesFullCausalChain) {
+  // 16 MiB/s backend: each 256 KiB chunk pwrite takes ~16 ms against a
+  // 5 ms capture threshold, so every chunk becomes an exemplar. Tracing
+  // is on so the exemplar ids can be matched against the span chains.
+  Config cfg;
+  cfg.chunk_size = 256 * KiB;
+  cfg.pool_size = 1 * MiB;
+  cfg.io_threads = 1;
+  cfg.enable_tracing = true;
+  cfg.slow_capture_ms = 5;
+  auto fs = Crfs::mount(
+      std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(), 16.0 * MiB),
+      cfg);
+  ASSERT_TRUE(fs.ok());
+  {
+    FuseShim shim(*fs.value(), FuseOptions{});
+    auto h = shim.open("slow.ckpt", {.create = true, .truncate = true, .write = true});
+    ASSERT_TRUE(h.ok());
+    std::vector<std::byte> record(64 * KiB, std::byte{7});
+    for (std::size_t off = 0; off < MiB; off += record.size()) {
+      ASSERT_TRUE(shim.write(h.value(), record, off).ok());
+    }
+    ASSERT_TRUE(shim.fsync(h.value()).ok());
+    ASSERT_TRUE(shim.close(h.value()).ok());
+  }
+
+  const auto exemplars = fs.value()->slow_store().snapshot();
+  ASSERT_FALSE(exemplars.empty());
+  for (const auto& ex : exemplars) {
+    EXPECT_GT(ex.trace_id, 0u);
+    EXPECT_EQ(ex.path, "slow.ckpt");
+    // Monotone stamp chain, copy-in -> durable.
+    EXPECT_GT(ex.born_ns, 0u);
+    EXPECT_GE(ex.enqueue_ns, ex.born_ns);
+    EXPECT_GE(ex.dequeue_ns, ex.enqueue_ns);
+    EXPECT_GE(ex.submit_ns, ex.dequeue_ns);
+    EXPECT_GT(ex.durable_ns, ex.submit_ns);
+    // Disjoint stages telescope back to the total lag.
+    EXPECT_EQ(ex.fill_ns + ex.queue_ns + ex.submit_wait_ns + ex.device_ns,
+              ex.total_lag_ns);
+    EXPECT_GE(ex.fill_ns, ex.pool_stall_ns);  // fill = stall + copy residency
+    EXPECT_GE(ex.device_ns, 5'000'000u);      // the throttle is the culprit
+    EXPECT_EQ(ex.engine, std::string(fs.value()->active_io_engine()));
+  }
+
+  // The exemplar ids resolve against the span chains: the same id appears
+  // on the app-side "write" span and the worker-side "queue" span.
+  const auto events = fs.value()->trace().snapshot();
+  std::unordered_map<std::uint64_t, std::vector<std::string>> chains;
+  for (const auto& ev : events) {
+    if (ev.trace_id != 0) chains[ev.trace_id].emplace_back(ev.name);
+  }
+  bool stitched = false;
+  for (const auto& ex : exemplars) {
+    auto it = chains.find(ex.trace_id);
+    if (it == chains.end()) continue;
+    const auto has = [&](const char* n) {
+      return std::find(it->second.begin(), it->second.end(), n) != it->second.end();
+    };
+    if (has("write") && has("queue")) stitched = true;
+  }
+  EXPECT_TRUE(stitched);
+
+  // Self-health surfaces: lifetime capture counter and occupancy gauge.
+  const auto snap = fs.value()->metrics().snapshot();
+  std::uint64_t captured = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "crfs.slow.captured") captured = v;
+  }
+  EXPECT_EQ(captured, fs.value()->slow_store().captured());
+  bool saw_gauge = false;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "crfs.slow.exemplars") {
+      saw_gauge = true;
+      EXPECT_EQ(static_cast<std::size_t>(v), exemplars.size());
+    }
+    if (name == "crfs.trace.dropped_spans") EXPECT_GE(v, 0);
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  // And the store is part of the stats_json schema.
+  auto doc = obs::json::parse(fs.value()->stats_json());
+  ASSERT_TRUE(doc.has_value());
+  const auto* slow = doc->get("slow");
+  ASSERT_TRUE(slow != nullptr && slow->is_object());
+  EXPECT_GT(slow->get("exemplars")->array->size(), 0u);
+}
+
+// ------------------------------------------ sim mirror: slow exemplars
+
+struct SimSlowRun {
+  std::string slow_json;
+  std::vector<obs::SlowExemplar> exemplars;
+  std::vector<obs::EpochRecord> epochs;
+};
+
+SimSlowRun run_sim_slow_checkpoint() {
+  sim::Simulation sim;
+  sim::Calibration cal;
+  FixedRateBackend backend(sim, 1.0 * MiB);  // 1 MiB chunk = 1 virtual second
+  Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 4 * MiB;
+  cfg.io_threads = 1;
+  cfg.slow_capture_ms = 100;  // every 1 s device write trips it
+  sim::CrfsSimNode node(sim, cal, backend, /*node=*/0, cfg, FuseOptions{}, /*ppn=*/1);
+  node.epoch_begin("sim-ckpt");
+  node.start();
+  sim.spawn(drive_sim_checkpoint(node, 4 * MiB));
+  sim.run();
+  node.epoch_end();
+  return {node.slow_json(), node.slow_store().snapshot(), node.epochs()};
+}
+
+TEST(SimSlowExemplars, DeterministicChainsAreByteIdenticalAcrossReplays) {
+  const SimSlowRun a = run_sim_slow_checkpoint();
+  ASSERT_FALSE(a.exemplars.empty());
+  for (const auto& ex : a.exemplars) {
+    EXPECT_GT(ex.trace_id, 0u);
+    EXPECT_GE(ex.enqueue_ns, ex.born_ns);
+    EXPECT_GE(ex.dequeue_ns, ex.enqueue_ns);
+    EXPECT_GE(ex.submit_ns, ex.dequeue_ns);
+    EXPECT_GT(ex.durable_ns, ex.submit_ns);
+    EXPECT_EQ(ex.fill_ns + ex.queue_ns + ex.submit_wait_ns + ex.device_ns,
+              ex.total_lag_ns);
+    EXPECT_GE(ex.device_ns, 900'000'000u);  // ~1 virtual second per chunk
+  }
+  // Byte-identical replay: same workload, same virtual clock, same ids.
+  const SimSlowRun b = run_sim_slow_checkpoint();
+  EXPECT_EQ(a.slow_json, b.slow_json);
+}
+
+TEST(SimEpochStages, CriticalPathDecompositionTracksWallTime) {
+  // Single-chunk epoch on one worker: the chunk's stages are the epoch's
+  // critical path, so copy + stall + queue + submit + device must land
+  // within 5% of the epoch's wall time (the §IV-C barrier overlaps the
+  // device stage and is reported beside the sum, not inside it).
+  sim::Simulation sim;
+  sim::Calibration cal;
+  FixedRateBackend backend(sim, 1.0 * MiB);
+  Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 4 * MiB;
+  cfg.io_threads = 1;
+  sim::CrfsSimNode node(sim, cal, backend, /*node=*/0, cfg, FuseOptions{}, /*ppn=*/1);
+  node.epoch_begin("one-chunk");
+  node.start();
+  sim.spawn(drive_sim_checkpoint(node, 1 * MiB));
+  sim.run();
+  node.epoch_end();
+
+  const auto records = node.epochs();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::EpochRecord& rec = records.front();
+  EXPECT_EQ(rec.chunks, 1u);
+  const double wall_ns = static_cast<double>(rec.end_ns - rec.start_ns);
+  ASSERT_GT(wall_ns, 0.0);
+  const double stage_sum =
+      static_cast<double>(rec.copy_ns + rec.pool_stall_ns + rec.queue_residency_ns +
+                          rec.submit_wait_ns + rec.device_ns);
+  EXPECT_NEAR(stage_sum, wall_ns, wall_ns * 0.05);
+  EXPECT_GT(rec.device_ns, 900'000'000u);  // the 1 s backend write dominates
+  EXPECT_GT(rec.barrier_ns, 0u);           // close blocked on the §IV-C drain
 }
 
 }  // namespace
