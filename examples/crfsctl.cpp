@@ -324,7 +324,12 @@ int cmd_slow(int argc, char** argv) {
   }
   std::shared_ptr<BackendFs> shared = std::move(backend.value());
   if (inject_mbps > 0) {
-    shared = std::make_shared<ThrottledBackend>(std::move(shared), inject_mbps * 1e6);
+    auto throttled =
+        std::make_shared<ThrottledBackend>(std::move(shared), inject_mbps * 1e6);
+    // Throttle the read-back scan too, so the demo captures both kinds of
+    // exemplar (slow chunk writes AND slow restore reads).
+    throttled->throttle_reads(true);
+    shared = std::move(throttled);
     // Throttled transfers are tens of ms per chunk; arm a threshold that
     // catches them unless the caller chose one explicitly.
     if (opts.value().config.slow_capture_ms == Config{}.slow_capture_ms) {
@@ -357,6 +362,18 @@ int cmd_slow(int argc, char** argv) {
       });
     }
     for (auto& t : ranks) t.join();
+
+    // Restore-shaped read-back of rank 0's image: a sequential scan whose
+    // chunk-sized prefetch reads cross the same throttle, so the store
+    // captures kind="read" exemplars beside the write chains.
+    auto h = shim.open(".crfsctl_slow_rank0", {.write = false});
+    if (h.ok()) {
+      std::vector<std::byte> buf(kRecord);
+      for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+        (void)shim.read(h.value(), buf, off);
+      }
+      (void)shim.close(h.value());
+    }
   }
   for (unsigned r = 0; r < kRanks; ++r) {
     (void)fs.value()->unlink(".crfsctl_slow_rank" + std::to_string(r));
@@ -382,13 +399,14 @@ int cmd_slow(int argc, char** argv) {
     return 0;
   }
   for (const auto& ex : exemplars) {
-    std::printf("SLOW trace_id=%llu path=%s len=%llu total_ms=%.2f device_ms=%.2f\n",
-                static_cast<unsigned long long>(ex.trace_id), ex.path.c_str(),
-                static_cast<unsigned long long>(ex.len),
-                static_cast<double>(ex.total_lag_ns) / 1e6,
-                static_cast<double>(ex.device_ns) / 1e6);
+    std::printf(
+        "SLOW trace_id=%llu kind=%s path=%s len=%llu total_ms=%.2f device_ms=%.2f\n",
+        static_cast<unsigned long long>(ex.trace_id), ex.kind.c_str(), ex.path.c_str(),
+        static_cast<unsigned long long>(ex.len),
+        static_cast<double>(ex.total_lag_ns) / 1e6,
+        static_cast<double>(ex.device_ns) / 1e6);
   }
-  TextTable table({"Trace", "Path", "Len", "Stall", "Fill", "Queue", "Submit",
+  TextTable table({"Trace", "Kind", "Path", "Len", "Stall", "Fill", "Queue", "Submit",
                    "Device", "Total", "Qdepth", "Free", "Gen"});
   const auto ms = [](std::uint64_t ns) {
     char buf[32];
@@ -396,7 +414,7 @@ int cmd_slow(int argc, char** argv) {
     return std::string(buf);
   };
   for (const auto& ex : exemplars) {
-    table.add_row({std::to_string(ex.trace_id), ex.path, format_bytes(ex.len),
+    table.add_row({std::to_string(ex.trace_id), ex.kind, ex.path, format_bytes(ex.len),
                    ms(ex.pool_stall_ns), ms(ex.fill_ns), ms(ex.queue_ns),
                    ms(ex.submit_wait_ns), ms(ex.device_ns), ms(ex.total_lag_ns),
                    std::to_string(ex.queue_depth), std::to_string(ex.free_chunks),
@@ -497,6 +515,26 @@ int cmd_report(int argc, char** argv) {
       for (auto& t : ranks) t.join();
       (void)fs.value()->epoch_end();
     }
+
+    // Restore phase: scan the last checkpoint back, one sequential reader
+    // per rank image — each scan becomes a finalized restore-ledger row.
+    {
+      std::vector<std::thread> ranks;
+      for (unsigned r = 0; r < kRanks; ++r) {
+        ranks.emplace_back([&, r] {
+          const std::string path = ".crfsctl_report_rank" + std::to_string(r) +
+                                   ".ckpt." + std::to_string(kEpochs - 1);
+          std::vector<std::byte> buf(kRecord);
+          auto h = shim.open(path, {.write = false});
+          if (!h.ok()) return;
+          for (std::size_t off = 0; off < kPerRank; off += kRecord) {
+            (void)shim.read(h.value(), buf, off);
+          }
+          (void)shim.close(h.value());
+        });
+      }
+      for (auto& t : ranks) t.join();
+    }
   }
   for (unsigned e = 0; e < kEpochs; ++e) {
     for (unsigned r = 0; r < kRanks; ++r) {
@@ -568,6 +606,31 @@ int cmd_report(int argc, char** argv) {
                     ms(rec.submit_wait_ns), ms(rec.device_ns), ms(rec.barrier_ns)});
   }
   std::printf("%s", stages.render().c_str());
+
+  // Per-restore attribution: the read-side mirror of the epoch ledger —
+  // one row per sequential scan, greppable as RESTORE lines.
+  const auto restores = fs.value()->restore_ledger();
+  if (!restores.empty()) {
+    std::printf("restores (read_engine=%s):\n", fs.value()->active_read_engine());
+    TextTable rt({"Path", "Bytes", "Ops", "Issued", "Hits", "Wasted", "Sync", "TTFB"});
+    for (const auto& r : restores) {
+      std::printf("RESTORE path=%s bytes=%llu ops=%llu prefetch_issued=%llu "
+                  "prefetch_hits=%llu prefetch_wasted=%llu sync_preads=%llu "
+                  "ttfb_ns=%llu\n",
+                  r.path.c_str(), static_cast<unsigned long long>(r.bytes),
+                  static_cast<unsigned long long>(r.ops),
+                  static_cast<unsigned long long>(r.prefetch_issued),
+                  static_cast<unsigned long long>(r.prefetch_hits),
+                  static_cast<unsigned long long>(r.prefetch_wasted),
+                  static_cast<unsigned long long>(r.sync_preads),
+                  static_cast<unsigned long long>(r.ttfb_ns));
+      rt.add_row({r.path, format_bytes(r.bytes), std::to_string(r.ops),
+                  std::to_string(r.prefetch_issued), std::to_string(r.prefetch_hits),
+                  std::to_string(r.prefetch_wasted), std::to_string(r.sync_preads),
+                  ms(r.ttfb_ns)});
+    }
+    std::printf("%s", rt.render().c_str());
+  }
   return 0;
 }
 

@@ -8,8 +8,9 @@
 # bypass racing queued chunks, concurrent streams over both engines), and
 # test_control (knob-plane snapshot publication racing tunes, the
 # controller ticking on a real sampler thread while other threads read
-# the decision log). Any data-race report fails the run (TSan exits
-# non-zero).
+# the decision log), and test_read_path (readahead prefetcher racing
+# appending writers, flush-before-read barriers under concurrent reads).
+# Any data-race report fails the run (TSan exits non-zero).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +19,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-2}
 
 cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control test_read_path
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs
@@ -28,5 +29,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_epoch_ledger --gtest_filter='-PostmortemDeathTest.*'
 "$BUILD_DIR"/tests/test_io_engine
 "$BUILD_DIR"/tests/test_control
+"$BUILD_DIR"/tests/test_read_path
 
 echo "TSan: clean"

@@ -52,6 +52,12 @@ struct BackendIoVec {
   std::size_t len = 0;
 };
 
+/// One segment of a vectored read (mutable destination buffer).
+struct BackendMutIoVec {
+  std::byte* data = nullptr;
+  std::size_t len = 0;
+};
+
 /// Abstract backend filesystem. All methods are thread-safe: CRFS calls
 /// them concurrently from application threads and IO-pool threads.
 class BackendFs {
@@ -97,6 +103,26 @@ class BackendFs {
   /// (0 at/after EOF).
   virtual Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,
                                     std::uint64_t offset) = 0;
+
+  /// Fills the segments contiguously starting at `offset` (like ::preadv);
+  /// returns total bytes read, which is short only at EOF. The default
+  /// forwards segment by segment through pread(), so decorating backends
+  /// (FaultyBackend, ThrottledBackend) keep their per-read behaviour;
+  /// backends with a cheaper native path override it.
+  virtual Result<std::size_t> preadv(BackendFile file,
+                                     std::span<const BackendMutIoVec> iov,
+                                     std::uint64_t offset) {
+    std::uint64_t off = offset;
+    std::size_t total = 0;
+    for (const auto& seg : iov) {
+      auto r = pread(file, {seg.data, seg.len}, off);
+      if (!r.ok()) return r;
+      total += r.value();
+      if (r.value() < seg.len) break;  // EOF
+      off += seg.len;
+    }
+    return total;
+  }
 
   /// Flushes file data (and metadata) to stable storage.
   virtual Status fsync(BackendFile file) = 0;

@@ -116,6 +116,27 @@ Result<std::size_t> PosixBackend::pread(BackendFile file, std::span<std::byte> d
   return total;
 }
 
+Result<std::size_t> PosixBackend::preadv(BackendFile file,
+                                         std::span<const BackendMutIoVec> iov,
+                                         std::uint64_t offset) {
+  if (iov.size() > static_cast<std::size_t>(IOV_MAX)) {
+    return BackendFs::preadv(file, iov, offset);
+  }
+  std::vector<struct iovec> vecs(iov.size());
+  for (std::size_t i = 0; i < iov.size(); ++i) {
+    vecs[i].iov_base = iov[i].data;
+    vecs[i].iov_len = iov[i].len;
+  }
+  std::size_t nread = 0;
+  const int err = posix_detail::preadv_all(
+      vecs, static_cast<off_t>(offset), &nread,
+      [fd = static_cast<int>(file)](struct iovec* v, int cnt, off_t off) {
+        return ::preadv(fd, v, cnt, off);
+      });
+  if (err != 0) return Error{err, "preadv"};
+  return nread;
+}
+
 Status PosixBackend::fsync(BackendFile file) {
   if (::fsync(static_cast<int>(file)) != 0) return Error::from_errno("fsync");
   return {};

@@ -32,6 +32,9 @@ class PosixBackend final : public BackendFs {
   int raw_fd(BackendFile file) const override { return static_cast<int>(file); }
   Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,
                             std::uint64_t offset) override;
+  /// Native ::preadv — one syscall to fill a run of chunk buffers.
+  Result<std::size_t> preadv(BackendFile file, std::span<const BackendMutIoVec> iov,
+                             std::uint64_t offset) override;
   Status fsync(BackendFile file) override;
   Status truncate(BackendFile file, std::uint64_t size) override;
 

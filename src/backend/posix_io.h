@@ -46,4 +46,39 @@ int pwritev_all(std::vector<struct iovec>& vecs, off_t off, WriteFn&& fn) {
   return 0;
 }
 
+/// Read-side mirror of pwritev_all: drives `fn` (a ::preadv-shaped
+/// callable: (iovec*, count, offset) -> ssize_t, errno on failure) until
+/// every byte of `vecs` has been filled contiguously starting at `off`
+/// or EOF is hit. Retries EINTR and resumes after short reads the same
+/// way; unlike the write side, a 0-byte result is legitimate (EOF) and
+/// ends the loop. `vecs` is consumed. Returns 0 on success/EOF (with
+/// `*nread` = bytes actually read) or the failing errno.
+template <typename ReadFn>
+int preadv_all(std::vector<struct iovec>& vecs, off_t off, std::size_t* nread,
+               ReadFn&& fn) {
+  *nread = 0;
+  std::size_t idx = 0;  // first segment not fully filled yet
+  while (idx < vecs.size()) {
+    const ssize_t n = fn(vecs.data() + idx, static_cast<int>(vecs.size() - idx), off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    if (n == 0) return 0;  // EOF: report what we have
+    off += n;
+    *nread += static_cast<std::size_t>(n);
+    // Advance past fully filled segments; trim a partially filled one.
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (idx < vecs.size() && remaining >= vecs[idx].iov_len) {
+      remaining -= vecs[idx].iov_len;
+      ++idx;
+    }
+    if (idx < vecs.size() && remaining > 0) {
+      vecs[idx].iov_base = static_cast<char*>(vecs[idx].iov_base) + remaining;
+      vecs[idx].iov_len -= remaining;
+    }
+  }
+  return 0;
+}
+
 }  // namespace crfs::posix_detail

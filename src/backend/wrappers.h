@@ -69,7 +69,10 @@ class FaultyBackend final : public BackendFs {
 };
 
 /// Rate-limits pwrite to `bytes_per_second` with `per_op_latency` added to
-/// every write, emulating a slow/remote backend in real time.
+/// every write, emulating a slow/remote backend in real time. Reads pass
+/// through untouched unless throttle_reads(true) — restore benches use
+/// that to make the cold-read scan feel a slow device while the existing
+/// write-side demos keep their fast passthrough reads.
 class ThrottledBackend final : public BackendFs {
  public:
   ThrottledBackend(std::shared_ptr<BackendFs> inner, double bytes_per_second,
@@ -78,17 +81,19 @@ class ThrottledBackend final : public BackendFs {
         bytes_per_second_(bytes_per_second),
         per_op_latency_(per_op_latency) {}
 
+  /// Applies the same bandwidth cap + per-op latency to pread/preadv.
+  void throttle_reads(bool on) { throttle_reads_.store(on, std::memory_order_relaxed); }
+
   Result<BackendFile> open_file(const std::string& path, OpenFlags flags) override {
     return inner_->open_file(path, flags);
   }
   Status close_file(BackendFile f) override { return inner_->close_file(f); }
   Status pwrite(BackendFile f, std::span<const std::byte> d, std::uint64_t off) override {
-    const auto transfer = std::chrono::duration<double>(
-        static_cast<double>(d.size()) / bytes_per_second_);
-    std::this_thread::sleep_for(per_op_latency_ + transfer);
+    delay(d.size());
     return inner_->pwrite(f, d, off);
   }
   Result<std::size_t> pread(BackendFile f, std::span<std::byte> d, std::uint64_t off) override {
+    if (throttle_reads_.load(std::memory_order_relaxed)) delay(d.size());
     return inner_->pread(f, d, off);
   }
   Status fsync(BackendFile f) override { return inner_->fsync(f); }
@@ -106,9 +111,16 @@ class ThrottledBackend final : public BackendFs {
   std::string name() const override { return "throttled(" + inner_->name() + ")"; }
 
  private:
+  void delay(std::size_t bytes) {
+    const auto transfer =
+        std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_second_);
+    std::this_thread::sleep_for(per_op_latency_ + transfer);
+  }
+
   std::shared_ptr<BackendFs> inner_;
   double bytes_per_second_;
   std::chrono::microseconds per_op_latency_;
+  std::atomic<bool> throttle_reads_{false};
 };
 
 }  // namespace crfs

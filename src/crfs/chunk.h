@@ -97,6 +97,16 @@ class Chunk {
   /// The valid buffered bytes, for the IO thread's backend pwrite.
   std::span<const std::byte> payload() const { return {storage_, fill_}; }
 
+  /// Writable view of the whole backing allocation: the read pipeline
+  /// fills pool chunks from the backend (prefetch) instead of from the
+  /// application, then marks the valid prefix with set_fill().
+  std::span<std::byte> mutable_storage() { return {storage_, capacity_}; }
+
+  /// Marks the first `n` bytes valid after an engine-side fill (clamped
+  /// to capacity). Pairs with mutable_storage(); append() is the
+  /// write-path way to advance fill.
+  void set_fill(std::size_t n) { fill_ = n < capacity_ ? n : capacity_; }
+
  private:
   std::size_t capacity_;
   std::byte* storage_;

@@ -82,6 +82,20 @@ struct Config {
   /// that exact behaviour. Default true: least surprise for general use.
   bool flush_before_read = true;
 
+  /// Restart-side sequential readahead (docs/PERFORMANCE.md "Read path
+  /// and restore"): when a file's reads form a forward scan, keep up to
+  /// `readahead_window` chunk-sized reads in flight through a dedicated
+  /// read engine (same sync/uring choice as io_engine), parking the
+  /// results in pool-backed cache slots. Runtime-tunable via the
+  /// `readahead` knob. Mount option `readahead` / `no_readahead`.
+  bool readahead = true;
+
+  /// Max chunk reads kept in flight ahead of a sequential reader (also
+  /// bounded by the read engine's ring depth and by free pool chunks —
+  /// prefetch never blocks checkpoint writers). Runtime-tunable via the
+  /// `readahead_window` knob. Mount option `readahead_window=N`.
+  unsigned readahead_window = 4;
+
   /// Observability (docs/OBSERVABILITY.md). Counters and per-stage latency
   /// histograms (the crfs.* registry) are always on — their hot-path cost
   /// is a handful of relaxed atomics per write. `enable_tracing`
@@ -201,6 +215,9 @@ struct Config {
     if (uring_depth == 0 || uring_depth > 4096) {
       return Error{EINVAL, "uring_depth must be in [1, 4096]"};
     }
+    if (readahead_window == 0 || readahead_window > 1024) {
+      return Error{EINVAL, "readahead_window must be in [1, 1024]"};
+    }
     if (enable_tracing && trace_ring_events == 0) {
       return Error{EINVAL, "trace_ring_events must be > 0 when tracing"};
     }
@@ -244,6 +261,9 @@ struct Config {
                 ? " io_engine=uring(depth=" + std::to_string(uring_depth) + ")"
                 : "") +
            (!large_write_bypass ? " no_bypass" : "") +
+           (!readahead ? " no_readahead" : "") +
+           (readahead_window != 4 ? " readahead_window=" + std::to_string(readahead_window)
+                                  : "") +
            (enable_tracing ? " tracing=on" : "") +
            (sample_ms > 0 ? " sample_ms=" + std::to_string(sample_ms) : "") +
            (slow_capture_ms != 1000

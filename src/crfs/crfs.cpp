@@ -118,6 +118,49 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
       IoEngineOptions{.requested = cfg_.io_engine, .uring_depth = cfg_.uring_depth},
       pool_->chunk_regions());
 
+  // Restore-side read pipeline (docs/PERFORMANCE.md "Read path and
+  // restore"): its own engine instance so restore reads never compete with
+  // checkpoint SQEs for ring slots, same engine kind and fallback rules.
+  ReadObs read_obs;
+  read_obs.ops = &metrics_.counter("crfs.read.ops");
+  read_obs.bytes = &metrics_.counter("crfs.read.bytes");
+  read_obs.prefetch_issued = &metrics_.counter("crfs.read.prefetch_issued");
+  read_obs.prefetch_hits = &metrics_.counter("crfs.read.prefetch_hits");
+  read_obs.prefetch_wasted = &metrics_.counter("crfs.read.prefetch_wasted");
+  read_obs.sync_preads = &metrics_.counter("crfs.read.sync_preads");
+  read_obs.pread_ns = &metrics_.histogram("crfs.read.pread_ns");
+  read_obs.inflight_depth = &metrics_.histogram("crfs.read.inflight_depth");
+  // Slow-read forensics: same store and threshold as the write side, with
+  // kind="read". A blocking restore read has no copy/queue chain — the
+  // whole duration is device time.
+  read_obs.on_slow = [this, c_slow = &metrics_.counter("crfs.slow.captured")](
+                         const std::string& path, std::uint64_t offset, std::size_t len,
+                         std::uint64_t t_start, std::uint64_t t_done) {
+    const std::uint64_t dur = t_done - t_start;
+    if (!slow_.over_threshold(dur, dur)) return;
+    obs::SlowExemplar ex;
+    ex.kind = "read";
+    ex.path = path;
+    ex.offset = offset;
+    ex.len = len;
+    ex.submit_ns = t_start;
+    ex.durable_ns = t_done;
+    ex.device_ns = dur;
+    ex.total_lag_ns = dur;
+    ex.queue_depth = queue_.depth();
+    ex.free_chunks = pool_->free_chunks();
+    ex.knob_generation = knobs_ != nullptr ? knobs_->generation() : 0;
+    ex.engine = readahead_ != nullptr ? readahead_->engine_name() : "sync";
+    slow_.capture(std::move(ex));
+    c_slow->add(1);
+  };
+  readahead_ = std::make_unique<Readahead>(
+      *backend_, *pool_,
+      IoEngineOptions{.requested = cfg_.io_engine, .uring_depth = cfg_.uring_depth},
+      pool_->chunk_regions(), IoEngineObs{}, std::move(read_obs), cfg_.epoch_ledger);
+  readahead_on_.store(cfg_.readahead, std::memory_order_relaxed);
+  readahead_window_.store(cfg_.readahead_window, std::memory_order_relaxed);
+
   // Occupancy gauges, sampled at snapshot time straight from the stages.
   metrics_.gauge_fn("crfs.pool.free_chunks", [this] {
     return static_cast<std::int64_t>(pool_->free_chunks());
@@ -307,6 +350,27 @@ void Crfs::define_knobs() {
         epochs_->set_gap_ns(static_cast<std::uint64_t>(v) * 1'000'000);
         return true;
       });
+
+  // readahead: restore-prefetch master switch. One relaxed store; an
+  // in-progress scan sees the change on its next read (already-parked
+  // prefetch slots still serve, then the window stops topping up).
+  knobs_->define(
+      KnobDef{"readahead", 0.0, 1.0, "bool"}, cfg_.readahead ? 1.0 : 0.0,
+      [this](double v, double*, std::string*) {
+        readahead_on_.store(v >= 0.5, std::memory_order_relaxed);
+        return true;
+      });
+
+  // readahead_window: chunk reads kept in flight per sequential restore
+  // scan (the engine's own depth still caps it). Floor 1 gives the
+  // controller's shed_readahead rule a halving path that never hits 0.
+  knobs_->define(
+      KnobDef{"readahead_window", 1.0, 1024.0, "chunks"},
+      static_cast<double>(cfg_.readahead_window),
+      [this](double v, double*, std::string*) {
+        readahead_window_.store(static_cast<unsigned>(v), std::memory_order_relaxed);
+        return true;
+      });
 }
 
 Crfs::~Crfs() {
@@ -318,6 +382,9 @@ Crfs::~Crfs() {
   for (const HandleState& state : handles_.snapshot()) drain(state.entry);
   // Destroy the IO pool first: drains the queue, joins workers.
   io_pool_.reset();
+  // The read pipeline parks pool chunks in its prefetch slots; tear it
+  // down (draining its in-flight reads) before the pool shuts down.
+  readahead_.reset();
   pool_->shutdown();
   // All chunk writes have landed: the final epoch record sees complete
   // durable counts. A clean unmount leaves no postmortem file (the
@@ -358,6 +425,7 @@ Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
         std::lock_guard agg(e.agg_mu);
         e.current.reset();
         e.size_seen.store(0, std::memory_order_relaxed);
+        e.write_gen.fetch_add(1, std::memory_order_release);
       }
       const std::uint64_t target = e.write_chunks.load(std::memory_order_acquire);
       e.wait_for_completion(target);
@@ -479,6 +547,7 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     while (end > seen &&
            !entry.size_seen.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {
     }
+    entry.write_gen.fetch_add(1, std::memory_order_release);
     return {};
   }
 
@@ -536,6 +605,9 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
   while (offset > seen &&
          !entry.size_seen.compare_exchange_weak(seen, offset, std::memory_order_relaxed)) {
   }
+  // Invalidate any read-side prefetch cache for this file (still under
+  // agg_mu, the lock that orders writes).
+  entry.write_gen.fetch_add(1, std::memory_order_release);
   return {};
 }
 
@@ -619,20 +691,42 @@ Result<std::size_t> Crfs::read(FileHandle handle, std::span<std::byte> data,
   if (state_result.value().epoch_marker || state_result.value().tune_marker) {
     return std::size_t{0};  // control files read as empty
   }
-  const std::shared_ptr<FileEntry>& entry_result = state_result.value().entry;
-  FileEntry& entry = *entry_result;
+  const std::shared_ptr<FileEntry>& entry_sp = state_result.value().entry;
+  FileEntry& entry = *entry_sp;
 
   if (cfg_.flush_before_read) {
-    bool dirty;
+    // Barrier THIS file's pending chunks only: flush the dirty current
+    // chunk (if any), then wait until everything already handed to the
+    // work queue for this file is durable. A clean file — nothing
+    // buffered, nothing in flight — short-circuits with two atomic loads;
+    // other files' traffic is never waited on.
+    std::uint64_t target;
+    std::shared_ptr<obs::EpochState> epoch;
     {
       std::lock_guard agg(entry.agg_mu);
-      dirty = entry.current != nullptr && !entry.current->empty();
+      if (entry.current != nullptr && !entry.current->empty()) {
+        target = flush_current_locked(entry_sp, /*partial=*/true);
+      } else {
+        target = entry.write_chunks.load(std::memory_order_acquire);
+      }
+      epoch = entry.epoch;
     }
-    if (dirty) drain(entry_result);
+    if (entry.complete_chunks.load(std::memory_order_acquire) < target) {
+      const std::uint64_t t0 = obs::now_ns();
+      obs::TraceSpan span(trace_, "read_barrier");
+      entry.wait_for_completion(target);
+      const std::uint64_t waited = obs::now_ns() - t0;
+      h_drain_wait_->record(waited);
+      if (epoch != nullptr && waited > 0) {
+        epoch->barrier_ns.fetch_add(waited, std::memory_order_relaxed);
+      }
+    }
   }
 
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  auto r = backend_->pread(entry.backend_file(), data, offset);
+  auto r = readahead_->read(entry_sp, data, offset,
+                            readahead_on_.load(std::memory_order_relaxed),
+                            readahead_window_.load(std::memory_order_relaxed));
   if (r.ok()) stats_.read_bytes.fetch_add(r.value(), std::memory_order_relaxed);
   return r;
 }
@@ -673,9 +767,12 @@ Status Crfs::close(FileHandle handle) {
   if (auto err = entry->take_error()) result = *err;
 
   if (auto last = table_.release(entry->path())) {
-    // Engines may hold registered-fd slots for this backend file; drop
-    // them before the fd number can be reused by a later open. All of the
+    // Final close: drop the read-side prefetch cache (finalizing the
+    // restore-ledger row) and release both engines' registered-fd slots
+    // before the fd number can be reused by a later open. All of the
     // file's writes have drained above, so no in-flight SQE references it.
+    readahead_->evict(last.get());
+    readahead_->forget_file(last->backend_file());
     io_pool_->forget_backend_file(last->backend_file());
     const Status close_status = backend_->close_file(last->backend_file());
     if (result.ok() && !close_status.ok()) result = close_status;
@@ -748,6 +845,29 @@ std::string Crfs::stats_report() const {
       out += ep.render();
     }
   }
+  const auto restores = readahead_->ledger_snapshot();
+  if (!restores.empty()) {
+    TextTable rt({"Restore", "Bytes", "Ops", "Issued", "Hits", "Wasted", "Sync",
+                  "TTFB (ms)", "BW (MiB/s)", "State"});
+    char num[64];
+    for (const auto& r : restores) {
+      std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(r.ttfb_ns) / 1e6);
+      std::string ttfb = num;
+      const std::uint64_t span_ns =
+          r.last_read_ns > r.first_read_ns ? r.last_read_ns - r.first_read_ns : 0;
+      const double bw = span_ns > 0
+                            ? static_cast<double>(r.bytes) * 1e9 /
+                                  (static_cast<double>(span_ns) * 1024.0 * 1024.0)
+                            : 0.0;
+      std::snprintf(num, sizeof(num), "%.1f", bw);
+      rt.add_row({r.path, std::to_string(r.bytes), std::to_string(r.ops),
+                  std::to_string(r.prefetch_issued), std::to_string(r.prefetch_hits),
+                  std::to_string(r.prefetch_wasted), std::to_string(r.sync_preads), ttfb,
+                  num, r.active ? "open" : "done"});
+    }
+    out += "\n";
+    out += rt.render();
+  }
   const auto events = events_.snapshot();
   if (!events.empty()) {
     TextTable ev({"Severity", "Rule", "Detail"});
@@ -776,9 +896,33 @@ std::string Crfs::stats_json() const {
   out += ",\"read_bytes\":" + std::to_string(s.read_bytes);
   out += ",\"io_engine\":\"" + std::string(io_pool_->engine_name()) + "\"";
   out += ",\"io_engine_requested\":\"" + std::string(io_engine_name(cfg_.io_engine)) + "\"";
+  out += ",\"read_engine\":\"" + std::string(readahead_->engine_name()) + "\"";
   out += "},\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"events\":" + obs::events_to_json(events_.snapshot());
   out += ",\"slow\":" + slow_.to_json();
+  out += ",\"restores\":[";
+  {
+    bool first = true;
+    for (const auto& r : readahead_->ledger_snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"path\":\"";
+      append_json_escaped(out, r.path);
+      out += "\",\"bytes\":" + std::to_string(r.bytes);
+      out += ",\"ops\":" + std::to_string(r.ops);
+      out += ",\"prefetch_issued\":" + std::to_string(r.prefetch_issued);
+      out += ",\"prefetch_hits\":" + std::to_string(r.prefetch_hits);
+      out += ",\"prefetch_wasted\":" + std::to_string(r.prefetch_wasted);
+      out += ",\"sync_preads\":" + std::to_string(r.sync_preads);
+      out += ",\"ttfb_ns\":" + std::to_string(r.ttfb_ns);
+      out += ",\"first_read_ns\":" + std::to_string(r.first_read_ns);
+      out += ",\"last_read_ns\":" + std::to_string(r.last_read_ns);
+      out += ",\"active\":";
+      out += r.active ? "true" : "false";
+      out += "}";
+    }
+  }
+  out += "]";
   if (epochs_ != nullptr) {
     out += ",\"epochs\":" + obs::epochs_to_json(epochs_->records());
     const auto open = epochs_->open_epoch(obs::now_ns());
@@ -1001,6 +1145,7 @@ Status Crfs::truncate(const std::string& path, std::uint64_t size) {
     {
       std::lock_guard agg(entry->agg_mu);
       entry->size_seen.store(size, std::memory_order_relaxed);
+      entry->write_gen.fetch_add(1, std::memory_order_release);
     }
     return backend_->truncate(entry->backend_file(), size);
   }

@@ -24,6 +24,7 @@
 #include "crfs/handle_table.h"
 #include "crfs/io_pool.h"
 #include "crfs/knobs.h"
+#include "crfs/readahead.h"
 #include "crfs/work_queue.h"
 #include "obs/controller.h"
 #include "obs/epoch.h"
@@ -142,6 +143,17 @@ class Crfs {
   /// "uring", or "sync" (either requested or fallen back to).
   const char* active_io_engine() const { return io_pool_->engine_name(); }
 
+  /// The restore-side read engine (a separate ring from the write pool,
+  /// same fallback rules).
+  const char* active_read_engine() const { return readahead_->engine_name(); }
+
+  /// Per-restore attribution rows (docs/PERFORMANCE.md "Read path and
+  /// restore"): finalized scans oldest-first, then live scans
+  /// (active=true).
+  std::vector<RestoreLedgerEntry> restore_ledger() const {
+    return readahead_->ledger_snapshot();
+  }
+
   // -- Observability (docs/OBSERVABILITY.md) -------------------------------
   /// The mount's metric registry: per-stage latency histograms
   /// (crfs.write.copy_ns, crfs.write.pool_wait_ns, crfs.queue.wait_ns,
@@ -193,7 +205,8 @@ class Crfs {
 
   // -- Control plane (docs/OBSERVABILITY.md "Control plane") ----------------
   /// Runtime-tunes one knob ("pool_chunks", "io_batch", "uring_depth",
-  /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms", "slow_capture_ms").
+  /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms", "slow_capture_ms",
+  /// "readahead", "readahead_window").
   /// Out-of-bounds
   /// requests are clamped, impossible ones vetoed; every outcome is
   /// recorded in the decision log (and thus metrics/events/postmortem)
@@ -304,6 +317,13 @@ class Crfs {
   std::unique_ptr<BufferPool> pool_;
   WorkQueue queue_;
   std::unique_ptr<IoThreadPool> io_pool_;
+  // Restore-side read pipeline: borrows pool chunks for prefetch slots, so
+  // it is torn down (explicitly, in ~Crfs) before the pool shuts down.
+  std::unique_ptr<Readahead> readahead_;
+  // Lock-free mirrors of the readahead/readahead_window knobs, read per
+  // serve on the read path.
+  std::atomic<bool> readahead_on_{true};
+  std::atomic<unsigned> readahead_window_{4};
   FileTable table_;
   MountStats stats_;
 

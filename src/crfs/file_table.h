@@ -56,6 +56,12 @@ class FileEntry {
   /// used to answer getattr for still-buffered files.
   std::atomic<std::uint64_t> size_seen{0};
 
+  /// Monotone write-mutation counter: bumped on every write (aggregated
+  /// or bypass) and truncate. The read-side prefetcher snapshots it per
+  /// serve and drops its whole cache for this file when it moved — data
+  /// prefetched before the mutation may be stale.
+  std::atomic<std::uint64_t> write_gen{0};
+
   // -- Completion accounting ---------------------------------------------
   /// Chunks handed to the work queue ("write chunk count").
   std::atomic<std::uint64_t> write_chunks{0};

@@ -1,5 +1,6 @@
 #include "crfs/io_engine.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <limits>
 
@@ -20,10 +21,33 @@ Status backend_write_run(BackendFs& backend, const IoRun& run) {
   return backend.pwritev(file, iov, run.offset);
 }
 
+Result<std::size_t> backend_read_run(BackendFs& backend, const ReadRun& run) {
+  if (run.segs.size() == 1) {
+    return backend.pread(run.file, {run.segs.front().dst, run.segs.front().len}, run.offset);
+  }
+  std::vector<BackendMutIoVec> iov;
+  iov.reserve(run.segs.size());
+  for (const ReadSeg& seg : run.segs) {
+    iov.push_back(BackendMutIoVec{seg.dst, seg.len});
+  }
+  return backend.preadv(run.file, iov, run.offset);
+}
+
+void IoEngine::submit_read(ReadRun run) {
+  const std::uint64_t t = obs::now_ns();
+  read_complete_(std::move(run), Error{ENOTSUP, "engine has no read path"}, t, t);
+}
+
 void SyncEngine::submit(IoRun run) {
   const std::uint64_t t_start = obs::now_ns();
   Status status = backend_write_run(backend_, run);
   complete_(std::move(run), std::move(status), t_start, obs::now_ns());
+}
+
+void SyncEngine::submit_read(ReadRun run) {
+  const std::uint64_t t_start = obs::now_ns();
+  Result<std::size_t> nread = backend_read_run(backend_, run);
+  read_complete_(std::move(run), std::move(nread), t_start, obs::now_ns());
 }
 
 std::size_t SyncEngine::capacity() const {

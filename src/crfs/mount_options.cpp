@@ -95,6 +95,19 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
       out.config.large_write_bypass = true;
     } else if (key == "no_bypass") {
       out.config.large_write_bypass = false;
+    } else if (key == "readahead") {
+      out.config.readahead = true;
+    } else if (key == "no_readahead") {
+      out.config.readahead = false;
+    } else if (key == "readahead_window") {
+      unsigned window = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, window);
+      if (ec != std::errc{} || ptr != end || window == 0) {
+        return Error{EINVAL, "bad readahead_window: '" + std::string(value) + "'"};
+      }
+      out.config.readahead_window = window;
     } else if (key == "epoch_gap_ms" || key == "epoch_ledger") {
       unsigned parsed = 0;
       const auto* begin = value.data();
@@ -220,6 +233,10 @@ std::string format_mount_options(const MountOptions& options) {
     s += ",uring_depth=" + std::to_string(options.config.uring_depth);
   }
   if (!options.config.large_write_bypass) s += ",no_bypass";
+  if (!options.config.readahead) s += ",no_readahead";
+  if (options.config.readahead_window != Config{}.readahead_window) {
+    s += ",readahead_window=" + std::to_string(options.config.readahead_window);
+  }
   s += options.fuse.big_writes ? ",big_writes" : ",no_big_writes";
   if (!options.config.flush_before_read) s += ",paper_reads";
   if (options.config.enable_tracing) s += ",trace";

@@ -138,6 +138,7 @@ Controller::Controller(ControllerConfig cfg, DecisionLog& log, EventBuffer* heal
     c_fired_[kGrow] = &metrics_->counter("crfs.ctl.fired.grow_pool");
     c_fired_[kWiden] = &metrics_->counter("crfs.ctl.fired.widen_io");
     c_fired_[kShed] = &metrics_->counter("crfs.ctl.fired.shed_io");
+    c_fired_[kShedReadahead] = &metrics_->counter("crfs.ctl.fired.shed_readahead");
   }
 }
 
@@ -220,6 +221,20 @@ void Controller::tick(const Sample& s) {
     const double ring = read_("uring_depth", 0.0);
     if (ring > 1.0) {
       fire(s, kShed, "shed_io", "uring_depth", ring / 2.0);
+    }
+  }
+
+  // shed_readahead: restore reads are slow while checkpoint writes also
+  // queue — prefetch is competing with checkpoint traffic on a saturated
+  // backend, so narrow the restore window (floor 1, enforced by the knob
+  // plane's min).
+  const HistogramSnapshot* rd = s.histogram("crfs.read.pread_ns");
+  const double read_p99 = (rd != nullptr && rd->count > 0) ? rd->p99() : 0.0;
+  if (read_p99 >= cfg_.shed_min_p99_ns && depth >= cfg_.shed_min_depth &&
+      cooled(kShedReadahead, s.ts_ns)) {
+    const double window = read_("readahead_window", 0.0);
+    if (window > 1.0) {
+      fire(s, kShedReadahead, "shed_readahead", "readahead_window", window / 2.0);
     }
   }
 

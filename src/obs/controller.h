@@ -19,6 +19,11 @@
 //               the backend is the bottleneck, so halve io_batch and
 //               uring_depth — the paper's §IV insight that IO concurrency
 //               is the throttle toward the backend.
+//   shed_readahead
+//               read p99 (crfs.read.pread_ns) above shed_min_p99_ns while
+//               checkpoint writes also queue: restore prefetch is
+//               competing with checkpoint traffic on a saturated backend,
+//               so halve readahead_window (floor 1).
 //
 // tick() is clock-agnostic: it only reads the Sample's ts_ns, so the same
 // Controller runs on the real Sampler thread (monotonic clock) and inside
@@ -155,7 +160,7 @@ class Controller {
   const ControllerConfig& config() const { return cfg_; }
 
  private:
-  enum Rule { kGrow = 0, kWiden = 1, kShed = 2, kRuleCount };
+  enum Rule { kGrow = 0, kWiden = 1, kShed = 2, kShedReadahead = 3, kRuleCount };
 
   bool cooled(Rule r, std::uint64_t ts_ns) const;
   void fire(const Sample& s, Rule r, const char* rule_name, std::string_view knob,
@@ -169,15 +174,15 @@ class Controller {
   KnobTuneFn tune_;
 
   Counter* c_ticks_ = nullptr;
-  Counter* c_fired_[kRuleCount] = {nullptr, nullptr, nullptr};
+  Counter* c_fired_[kRuleCount] = {nullptr, nullptr, nullptr, nullptr};
 
   std::atomic<std::uint64_t> ticks_{0};
   std::uint64_t seen_events_ = 0;
   bool have_prev_depth_ = false;
   std::int64_t prev_depth_ = 0;
   unsigned rising_run_ = 0;
-  std::uint64_t last_fire_ns_[kRuleCount] = {0, 0, 0};
-  bool fired_once_[kRuleCount] = {false, false, false};
+  std::uint64_t last_fire_ns_[kRuleCount] = {0, 0, 0, 0};
+  bool fired_once_[kRuleCount] = {false, false, false, false};
 };
 
 }  // namespace crfs::obs

@@ -34,6 +34,8 @@ void append_u64(std::string& out, const char* key, std::uint64_t v) {
 
 std::string SlowExemplar::to_json() const {
   std::string out = "{\"trace_id\":" + std::to_string(trace_id);
+  out += ",\"kind\":";
+  append_json_string(out, kind);
   out += ",\"path\":";
   append_json_string(out, path);
   append_u64(out, "offset", offset);

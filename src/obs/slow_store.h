@@ -34,6 +34,10 @@ namespace crfs::obs {
 /// readable without arithmetic.
 struct SlowExemplar {
   std::uint64_t trace_id = 0;      ///< causal chain id (matches trace spans)
+  /// "write" (a checkpoint chunk's durability chain) or "read" (a restore
+  /// read that blocked past the threshold — only path/offset/len and the
+  /// device/total durations apply; the write-side stamps stay 0).
+  std::string kind = "write";
   std::string path;                ///< backend file the chunk belongs to
   std::uint64_t offset = 0;        ///< chunk's file offset
   std::uint64_t len = 0;           ///< chunk fill in bytes

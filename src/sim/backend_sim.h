@@ -39,6 +39,19 @@ class BackendSim {
   /// Client-visible close().
   virtual Task close_file(unsigned node, FileId file, bool via_crfs) = 0;
 
+  /// One client-visible read of `len` bytes at `offset` of `file`
+  /// (restart traffic). Write-only experiment models inherit a free read;
+  /// backends that charge for reads override this.
+  virtual Task read_call(unsigned node, FileId file, std::uint64_t offset,
+                         std::uint64_t len, bool via_crfs) {
+    (void)node;
+    (void)file;
+    (void)offset;
+    (void)len;
+    (void)via_crfs;
+    co_return;
+  }
+
   /// Tells background daemons (writeback, servers) to exit once idle so
   /// Simulation::run() terminates.
   virtual void stop() = 0;

@@ -31,6 +31,16 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
   // Registered for both engines (schema parity with the real mount); only
   // the uring mirror records non-trivial depths.
   h_inflight_depth_ = &metrics_.histogram("crfs.io.inflight_depth");
+  // Restart-scan mirror: same crfs.read.* schema as the real mount, so an
+  // obs::Controller's shed_readahead rule ticks unchanged on virtual time.
+  h_read_ = &metrics_.histogram("crfs.read.pread_ns");
+  h_read_inflight_ = &metrics_.histogram("crfs.read.inflight_depth");
+  c_read_ops_ = &metrics_.counter("crfs.read.ops");
+  c_read_bytes_ = &metrics_.counter("crfs.read.bytes");
+  c_prefetch_issued_ = &metrics_.counter("crfs.read.prefetch_issued");
+  c_prefetch_hits_ = &metrics_.counter("crfs.read.prefetch_hits");
+  c_prefetch_wasted_ = &metrics_.counter("crfs.read.prefetch_wasted");
+  c_sync_preads_ = &metrics_.counter("crfs.read.sync_preads");
   metrics_.gauge_fn("crfs.io.engine_inflight",
                     [this] { return static_cast<std::int64_t>(engine_inflight_); });
   metrics_.gauge_fn("crfs.pool.free_chunks",
@@ -121,6 +131,20 @@ void CrfsSimNode::define_knobs() {
           return false;
         }
         epochs_->set_gap_ns(static_cast<std::uint64_t>(v) * 1'000'000);
+        return true;
+      });
+  knobs_.define(
+      crfs::KnobDef{"readahead", 0.0, 1.0, "bool"},
+      config_.readahead ? 1.0 : 0.0,
+      [this](double v, double*, std::string*) {
+        config_.readahead = v >= 0.5;
+        return true;
+      });
+  knobs_.define(
+      crfs::KnobDef{"readahead_window", 1.0, 1024.0, "chunks"},
+      static_cast<double>(config_.readahead_window),
+      [this](double v, double*, std::string*) {
+        config_.readahead_window = static_cast<unsigned>(v);
         return true;
       });
 }
@@ -244,6 +268,133 @@ Task CrfsSimNode::app_write(FileId file, std::uint64_t len) {
     remaining -= req;
   }
   sim_.trace_complete("write", app_lane(), span_start, sim_.now(), span_trace_id);
+}
+
+Task CrfsSimNode::prefetch_read(FileId file, std::shared_ptr<ReadSlot> slot) {
+  co_await backend_.read_call(node_, file, slot->offset, slot->len, /*via_crfs=*/true);
+  slot->done = true;
+  slot->completion->pulse();
+}
+
+Task CrfsSimNode::drop_read_window(FileState& st) {
+  // In-flight reads must land before their pool chunks can be released
+  // (mirror of Readahead::drop_cache_locked waiting out the engine).
+  while (!st.read_slots.empty()) {
+    auto slot = st.read_slots.front();
+    while (!slot->done) co_await slot->completion->wait();
+    if (!slot->consumed) c_prefetch_wasted_->add(1);
+    st.read_slots.pop_front();
+    free_chunks_ += 1;
+    chunk_available_.pulse();
+  }
+}
+
+void CrfsSimNode::top_up_read_window(FileState& st, FileId file, std::uint64_t next) {
+  if (!config_.readahead || st.read_streak < 2) return;
+  const std::size_t window = std::max(1u, config_.readahead_window);
+  std::uint64_t cover_end = next;
+  if (!st.read_slots.empty()) {
+    cover_end = std::max(cover_end,
+                         st.read_slots.back()->offset + st.read_slots.back()->len);
+  }
+  // Opportunistic, like pool_->try_acquire: stop at EOF (st.append — the
+  // sim's files are exactly what was written) or an empty pool.
+  while (st.read_slots.size() < window && cover_end < st.append && free_chunks_ > 0) {
+    free_chunks_ -= 1;
+    auto slot = std::make_shared<ReadSlot>();
+    slot->offset = cover_end;
+    slot->len = std::min<std::uint64_t>(config_.chunk_size, st.append - cover_end);
+    slot->completion = std::make_unique<Event>(sim_);
+    st.read_slots.push_back(slot);
+    c_prefetch_issued_->add(1);
+    sim_.spawn(prefetch_read(file, slot));
+    cover_end += slot->len;
+  }
+  unsigned inflight = 0;
+  for (const auto& s : st.read_slots) {
+    if (!s->done) inflight += 1;
+  }
+  h_read_inflight_->record(inflight);
+}
+
+Task CrfsSimNode::app_read(FileId file, std::uint64_t offset, std::uint64_t len) {
+  const double span_start = sim_.now();
+  const std::uint64_t t0 = now_ns();
+  FileState& st = state(file);
+
+  // flush_before_read mirror: barrier exactly this file's pending chunks.
+  flush_chunk(st, file);
+  const std::uint64_t target = st.write_chunks;
+  if (st.complete_chunks < target) {
+    const double wait_start = sim_.now();
+    while (st.complete_chunks < target) co_await st.completion->wait();
+    sim_.trace_complete("read_barrier", app_lane(), wait_start, sim_.now());
+    if (st.epoch != nullptr) {
+      st.epoch->barrier_ns.fetch_add(
+          static_cast<std::uint64_t>((sim_.now() - wait_start) * 1e9),
+          std::memory_order_relaxed);
+    }
+  }
+
+  // Sequential-scan detection: a seek evicts the window.
+  if (offset == st.read_next) {
+    st.read_streak += 1;
+  } else {
+    co_await drop_read_window(st);
+    st.read_streak = 1;
+  }
+
+  // FUSE request path: the kernel crossing plus the copy-out to the app,
+  // serialized on the node's request queue like writes.
+  const std::uint64_t end = std::min(offset + len, st.append);
+  const std::uint64_t span = end > offset ? end - offset : 0;
+  const std::uint64_t max_req = fuse_.max_write();
+  const std::uint64_t requests = span == 0 ? 1 : (span + max_req - 1) / max_req;
+  const double fuse_cost =
+      static_cast<double>(requests) * (cal_.fuse_request_cost + cal_.syscall_overhead) +
+      static_cast<double>(span) / cal_.fuse_station_bw;
+  co_await fuse_station_.acquire();
+  co_await sim_.delay(fuse_cost);
+  fuse_station_.release();
+
+  // Serve from the window front-to-back, then a blocking tail.
+  std::uint64_t pos = offset;
+  while (pos < end && !st.read_slots.empty()) {
+    auto slot = st.read_slots.front();
+    if (pos < slot->offset) break;  // gap below the window: sync tail
+    if (pos >= slot->offset + slot->len) {
+      while (!slot->done) co_await slot->completion->wait();
+      if (!slot->consumed) c_prefetch_wasted_->add(1);
+      st.read_slots.pop_front();
+      free_chunks_ += 1;
+      chunk_available_.pulse();
+      continue;
+    }
+    while (!slot->done) co_await slot->completion->wait();
+    if (!slot->consumed) {
+      slot->consumed = true;
+      c_prefetch_hits_->add(1);
+    }
+    pos = std::min(end, slot->offset + slot->len);
+    if (pos == slot->offset + slot->len) {
+      st.read_slots.pop_front();
+      free_chunks_ += 1;
+      chunk_available_.pulse();
+    }
+  }
+  if (pos < end) {
+    c_sync_preads_->add(1);
+    co_await backend_.read_call(node_, file, pos, end - pos, /*via_crfs=*/true);
+    pos = end;
+  }
+
+  top_up_read_window(st, file, pos);
+
+  st.read_next = pos;
+  c_read_ops_->add(1);
+  c_read_bytes_->add(pos - offset);
+  h_read_->record(now_ns() - t0);
+  sim_.trace_complete("read", app_lane(), span_start, sim_.now());
 }
 
 Task CrfsSimNode::io_worker(unsigned worker) {
@@ -421,6 +572,10 @@ Task CrfsSimNode::close_file(FileId file) {
         static_cast<std::uint64_t>((sim_.now() - drain_start) * 1e9),
         std::memory_order_relaxed);
   }
+  // Evict the restart window (mirror of Crfs::close -> Readahead::evict).
+  co_await drop_read_window(st);
+  st.read_streak = 0;
+  st.read_next = 0;
   co_await backend_.close_file(node_, file, /*via_crfs=*/true);
   if (epochs_ != nullptr) {
     epochs_->on_close("sim/file" + std::to_string(file), now_ns());

@@ -40,6 +40,15 @@ class CrfsSimNode {
   /// possibly blocked on buffer-pool backpressure.
   Task app_write(FileId file, std::uint64_t len);
 
+  /// Application read of `len` bytes at `offset` of `file` — the restart
+  /// scan in virtual time. Mirrors Crfs::read: flush-before-read barrier
+  /// over this file's outstanding chunks, sequential-scan detection
+  /// arming a prefetch window of chunk-sized backend reads (bounded by
+  /// the readahead_window knob and free pool chunks), and a blocking
+  /// backend read for whatever the window missed. Completes when the
+  /// app's read() would return.
+  Task app_read(FileId file, std::uint64_t offset, std::uint64_t len);
+
   /// §IV-C close: enqueue the partial chunk, wait for all outstanding
   /// chunk writes of this file, then close on the backend.
   Task close_file(FileId file);
@@ -104,6 +113,16 @@ class CrfsSimNode {
   crfs::KnobPlane& knob_plane() { return knobs_; }
 
  private:
+  /// One prefetched chunk-sized read in the window (mirror of
+  /// Readahead::Slot, minus the bytes — virtual time carries no payload).
+  struct ReadSlot {
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    bool done = false;      ///< backend read completed
+    bool consumed = false;  ///< at least one app read was served from it
+    std::unique_ptr<Event> completion;
+  };
+
   struct FileState {
     std::uint64_t append = 0;        ///< next file offset
     bool has_chunk = false;
@@ -117,6 +136,10 @@ class CrfsSimNode {
     std::unique_ptr<Event> completion;
     /// Epoch the file's bytes attribute to (mirror of FileEntry::epoch).
     std::shared_ptr<obs::EpochState> epoch;
+    // -- Restart-scan mirror (Readahead::FileState) --
+    std::uint64_t read_next = 0;  ///< offset a sequential scan would hit next
+    unsigned read_streak = 0;     ///< consecutive sequential reads (>=2 arms)
+    std::deque<std::shared_ptr<ReadSlot>> read_slots;  ///< window, front = oldest
   };
 
   struct Job {
@@ -147,6 +170,15 @@ class CrfsSimNode {
   FileState& state(FileId file);
   /// Enqueues the file's current chunk (if non-empty).
   void flush_chunk(FileState& st, FileId file);
+  /// One in-flight window read: backend read, then mark done and pulse.
+  Task prefetch_read(FileId file, std::shared_ptr<ReadSlot> slot);
+  /// Evicts the whole window (seek/close), waiting out in-flight reads;
+  /// unconsumed slots count as wasted prefetch.
+  Task drop_read_window(FileState& st);
+  /// Issues chunk reads until the window covers `readahead_window` chunks
+  /// ahead of `next` (bounded by EOF and free pool chunks — opportunistic,
+  /// never starves checkpoint writers).
+  void top_up_read_window(FileState& st, FileId file, std::uint64_t next);
 
   Simulation& sim_;
   const Calibration& cal_;
@@ -177,6 +209,15 @@ class CrfsSimNode {
   obs::Counter* c_pwrite_bytes_ = nullptr;
   obs::LatencyHistogram* h_lag_ = nullptr;
   obs::LatencyHistogram* h_inflight_depth_ = nullptr;
+  // Read-path mirror (same crfs.read.* schema as the real mount).
+  obs::LatencyHistogram* h_read_ = nullptr;
+  obs::LatencyHistogram* h_read_inflight_ = nullptr;
+  obs::Counter* c_read_ops_ = nullptr;
+  obs::Counter* c_read_bytes_ = nullptr;
+  obs::Counter* c_prefetch_issued_ = nullptr;
+  obs::Counter* c_prefetch_hits_ = nullptr;
+  obs::Counter* c_prefetch_wasted_ = nullptr;
+  obs::Counter* c_sync_preads_ = nullptr;
 
   /// Epoch ledger on virtual time (nullptr when Config::epoch_tracking is
   /// off). Same EpochTracker as the real mount; only the clock differs.

@@ -61,11 +61,28 @@ class ThrottledBackendSim : public BackendSim {
 
   Task close_file(unsigned, FileId, bool) override { co_return; }
 
+  /// Reads share the station (and its interference) with writes: a
+  /// restore scan competes with checkpoint traffic exactly where the
+  /// shed_readahead policy expects it to.
+  Task read_call(unsigned, FileId, std::uint64_t, std::uint64_t len, bool) override {
+    pending_ += 1;
+    co_await station_.acquire();
+    const double eff_bw =
+        opts_.bw / (1.0 + opts_.alpha * static_cast<double>(pending_ - 1));
+    co_await sim_.delay(opts_.per_call + static_cast<double>(len) / eff_bw);
+    station_.release();
+    pending_ -= 1;
+    read_calls_ += 1;
+    read_bytes_ += len;
+  }
+
   void stop() override {}
 
   // -- Station-side measurements (arrival -> completion) --------------------
   std::uint64_t calls() const { return calls_; }
   std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t read_calls() const { return read_calls_; }
+  std::uint64_t read_bytes() const { return read_bytes_; }
   double mean_residency_s() const {
     return calls_ > 0 ? residency_sum_s_ / static_cast<double>(calls_) : 0.0;
   }
@@ -79,6 +96,8 @@ class ThrottledBackendSim : public BackendSim {
 
   std::uint64_t calls_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t read_calls_ = 0;
+  std::uint64_t read_bytes_ = 0;
   double residency_sum_s_ = 0.0;
   double residency_max_s_ = 0.0;
 };

@@ -1,0 +1,500 @@
+// Read-path tests: pread conformance across every backend (short reads,
+// chunk-boundary straddling, EOF), the sequential-scan prefetcher (arming,
+// seek eviction, runtime toggle), coherence against buffered and racing
+// writes, and bit-identical blcr restart with readahead on / off / retuned
+// mid-stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "backend/mem_backend.h"
+#include "backend/null_backend.h"
+#include "backend/posix_backend.h"
+#include "backend/wrappers.h"
+#include "blcr/checkpoint_writer.h"
+#include "blcr/process_image.h"
+#include "blcr/restart_reader.h"
+#include "blcr/sinks.h"
+#include "common/units.h"
+#include "crfs/crfs.h"
+#include "crfs/file.h"
+#include "crfs/fuse_shim.h"
+
+namespace crfs {
+namespace {
+
+constexpr std::size_t kChunk = 64 * KiB;
+constexpr std::size_t kPool = 1 * MiB;
+
+std::byte pattern_at(std::uint64_t i, std::uint64_t salt = 0) {
+  return static_cast<std::byte>((i * 131 + (i >> 9) * 7 + salt + 13) & 0xff);
+}
+
+std::vector<std::byte> make_pattern(std::size_t n, std::uint64_t salt = 0) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = pattern_at(i, salt);
+  return out;
+}
+
+class ReadPath : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("crfs_read_path_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+void write_file(Crfs& fs, const std::string& path, const std::vector<std::byte>& data) {
+  auto h = fs.open(path, {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(h.ok());
+  // Sub-chunk pieces so the data flows through aggregation, not the bypass.
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min<std::size_t>(48 * KiB, data.size() - off);
+    ASSERT_TRUE(fs.write(h.value(), {data.data() + off, n}, off).ok());
+    off += n;
+  }
+  ASSERT_TRUE(fs.close(h.value()).ok());
+}
+
+// Every read shape the restart path produces: a full sequential scan (arms
+// the prefetcher when enabled), chunk-straddling and unaligned positioned
+// reads, a short read crossing EOF, and reads at/past EOF returning 0.
+void expect_readable(Crfs& fs, const std::string& path,
+                     const std::vector<std::byte>& expect) {
+  auto h = fs.open(path, {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(h.ok());
+  const std::size_t size = expect.size();
+  ASSERT_GT(size, 2 * kChunk + 2000);
+
+  std::vector<std::byte> got(size);
+  std::size_t off = 0;
+  while (off < size) {
+    const std::size_t want = std::min(kChunk, size - off);
+    auto r = fs.read(h.value(), {got.data() + off, want}, off);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    ASSERT_GT(r.value(), 0u) << "unexpected EOF at " << off;
+    off += r.value();
+  }
+  EXPECT_TRUE(got == expect) << "sequential scan corrupted " << path;
+
+  std::vector<std::byte> buf(4096);
+  auto r = fs.read(h.value(), buf, kChunk - 2048);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), buf.size());
+  EXPECT_EQ(0, std::memcmp(buf.data(), expect.data() + kChunk - 2048, buf.size()))
+      << "chunk-straddling read corrupted " << path;
+
+  std::vector<std::byte> odd(7777);
+  r = fs.read(h.value(), odd, 12345);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), odd.size());
+  EXPECT_EQ(0, std::memcmp(odd.data(), expect.data() + 12345, odd.size()))
+      << "unaligned read corrupted " << path;
+
+  std::vector<std::byte> tail(8192);
+  r = fs.read(h.value(), tail, size - 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1000u) << "EOF-crossing read not short on " << path;
+  EXPECT_EQ(0, std::memcmp(tail.data(), expect.data() + size - 1000, 1000));
+
+  r = fs.read(h.value(), tail, size);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u) << "read at EOF not empty on " << path;
+  r = fs.read(h.value(), tail, size + 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u) << "read past EOF not empty on " << path;
+
+  ASSERT_TRUE(fs.close(h.value()).ok());
+}
+
+TEST_F(ReadPath, PreadConformanceAcrossBackends) {
+  const auto data = make_pattern(3 * kChunk + 1234);
+  struct Case {
+    const char* label;
+    std::function<std::shared_ptr<BackendFs>(const std::filesystem::path&)> make;
+  };
+  const Case cases[] = {
+      {"mem", [](const auto&) { return std::make_shared<MemBackend>(); }},
+      {"posix",
+       [](const auto& dir) -> std::shared_ptr<BackendFs> {
+         std::filesystem::create_directories(dir);
+         auto b = PosixBackend::create(dir.string());
+         EXPECT_TRUE(b.ok());
+         if (!b.ok()) return nullptr;
+         return std::shared_ptr<BackendFs>(std::move(b.value()));
+       }},
+      {"faulty",
+       [](const auto&) -> std::shared_ptr<BackendFs> {
+         // Unarmed: exercises the wrapper's pread passthrough.
+         return std::make_shared<FaultyBackend>(std::make_shared<MemBackend>());
+       }},
+      {"throttled",
+       [](const auto&) -> std::shared_ptr<BackendFs> {
+         auto t = std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(),
+                                                     512.0 * MiB);
+         t->throttle_reads(true);
+         return t;
+       }},
+  };
+
+  for (const Case& c : cases) {
+    for (bool readahead : {true, false}) {
+      SCOPED_TRACE(std::string(c.label) + (readahead ? "/readahead" : "/no_readahead"));
+      auto backend = c.make(dir_ / c.label / (readahead ? "on" : "off"));
+      ASSERT_NE(backend, nullptr);
+      auto fs = Crfs::mount(backend, Config{.chunk_size = kChunk,
+                                            .pool_size = kPool,
+                                            .readahead = readahead});
+      ASSERT_TRUE(fs.ok());
+      write_file(*fs.value(), "conf.dat", data);
+      expect_readable(*fs.value(), "conf.dat", data);
+    }
+  }
+}
+
+TEST_F(ReadPath, UringEnginePreadConformance) {
+  // kUring is a request: on kernels without io_uring the read engine falls
+  // back to sync and the same assertions must still hold.
+  const auto data = make_pattern(3 * kChunk + 999, /*salt=*/3);
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk,
+                               .pool_size = kPool,
+                               .io_engine = IoEngineKind::kUring,
+                               .uring_depth = 16});
+  ASSERT_TRUE(fs.ok());
+  write_file(*fs.value(), "uring.dat", data);
+  expect_readable(*fs.value(), "uring.dat", data);
+  EXPECT_STREQ(fs.value()->active_read_engine(), fs.value()->active_io_engine());
+}
+
+TEST_F(ReadPath, NullBackendReadsReportEof) {
+  auto fs = Crfs::mount(std::make_shared<NullBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = kPool});
+  ASSERT_TRUE(fs.ok());
+  auto h = fs.value()->open("sink.dat", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(h.ok());
+  const auto data = make_pattern(2 * kChunk);
+  ASSERT_TRUE(fs.value()->write(h.value(), data, 0).ok());
+  ASSERT_TRUE(fs.value()->fsync(h.value()).ok());
+
+  // The null backend discards everything; reads must report EOF, not hang
+  // the prefetcher or fabricate bytes.
+  std::vector<std::byte> buf(kChunk);
+  for (int i = 0; i < 3; ++i) {
+    auto r = fs.value()->read(h.value(), buf, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 0u);
+  }
+  ASSERT_TRUE(fs.value()->close(h.value()).ok());
+}
+
+TEST_F(ReadPath, ReadsObserveBufferedWritesAndOverwrites) {
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = kPool});
+  ASSERT_TRUE(fs.ok());
+  auto data = make_pattern(4 * kChunk + 512);
+  auto h = fs.value()->open("race.dat", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(h.ok());
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min<std::size_t>(48 * KiB, data.size() - off);
+    ASSERT_TRUE(fs.value()->write(h.value(), {data.data() + off, n}, off).ok());
+    off += n;
+  }
+
+  // No fsync: part of the file is still buffered or queued. flush_before_read
+  // must barrier exactly this file so the scan observes every byte.
+  std::vector<std::byte> got(data.size());
+  for (off = 0; off < got.size();) {
+    auto r = fs.value()->read(h.value(), {got.data() + off, std::min(kChunk, got.size() - off)},
+                              off);
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(r.value(), 0u);
+    off += r.value();
+  }
+  EXPECT_TRUE(got == data);
+
+  // Overwrite a region the prefetcher may have cached: the write-generation
+  // bump must invalidate the window so the next read returns fresh bytes.
+  const auto fresh = make_pattern(kChunk, /*salt=*/91);
+  ASSERT_TRUE(fs.value()->write(h.value(), fresh, kChunk).ok());
+  std::vector<std::byte> region(kChunk);
+  auto r = fs.value()->read(h.value(), region, kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), region.size());
+  EXPECT_TRUE(region == fresh) << "stale prefetched bytes served after overwrite";
+  r = fs.value()->read(h.value(), region, 0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), region.size());
+  EXPECT_EQ(0, std::memcmp(region.data(), data.data(), region.size()));
+  ASSERT_TRUE(fs.value()->close(h.value()).ok());
+}
+
+TEST_F(ReadPath, ReadsRaceInflightWrites) {
+  // A writer appends records while a reader scans everything below the
+  // published watermark. flush_before_read + the prefetch coherence rules
+  // must keep every observed byte exact. (Also the TSan workload.)
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = kPool});
+  ASSERT_TRUE(fs.ok());
+  constexpr std::size_t kRecord = 64 * KiB;
+  constexpr std::size_t kRecords = 32;
+  const auto data = make_pattern(kRecords * kRecord, /*salt=*/7);
+
+  auto wh = fs.value()->open("live.dat", {.create = true, .truncate = true, .write = true});
+  ASSERT_TRUE(wh.ok());
+  auto rh = fs.value()->open("live.dat", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(rh.ok());
+
+  std::atomic<std::size_t> watermark{0};
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      const std::size_t off2 = i * kRecord;
+      ASSERT_TRUE(fs.value()->write(wh.value(), {data.data() + off2, kRecord}, off2).ok());
+      watermark.store(off2 + kRecord, std::memory_order_release);
+      if (i % 8 == 7) ASSERT_TRUE(fs.value()->fsync(wh.value()).ok());
+    }
+  });
+
+  std::vector<std::byte> buf(kRecord);
+  std::size_t verified = 0;
+  while (verified < data.size()) {
+    const std::size_t limit = watermark.load(std::memory_order_acquire);
+    while (verified + kRecord <= limit) {
+      auto r = fs.value()->read(rh.value(), buf, verified);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r.value(), kRecord);
+      ASSERT_EQ(0, std::memcmp(buf.data(), data.data() + verified, kRecord))
+          << "corruption at offset " << verified;
+      verified += kRecord;
+    }
+    std::this_thread::yield();
+  }
+  writer.join();
+  ASSERT_TRUE(fs.value()->close(rh.value()).ok());
+  ASSERT_TRUE(fs.value()->close(wh.value()).ok());
+}
+
+TEST_F(ReadPath, SequentialScanArmsThePrefetcher) {
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = 2 * MiB});
+  ASSERT_TRUE(fs.ok());
+  const auto data = make_pattern(1 * MiB);
+  write_file(*fs.value(), "seq.dat", data);
+
+  auto h = fs.value()->open("seq.dat", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(h.ok());
+  std::vector<std::byte> buf(kChunk);
+  for (std::size_t off = 0; off < data.size(); off += kChunk) {
+    auto r = fs.value()->read(h.value(), buf, off);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value(), kChunk);
+    ASSERT_EQ(0, std::memcmp(buf.data(), data.data() + off, kChunk));
+  }
+  ASSERT_TRUE(fs.value()->close(h.value()).ok());
+
+  EXPECT_EQ(fs.value()->metrics().counter("crfs.read.ops").value(), data.size() / kChunk);
+  EXPECT_EQ(fs.value()->metrics().counter("crfs.read.bytes").value(), data.size());
+  EXPECT_GT(fs.value()->metrics().counter("crfs.read.prefetch_issued").value(), 0u);
+  EXPECT_GT(fs.value()->metrics().counter("crfs.read.prefetch_hits").value(), 0u);
+
+  // Per-restore attribution: close finalized the scan into the ledger.
+  const auto ledger = fs.value()->restore_ledger();
+  ASSERT_FALSE(ledger.empty());
+  bool found = false;
+  for (const auto& row : ledger) {
+    if (row.path != "seq.dat") continue;
+    found = true;
+    EXPECT_EQ(row.bytes, data.size());
+    EXPECT_EQ(row.ops, data.size() / kChunk);
+    EXPECT_GT(row.prefetch_hits, 0u);
+    EXPECT_FALSE(row.active);
+  }
+  EXPECT_TRUE(found) << "seq.dat missing from the restore ledger";
+}
+
+TEST_F(ReadPath, SeekDropsThePrefetchWindow) {
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = 2 * MiB});
+  ASSERT_TRUE(fs.ok());
+  const auto data = make_pattern(16 * kChunk);
+  write_file(*fs.value(), "seek.dat", data);
+
+  auto h = fs.value()->open("seek.dat", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(h.ok());
+  std::vector<std::byte> buf(kChunk);
+  // Establish the scan so the window fills ahead of the cursor...
+  for (std::size_t off = 0; off < 4 * kChunk; off += kChunk) {
+    ASSERT_TRUE(fs.value()->read(h.value(), buf, off).ok());
+  }
+  ASSERT_GT(fs.value()->metrics().counter("crfs.read.prefetch_issued").value(), 0u);
+  // ...then seek backwards: the window is evicted, unconsumed slots count
+  // as wasted, and the re-read is still exact.
+  auto r = fs.value()->read(h.value(), buf, 0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), kChunk);
+  EXPECT_EQ(0, std::memcmp(buf.data(), data.data(), kChunk));
+  EXPECT_GT(fs.value()->metrics().counter("crfs.read.prefetch_wasted").value(), 0u);
+  ASSERT_TRUE(fs.value()->close(h.value()).ok());
+}
+
+TEST_F(ReadPath, ReadaheadOffNeverPrefetches) {
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = kPool,
+                               .readahead = false});
+  ASSERT_TRUE(fs.ok());
+  const auto data = make_pattern(8 * kChunk);
+  write_file(*fs.value(), "off.dat", data);
+
+  auto h = fs.value()->open("off.dat", {.create = false, .truncate = false, .write = false});
+  ASSERT_TRUE(h.ok());
+  std::vector<std::byte> buf(kChunk);
+  for (std::size_t off = 0; off < data.size(); off += kChunk) {
+    auto r = fs.value()->read(h.value(), buf, off);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value(), kChunk);
+  }
+  ASSERT_TRUE(fs.value()->close(h.value()).ok());
+  EXPECT_EQ(fs.value()->metrics().counter("crfs.read.prefetch_issued").value(), 0u);
+  // Every read fell through to one blocking pread.
+  EXPECT_EQ(fs.value()->metrics().counter("crfs.read.sync_preads").value(),
+            data.size() / kChunk);
+}
+
+TEST_F(ReadPath, RuntimeToggleStopsPrefetching) {
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(),
+                        Config{.chunk_size = kChunk, .pool_size = 2 * MiB});
+  ASSERT_TRUE(fs.ok());
+  const auto data = make_pattern(16 * kChunk);
+  write_file(*fs.value(), "toggle.dat", data);
+
+  auto scan = [&] {
+    auto h =
+        fs.value()->open("toggle.dat", {.create = false, .truncate = false, .write = false});
+    ASSERT_TRUE(h.ok());
+    std::vector<std::byte> buf(kChunk);
+    for (std::size_t off = 0; off < data.size(); off += kChunk) {
+      auto r = fs.value()->read(h.value(), buf, off);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r.value(), kChunk);
+    }
+    ASSERT_TRUE(fs.value()->close(h.value()).ok());
+  };
+
+  EXPECT_EQ(fs.value()->tune("readahead", 0.0).outcome, "applied");
+  scan();
+  const auto issued_off = fs.value()->metrics().counter("crfs.read.prefetch_issued").value();
+  EXPECT_EQ(issued_off, 0u);
+
+  EXPECT_EQ(fs.value()->tune("readahead", 1.0).outcome, "applied");
+  EXPECT_EQ(fs.value()->tune("readahead_window", 2.0).outcome, "applied");
+  scan();
+  EXPECT_GT(fs.value()->metrics().counter("crfs.read.prefetch_issued").value(), issued_off);
+}
+
+TEST_F(ReadPath, RestoreBitIdenticalAcrossBackendsAndModes) {
+  struct Case {
+    const char* label;
+    std::shared_ptr<BackendFs> backend;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"mem", std::make_shared<MemBackend>()});
+  {
+    auto t = std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(), 512.0 * MiB);
+    t->throttle_reads(true);
+    cases.push_back({"throttled", t});
+  }
+  {
+    const auto pdir = dir_ / "restore";
+    std::filesystem::create_directories(pdir);
+    auto b = PosixBackend::create(pdir.string());
+    ASSERT_TRUE(b.ok());
+    cases.push_back({"posix", std::shared_ptr<BackendFs>(std::move(b.value()))});
+  }
+
+  const auto image = blcr::ProcessImage::synthesize(17, 6 * MiB, 55);
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto fs = Crfs::mount(c.backend, Config{.chunk_size = 256 * KiB, .pool_size = 2 * MiB});
+    ASSERT_TRUE(fs.ok());
+    FuseShim shim(*fs.value(), FuseOptions{});
+
+    std::uint64_t crc = 0;
+    {
+      auto f = File::open(shim, "rank0.ckpt", {.create = true, .truncate = true, .write = true});
+      ASSERT_TRUE(f.ok());
+      blcr::CrfsFileSink sink(f.value());
+      auto written = blcr::CheckpointWriter::write_image(image, sink);
+      ASSERT_TRUE(written.ok());
+      crc = written.value();
+      ASSERT_TRUE(f.value().close().ok());
+    }
+
+    // Restore 1: readahead on (mount default).
+    {
+      auto f = File::open(shim, "rank0.ckpt",
+                          {.create = false, .truncate = false, .write = false});
+      ASSERT_TRUE(f.ok());
+      blcr::CrfsFileSource source(f.value());
+      auto restored = blcr::RestartReader::read_image(source);
+      ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+      EXPECT_EQ(restored.value().payload_crc, crc);
+    }
+
+    // Restore 2: readahead off via the knob plane.
+    fs.value()->tune("readahead", 0.0);
+    {
+      auto f = File::open(shim, "rank0.ckpt",
+                          {.create = false, .truncate = false, .write = false});
+      ASSERT_TRUE(f.ok());
+      blcr::CrfsFileSource source(f.value());
+      auto restored = blcr::RestartReader::read_image(source);
+      ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+      EXPECT_EQ(restored.value().payload_crc, crc);
+    }
+
+    // Restore 3: retuned mid-stream — window shrunk, prefetch switched off,
+    // then back on wider, all while the reader is inside the image.
+    fs.value()->tune("readahead", 1.0);
+    {
+      auto f = File::open(shim, "rank0.ckpt",
+                          {.create = false, .truncate = false, .write = false});
+      ASSERT_TRUE(f.ok());
+      std::uint64_t seen = 0;
+      int stage = 0;
+      blcr::FnSource source([&](std::span<std::byte> out) -> Result<std::size_t> {
+        if (stage == 0 && seen > 1 * MiB) {
+          fs.value()->tune("readahead_window", 1.0);
+          stage = 1;
+        } else if (stage == 1 && seen > 2 * MiB) {
+          fs.value()->tune("readahead", 0.0);
+          stage = 2;
+        } else if (stage == 2 && seen > 4 * MiB) {
+          fs.value()->tune("readahead", 1.0);
+          fs.value()->tune("readahead_window", 8.0);
+          stage = 3;
+        }
+        auto r = f.value().read(out);
+        if (r.ok()) seen += r.value();
+        return r;
+      });
+      auto restored = blcr::RestartReader::read_image(source);
+      ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+      EXPECT_EQ(restored.value().payload_crc, crc);
+      EXPECT_EQ(stage, 3) << "mid-stream retune points never reached";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crfs

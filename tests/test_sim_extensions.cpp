@@ -7,8 +7,10 @@
 #include "blcr/process_image.h"
 #include "blcr/restart_reader.h"
 #include "common/units.h"
+#include "sim/crfs_sim.h"
 #include "sim/experiment.h"
 #include "sim/pvfs2_sim.h"
+#include "sim/throttled_sim.h"
 
 namespace crfs::sim {
 namespace {
@@ -146,3 +148,134 @@ INSTANTIATE_TEST_SUITE_P(Offsets, CorruptionSweep,
 
 }  // namespace
 }  // namespace crfs::blcr
+
+// ---- restart-scan (read-path) mirror ------------------------------------
+
+namespace crfs::sim {
+namespace {
+
+struct RestoreRun {
+  double t_final = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t wasted = 0;
+  std::uint64_t sync_preads = 0;
+  std::uint64_t backend_reads = 0;
+  std::string metrics_json;
+};
+
+// Checkpoint `file_bytes`, close, then restore it with a sequential
+// chunk-sized scan — the virtual-time twin of blcr::RestartReader over a
+// CRFS mount.
+RestoreRun run_restore(bool readahead, unsigned window, std::uint64_t file_bytes) {
+  Simulation sim;
+  Calibration cal;
+  ThrottledBackendSim backend(
+      sim, ThrottledBackendSim::Options{.bw = 64.0 * MiB, .alpha = 0.0,
+                                        .per_call = 300e-6});
+  crfs::Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 16 * MiB;
+  cfg.readahead = readahead;
+  cfg.readahead_window = window;
+  CrfsSimNode node(sim, cal, backend, 0, cfg, crfs::FuseOptions{}, 1);
+  node.start();
+  sim.spawn([](Simulation&, CrfsSimNode& n, std::uint64_t bytes) -> Task {
+    co_await n.app_write(1, bytes);
+    co_await n.close_file(1);
+    for (std::uint64_t off = 0; off < bytes; off += 1 * MiB) {
+      co_await n.app_read(1, off, 1 * MiB);
+    }
+    co_await n.close_file(1);
+  }(sim, node, file_bytes));
+
+  RestoreRun out;
+  out.t_final = sim.run();
+  auto& m = node.metrics();
+  out.ops = m.counter("crfs.read.ops").value();
+  out.bytes = m.counter("crfs.read.bytes").value();
+  out.issued = m.counter("crfs.read.prefetch_issued").value();
+  out.hits = m.counter("crfs.read.prefetch_hits").value();
+  out.wasted = m.counter("crfs.read.prefetch_wasted").value();
+  out.sync_preads = m.counter("crfs.read.sync_preads").value();
+  out.backend_reads = backend.read_calls();
+  out.metrics_json = m.snapshot().to_json();
+  return out;
+}
+
+TEST(SimReadMirror, SequentialScanPrefetchesWithoutDoubleFetching) {
+  const RestoreRun r = run_restore(/*readahead=*/true, /*window=*/4, 32 * MiB);
+  EXPECT_EQ(r.ops, 32u);
+  EXPECT_EQ(r.bytes, 32 * MiB);
+  EXPECT_GT(r.issued, 0u);
+  EXPECT_GT(r.hits, 0u);
+  // Every byte leaves the backend exactly once: no wasted prefetch on a
+  // straight scan, and issued + sync tails account for all 32 chunks.
+  EXPECT_EQ(r.wasted, 0u);
+  EXPECT_EQ(r.backend_reads, 32u);
+  EXPECT_EQ(r.issued + r.sync_preads, 32u);
+}
+
+TEST(SimReadMirror, ReadaheadOffFallsBackToBlockingReads) {
+  const RestoreRun r = run_restore(/*readahead=*/false, /*window=*/4, 32 * MiB);
+  EXPECT_EQ(r.issued, 0u);
+  EXPECT_EQ(r.hits, 0u);
+  EXPECT_EQ(r.sync_preads, 32u);
+  EXPECT_EQ(r.backend_reads, 32u);
+}
+
+TEST(SimReadMirror, ReadaheadOverlapsTheRestoreScan) {
+  // Linear backend (alpha=0): total backend busy time is identical either
+  // way, so any virtual-time win is pure overlap of prefetch with the
+  // FUSE/copy-out side of the scan — the effect bench_restore measures.
+  const RestoreRun on = run_restore(true, 4, 32 * MiB);
+  const RestoreRun off = run_restore(false, 4, 32 * MiB);
+  EXPECT_LT(on.t_final, off.t_final);
+}
+
+TEST(SimReadMirror, ReplaysAreByteIdentical) {
+  const RestoreRun a = run_restore(true, 4, 32 * MiB);
+  const RestoreRun b = run_restore(true, 4, 32 * MiB);
+  EXPECT_DOUBLE_EQ(a.t_final, b.t_final);
+  // Full registry snapshot — counters AND virtual-ns histograms — must
+  // replay byte-for-byte, like the write-side epoch/slow mirrors.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(SimReadMirror, SeekEvictsTheWindowAndKnobsRetuneMidScan) {
+  Simulation sim;
+  Calibration cal;
+  ThrottledBackendSim backend(sim, ThrottledBackendSim::Options{});
+  crfs::Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 16 * MiB;
+  CrfsSimNode node(sim, cal, backend, 0, cfg, crfs::FuseOptions{}, 1);
+  node.start();
+  sim.spawn([](Simulation&, CrfsSimNode& n) -> Task {
+    co_await n.app_write(1, 16 * MiB);
+    co_await n.close_file(1);
+    // Arm the prefetcher, then seek back to the start mid-window.
+    for (std::uint64_t off = 0; off < 4 * MiB; off += 1 * MiB) {
+      co_await n.app_read(1, off, 1 * MiB);
+    }
+    co_await n.app_read(1, 0, 1 * MiB);
+    // Shed the window to 1 and switch prefetch off, like the controller's
+    // shed_readahead rule; the scan must keep completing.
+    (void)n.knob_plane().tune("readahead_window", 1.0);
+    (void)n.knob_plane().tune("readahead", 0.0);
+    for (std::uint64_t off = 1 * MiB; off < 8 * MiB; off += 1 * MiB) {
+      co_await n.app_read(1, off, 1 * MiB);
+    }
+    co_await n.close_file(1);
+  }(sim, node));
+  sim.run();
+  auto& m = node.metrics();
+  EXPECT_GT(m.counter("crfs.read.prefetch_wasted").value(), 0u);
+  EXPECT_EQ(m.counter("crfs.read.ops").value(), 12u);
+  EXPECT_EQ(m.counter("crfs.read.bytes").value(), 12 * MiB);
+}
+
+}  // namespace
+}  // namespace crfs::sim
