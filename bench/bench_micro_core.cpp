@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "backend/mem_backend.h"
@@ -332,6 +333,84 @@ bool report_ledger_overhead() {
   return pass;
 }
 
+// Journal + SLO write-path overhead guard: the same fixed multi-writer
+// checkpoint with the sampler on (10 ms) in both runs and, on the ON
+// side, journal=<dir> plus SLO burn-rate tracking added. The journal
+// only ever sees cold-path appends (sampler tick, events), so what it
+// adds on top of an already-sampling mount must stay within the
+// documented <= 5% budget (docs/OBSERVABILITY.md "Durable journal"). Printed as BENCH_OBS_JOURNAL_* lines and written
+// to BENCH_JOURNAL.json for CI to archive and bench_regress.py to diff.
+double time_journal_checkpoint_s(bool journaled) {
+  Config cfg;
+  cfg.chunk_size = 1 * MiB;
+  cfg.pool_size = 8 * MiB;
+  cfg.io_threads = 2;
+  cfg.sample_ms = 10;  // both sides sample; the delta isolates journal+slo
+  std::string dir;
+  if (journaled) {
+    dir = std::filesystem::temp_directory_path().string() + "/crfs_bench_journal";
+    std::filesystem::remove_all(dir);
+    cfg.journal_dir = dir;
+    cfg.slo_lag_ms = 1000;  // quiescent targets: track burn, never breach
+    cfg.slo_stall_pct = 90;
+  }
+  auto fs = Crfs::mount(std::make_shared<MemBackend>(), cfg);
+  if (!fs.ok()) return 0.0;
+  FuseShim shim(*fs.value(), FuseOptions{});
+
+  constexpr int kWriters = 4;
+  constexpr std::size_t kPerWriter = 32 * MiB;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto h = shim.open("bench_journal_rank" + std::to_string(w),
+                         {.create = true, .truncate = true, .write = true});
+      if (!h.ok()) return;
+      std::vector<std::byte> buf(128 * KiB, std::byte{9});
+      for (std::size_t off = 0; off < kPerWriter; off += buf.size()) {
+        (void)shim.write(h.value(), buf, off);
+      }
+      (void)shim.fsync(h.value());
+      (void)shim.close(h.value());
+    });
+  }
+  for (auto& t : writers) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  fs.value().reset();  // stop sampler + journal before deleting the dir
+  if (!dir.empty()) std::filesystem::remove_all(dir);
+  return secs;
+}
+
+bool report_journal_overhead() {
+  constexpr int kReps = 5;
+  constexpr double kBudgetPct = 5.0;
+  double best_off = 1e30, best_on = 1e30;
+  for (int i = 0; i < kReps; ++i) {
+    best_off = std::min(best_off, time_journal_checkpoint_s(false));
+    best_on = std::min(best_on, time_journal_checkpoint_s(true));
+  }
+  const double overhead_pct = best_off > 0 ? 100.0 * (best_on - best_off) / best_off : 0.0;
+  const bool pass = overhead_pct <= kBudgetPct;
+  std::printf("\n-- journal+slo overhead (best of %d, 4 writers x 32 MiB) --\n", kReps);
+  std::printf("BENCH_OBS_JOURNAL_OFF %.4f s\n", best_off);
+  std::printf("BENCH_OBS_JOURNAL_ON  %.4f s\n", best_on);
+  std::printf("BENCH_OBS_JOURNAL_OVERHEAD %.2f %% (budget <= %.0f%%)\n", overhead_pct,
+              kBudgetPct);
+  std::printf("BENCH_OBS_JOURNAL_GUARD %s\n", pass ? "PASS" : "FAIL");
+  if (std::FILE* f = std::fopen("BENCH_JOURNAL.json", "w")) {
+    std::fprintf(f,
+                 "{\"journal_off_s\":%.6f,\"journal_on_s\":%.6f,"
+                 "\"journal_overhead_pct\":%.3f,\"budget_pct\":%.1f,"
+                 "\"guard\":\"%s\"}\n",
+                 best_off, best_on, overhead_pct, kBudgetPct, pass ? "PASS" : "FAIL");
+    std::fclose(f);
+    std::printf("wrote BENCH_JOURNAL.json\n");
+  }
+  return pass;
+}
+
 // Controller idle-overhead guard: the same fixed multi-writer checkpoint
 // with the sampler on (10 ms) and the feedback controller off vs on. On
 // a healthy MemBackend pipeline the conservative rule thresholds never
@@ -483,6 +562,7 @@ int main(int argc, char** argv) {
   // noise); CI greps BENCH_OBS_LEDGER_GUARD / BENCH_CONTROL_GUARD and
   // archives BENCH_OBS.json / BENCH_CONTROL.json.
   (void)crfs::report_ledger_overhead();
+  (void)crfs::report_journal_overhead();
   (void)crfs::report_control_overhead();
   (void)crfs::report_trace_overhead();
   return 0;

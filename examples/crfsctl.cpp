@@ -53,6 +53,23 @@
 //                                         run the workload with the
 //                                         feedback controller enabled;
 //                                         print the decision log
+//   crfsctl timeline <dir> [--since=SEC] [--json]
+//                                         read a mount's durable telemetry
+//                                         journal (the directory itself or
+//                                         a mount dir with .crfs/journal)
+//                                         and print 1 s time buckets of
+//                                         write rate, durability-lag p99,
+//                                         and occupancy, with checkpoint
+//                                         epochs overlaid — works after
+//                                         the writing process is gone,
+//                                         torn tails are reported, not
+//                                         fatal
+//   crfsctl slo <dir> [--json]            replay the journal's sample
+//                                         frames through the SLO burn-rate
+//                                         monitor (targets recovered from
+//                                         the journal meta frame) and
+//                                         print per-objective burn rates
+//                                         and breaches
 //   crfsctl epochs <dir> <set>            list a CheckpointSet's epochs
 //   crfsctl verify <dir> <set> [epoch]    verify an epoch (default latest)
 //
@@ -75,6 +92,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -89,9 +107,11 @@
 #include "obs/chrome_trace.h"
 #include "obs/controller.h"
 #include "obs/epoch.h"
+#include "obs/journal.h"
 #include "obs/json_lite.h"
 #include "obs/prom.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/slow_store.h"
 
 using namespace crfs;
@@ -121,6 +141,8 @@ int usage() {
                "       crfsctl tune <dir> <knob=value[,knob=value...]> "
                "[mount-options] [--json]\n"
                "       crfsctl controller <dir> [mount-options] [--json]\n"
+               "       crfsctl timeline <dir> [--since=SEC] [--json]\n"
+               "       crfsctl slo <dir> [--json]\n"
                "       crfsctl epochs <dir> <set>\n"
                "       crfsctl verify <dir> <set> [epoch]\n");
   return 64;
@@ -731,6 +753,299 @@ int cmd_postmortem(int argc, char** argv) {
   return 0;
 }
 
+// Journal-directory operand shared by `timeline` and `slo`: accepts the
+// journal directory itself or a mount directory holding the conventional
+// .crfs/journal subdirectory (the journal= layout the docs recommend).
+std::string resolve_journal_dir(const char* operand) {
+  std::error_code ec;
+  const std::filesystem::path nested =
+      std::filesystem::path(operand) / ".crfs" / "journal";
+  if (std::filesystem::is_directory(nested, ec)) return nested.string();
+  return operand;
+}
+
+double jnum(const obs::json::Value* obj, const char* key) {
+  if (obj == nullptr) return 0.0;
+  const auto* v = obj->get(key);
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+// `crfsctl timeline`: offline reconstruction of a mount's telemetry from
+// the durable journal — the tool you reach for after the writer was
+// SIGKILLed. Sample frames carry cumulative totals, so per-bucket rates
+// are consecutive-frame deltas; a torn tail (normal after a kill) costs
+// at most the one partial frame the CRC rejected.
+int cmd_timeline(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  double since_s = -1.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strncmp(argv[i], "--since=", 8) == 0) {
+      since_s = std::atof(argv[i] + 8);
+      if (since_s < 0) {
+        std::fprintf(stderr, "error: bad --since value: %s\n", argv[i]);
+        return kExitBadArgs;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return kExitBadArgs;
+    }
+  }
+  const std::string dir = resolve_journal_dir(argv[2]);
+  const auto res = obs::JournalReader::read_dir(dir);
+  if (!res.ok) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return kExitMalformed;
+  }
+
+  struct Point {
+    std::uint64_t ts_ns = 0, pwrite_bytes = 0, pwrites = 0;
+    std::uint64_t lag_p99_ns = 0, lag_n = 0;
+    long long queue_depth = 0, free_chunks = 0;
+  };
+  struct EpochRow {
+    std::uint64_t id = 0, start_ns = 0, end_ns = 0, bytes = 0;
+    std::string label;
+  };
+  std::vector<Point> pts;
+  std::vector<EpochRow> epochs;
+  std::size_t events = 0, slow = 0;
+  for (const auto& rec : res.records) {
+    const auto doc = obs::json::parse(rec.payload);
+    if (!doc.has_value() || !doc->is_object()) continue;
+    if (rec.type == obs::FrameType::kSample) {
+      Point p;
+      p.ts_ns = static_cast<std::uint64_t>(jnum(&*doc, "ts_ns"));
+      p.pwrite_bytes = static_cast<std::uint64_t>(jnum(&*doc, "pwrite_bytes"));
+      p.pwrites = static_cast<std::uint64_t>(jnum(&*doc, "pwrites"));
+      p.lag_p99_ns = static_cast<std::uint64_t>(jnum(&*doc, "lag_p99_ns"));
+      p.lag_n = static_cast<std::uint64_t>(jnum(&*doc, "lag_n"));
+      p.queue_depth = static_cast<long long>(jnum(&*doc, "queue_depth"));
+      p.free_chunks = static_cast<long long>(jnum(&*doc, "free_chunks"));
+      pts.push_back(p);
+    } else if (rec.type == obs::FrameType::kEpoch) {
+      EpochRow e;
+      e.id = static_cast<std::uint64_t>(jnum(&*doc, "id"));
+      e.start_ns = static_cast<std::uint64_t>(jnum(&*doc, "start_ns"));
+      e.end_ns = static_cast<std::uint64_t>(jnum(&*doc, "end_ns"));
+      e.bytes = static_cast<std::uint64_t>(jnum(&*doc, "bytes"));
+      const auto* label = doc->get("label");
+      if (label != nullptr && label->is_string()) e.label = label->string;
+      epochs.push_back(e);
+    } else if (rec.type == obs::FrameType::kEvent) {
+      ++events;
+    } else if (rec.type == obs::FrameType::kSlow) {
+      ++slow;
+    }
+  }
+
+  // 1 s buckets on the journal's own clock, origin = first sample frame.
+  // Rates are deltas between consecutive frames, attributed to the bucket
+  // of the later frame; the lag column keeps the worst p99 in the bucket.
+  const std::uint64_t t0 = pts.empty() ? 0 : pts.front().ts_ns;
+  struct Bucket {
+    std::uint64_t pwrite_bytes = 0, pwrites = 0, lag_p99_ns = 0, samples = 0;
+    long long queue_depth = 0, free_chunks = 0;
+  };
+  std::map<std::uint64_t, Bucket> buckets;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const std::uint64_t sec = (pts[i].ts_ns - t0) / 1'000'000'000;
+    Bucket& b = buckets[sec];
+    b.pwrite_bytes += pts[i].pwrite_bytes - pts[i - 1].pwrite_bytes;
+    b.pwrites += pts[i].pwrites - pts[i - 1].pwrites;
+    if (pts[i].lag_n > 0) b.lag_p99_ns = std::max(b.lag_p99_ns, pts[i].lag_p99_ns);
+    b.queue_depth = pts[i].queue_depth;
+    b.free_chunks = pts[i].free_chunks;
+    b.samples += 1;
+  }
+  if (since_s >= 0) {
+    std::erase_if(buckets, [&](const auto& kv) {
+      return static_cast<double>(kv.first) < since_s;
+    });
+  }
+
+  if (as_json) {
+    std::string out = "{\"crfs_timeline\":1";
+    out += ",\"journal_dir\":\"" + dir + "\"";
+    out += ",\"segments\":" + std::to_string(res.segments);
+    out += ",\"records\":" + std::to_string(res.records.size());
+    out += ",\"samples\":" + std::to_string(pts.size());
+    out += ",\"torn_tail\":" + std::string(res.torn_tail ? "true" : "false");
+    out += ",\"torn_bytes\":" + std::to_string(res.torn_bytes);
+    out += ",\"t0_ns\":" + std::to_string(t0);
+    out += ",\"bucket_s\":1,\"buckets\":[";
+    bool first = true;
+    for (const auto& [sec, b] : buckets) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"t_s\":" + std::to_string(sec);
+      out += ",\"pwrite_bytes\":" + std::to_string(b.pwrite_bytes);
+      out += ",\"pwrites\":" + std::to_string(b.pwrites);
+      out += ",\"lag_p99_ns\":" + std::to_string(b.lag_p99_ns);
+      out += ",\"queue_depth\":" + std::to_string(b.queue_depth);
+      out += ",\"free_chunks\":" + std::to_string(b.free_chunks);
+      out += ",\"samples\":" + std::to_string(b.samples) + "}";
+    }
+    out += "],\"epochs\":[";
+    first = true;
+    for (const auto& e : epochs) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"id\":" + std::to_string(e.id);
+      out += ",\"label\":\"" + e.label + "\"";
+      out += ",\"start_ns\":" + std::to_string(e.start_ns);
+      out += ",\"end_ns\":" + std::to_string(e.end_ns);
+      out += ",\"bytes\":" + std::to_string(e.bytes) + "}";
+    }
+    out += "],\"events\":" + std::to_string(events);
+    out += ",\"slow\":" + std::to_string(slow);
+    out += ",\"meta\":";
+    out += res.meta_json.empty() ? std::string("null") : res.meta_json;
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("crfsctl timeline: %s (%zu segments, %zu records, %zu samples%s)\n",
+              dir.c_str(), res.segments, res.records.size(), pts.size(),
+              res.torn_tail ? ", TORN TAIL" : "");
+  if (res.torn_tail) {
+    std::printf("torn tail: %llu bytes abandoned at a CRC-rejected partial frame "
+                "(normal after SIGKILL; every prior record was recovered)\n",
+                static_cast<unsigned long long>(res.torn_bytes));
+  }
+  TextTable table({"T", "IO", "Pwrites", "Lag p99", "Queue", "Free"});
+  for (const auto& [sec, b] : buckets) {
+    char io[32], lag[32];
+    std::snprintf(io, sizeof(io), "%.1f MB/s", static_cast<double>(b.pwrite_bytes) / 1e6);
+    std::snprintf(lag, sizeof(lag), "%.2f ms", static_cast<double>(b.lag_p99_ns) / 1e6);
+    std::printf("BUCKET t=%llus pwrite_bytes=%llu pwrites=%llu lag_p99_ns=%llu "
+                "queue=%lld free=%lld\n",
+                static_cast<unsigned long long>(sec),
+                static_cast<unsigned long long>(b.pwrite_bytes),
+                static_cast<unsigned long long>(b.pwrites),
+                static_cast<unsigned long long>(b.lag_p99_ns), b.queue_depth,
+                b.free_chunks);
+    table.add_row({std::to_string(sec) + "s", io, std::to_string(b.pwrites), lag,
+                   std::to_string(b.queue_depth), std::to_string(b.free_chunks)});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& e : epochs) {
+    std::printf("EPOCH id=%llu label=%s start=%.2fs end=%.2fs bytes=%llu\n",
+                static_cast<unsigned long long>(e.id), e.label.c_str(),
+                e.start_ns >= t0 ? static_cast<double>(e.start_ns - t0) / 1e9 : 0.0,
+                e.end_ns >= t0 ? static_cast<double>(e.end_ns - t0) / 1e9 : 0.0,
+                static_cast<unsigned long long>(e.bytes));
+  }
+  std::printf("events=%zu slow_exemplars=%zu\n", events, slow);
+  return 0;
+}
+
+// `crfsctl slo`: offline burn-rate replay. The meta frame at the head of
+// every segment carries the mount's SLO targets; sample frames carry the
+// already-windowed inputs the live monitor consumed, so replaying them
+// through a fresh SloMonitor reproduces the burn rates and breach edges
+// the dead process saw.
+int cmd_slo(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool as_json = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return kExitBadArgs;
+    }
+  }
+  const std::string dir = resolve_journal_dir(argv[2]);
+  const auto res = obs::JournalReader::read_dir(dir);
+  if (!res.ok) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return kExitMalformed;
+  }
+  const auto meta = obs::json::parse(res.meta_json);
+  const obs::json::Value* slo_cfg =
+      meta.has_value() && meta->is_object() ? meta->get("slo") : nullptr;
+  if (slo_cfg == nullptr || !slo_cfg->is_object()) {
+    if (as_json) {
+      std::printf("{\"enabled\":false}\n");
+    } else {
+      std::printf("no SLO targets in journal meta (mount with slo_lag_ms/"
+                  "slo_stall_pct/slo_ttfb_ms to arm the monitor)\n");
+    }
+    return 0;
+  }
+  obs::SloConfig cfg;
+  cfg.lag_p99_ns = static_cast<std::uint64_t>(jnum(slo_cfg, "lag_p99_ns"));
+  cfg.stall_ratio = jnum(slo_cfg, "stall_ratio_ppm") / 1e6;
+  cfg.ttfb_p99_ns = static_cast<std::uint64_t>(jnum(slo_cfg, "ttfb_p99_ns"));
+  cfg.short_window_ns =
+      static_cast<std::uint64_t>(jnum(slo_cfg, "short_window_s")) * 1'000'000'000;
+  cfg.long_window_ns =
+      static_cast<std::uint64_t>(jnum(slo_cfg, "long_window_s")) * 1'000'000'000;
+  cfg.budget = jnum(slo_cfg, "budget_milli") / 1e3;
+  cfg.burn_threshold = jnum(slo_cfg, "burn_threshold_milli") / 1e3;
+
+  obs::Registry reg;
+  obs::EventBuffer breach_events;
+  obs::SloMonitor mon(cfg, &reg, &breach_events);
+  std::size_t replayed = 0;
+  for (const auto& rec : res.records) {
+    if (rec.type != obs::FrameType::kSample) continue;
+    const auto doc = obs::json::parse(rec.payload);
+    if (!doc.has_value() || !doc->is_object()) continue;
+    obs::SloInput in;
+    in.ts_ns = static_cast<std::uint64_t>(jnum(&*doc, "ts_ns"));
+    in.lag_p99_ns = jnum(&*doc, "lag_p99_ns");
+    in.lag_n = static_cast<std::uint64_t>(jnum(&*doc, "lag_n"));
+    in.stall_ratio = jnum(&*doc, "stall_ratio_ppm") / 1e6;
+    in.stall_n = static_cast<std::uint64_t>(jnum(&*doc, "stall_n"));
+    in.ttfb_p99_ns = jnum(&*doc, "ttfb_p99_ns");
+    in.ttfb_n = static_cast<std::uint64_t>(jnum(&*doc, "ttfb_n"));
+    mon.observe(in);
+    ++replayed;
+  }
+
+  if (as_json) {
+    std::printf("%s\n", mon.to_json().c_str());
+    return 0;
+  }
+  std::printf("crfsctl slo: replayed %zu sample frames from %s%s\n", replayed,
+              dir.c_str(), res.torn_tail ? " (torn tail)" : "");
+  const auto doc = obs::json::parse(mon.to_json());
+  const auto* objectives =
+      doc.has_value() ? doc->get("objectives") : nullptr;
+  if (objectives != nullptr && objectives->is_array()) {
+    TextTable table({"Objective", "Target", "Burn 5m", "Burn 1h", "Bad/Obs", "Breached"});
+    for (const auto& o : *objectives->array) {
+      const auto* name = o.get("name");
+      const auto* breached = o.get("breached");
+      const bool fired = breached != nullptr && breached->boolean;
+      char bs[32], bl[32];
+      std::snprintf(bs, sizeof(bs), "%.2f", jnum(&o, "burn_short_milli") / 1e3);
+      std::snprintf(bl, sizeof(bl), "%.2f", jnum(&o, "burn_long_milli") / 1e3);
+      std::printf("SLO name=%s burn_short_milli=%.0f burn_long_milli=%.0f "
+                  "breached=%d breaches=%.0f\n",
+                  name != nullptr && name->is_string() ? name->string.c_str() : "?",
+                  jnum(&o, "burn_short_milli"), jnum(&o, "burn_long_milli"),
+                  fired ? 1 : 0, jnum(&o, "breaches"));
+      table.add_row({name != nullptr && name->is_string() ? name->string : "?",
+                     std::to_string(static_cast<long long>(jnum(&o, "target"))), bs, bl,
+                     std::to_string(static_cast<long long>(jnum(&o, "bad_short"))) + "/" +
+                         std::to_string(static_cast<long long>(jnum(&o, "obs_short"))),
+                     fired ? "YES" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  for (const auto& ev : breach_events.snapshot()) {
+    std::printf("EVENT %s %s: %s\n", obs::severity_name(ev.severity), ev.rule.c_str(),
+                ev.message.c_str());
+  }
+  return 0;
+}
+
 // Decision-log table shared by `crfsctl tune` and `crfsctl controller`.
 void print_decisions(const std::vector<obs::CtlDecision>& decisions) {
   if (decisions.empty()) {
@@ -1206,6 +1521,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "knobs") == 0) return cmd_knobs(argc, argv);
   if (std::strcmp(argv[1], "tune") == 0) return cmd_tune(argc, argv);
   if (std::strcmp(argv[1], "controller") == 0) return cmd_controller(argc, argv);
+  if (std::strcmp(argv[1], "timeline") == 0) return cmd_timeline(argc, argv);
+  if (std::strcmp(argv[1], "slo") == 0) return cmd_slo(argc, argv);
   if (std::strcmp(argv[1], "epochs") == 0) return cmd_epochs(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
   return usage();

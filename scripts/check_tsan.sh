@@ -8,8 +8,11 @@
 # bypass racing queued chunks, concurrent streams over both engines), and
 # test_control (knob-plane snapshot publication racing tunes, the
 # controller ticking on a real sampler thread while other threads read
-# the decision log), and test_read_path (readahead prefetcher racing
-# appending writers, flush-before-read barriers under concurrent reads).
+# the decision log), test_read_path (readahead prefetcher racing
+# appending writers, flush-before-read barriers under concurrent reads),
+# and test_journal (journal flusher thread racing cold-path appends, the
+# SLO monitor ticking on the sampler thread, a real ThrottledBackend
+# mount driving breach events from IO threads).
 # Any data-race report fails the run (TSan exits non-zero).
 set -euo pipefail
 
@@ -19,7 +22,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-2}
 
 cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control test_read_path
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control test_read_path test_journal
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs
@@ -30,5 +33,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_io_engine
 "$BUILD_DIR"/tests/test_control
 "$BUILD_DIR"/tests/test_read_path
+# The SIGKILL crash-recovery test forks; fork + TSan don't mix, so the
+# JournalCrash suite is skipped here (it runs in the plain ctest job).
+"$BUILD_DIR"/tests/test_journal --gtest_filter='-JournalCrash.*'
 
 echo "TSan: clean"

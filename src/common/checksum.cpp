@@ -24,6 +24,25 @@ const std::array<std::uint64_t, 256>& table() {
   return t;
 }
 
+constexpr std::uint32_t kPoly32 = 0xEDB88320U;  // IEEE 802.3, reflected
+
+std::array<std::uint32_t, 256> make_table32() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly32 : crc >> 1;
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table32() {
+  static const auto t = make_table32();
+  return t;
+}
+
 }  // namespace
 
 Crc64::Crc64() : state_(~0ULL) {}
@@ -42,6 +61,26 @@ void Crc64::update(const void* data, std::size_t size) {
 
 std::uint64_t Crc64::of(const void* data, std::size_t size) {
   Crc64 c;
+  c.update(data, size);
+  return c.digest();
+}
+
+Crc32::Crc32() : state_(~0U) {}
+
+void Crc32::update(std::span<const std::byte> data) {
+  update(data.data(), data.size());
+}
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table32();
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ = t[(state_ ^ p[i]) & 0xFF] ^ (state_ >> 8);
+  }
+}
+
+std::uint32_t Crc32::of(const void* data, std::size_t size) {
+  Crc32 c;
   c.update(data, size);
   return c.digest();
 }

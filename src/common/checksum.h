@@ -27,4 +27,23 @@ class Crc64 {
   std::uint64_t state_;
 };
 
+/// Incremental CRC32 (IEEE 802.3, reflected). Smaller than Crc64 on purpose:
+/// journal frame headers carry it inline, and 4 bytes per frame is enough to
+/// reject a torn tail.
+class Crc32 {
+ public:
+  Crc32();
+
+  void update(std::span<const std::byte> data);
+  void update(const void* data, std::size_t size);
+
+  std::uint32_t digest() const { return ~state_; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(const void* data, std::size_t size);
+
+ private:
+  std::uint32_t state_;
+};
+
 }  // namespace crfs

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "obs/health.h"
+#include "obs/slo.h"
 
 namespace crfs {
 
@@ -204,6 +205,41 @@ struct Config {
   /// shim; Crfs::tune and crfsctl tune keep working either way.
   std::string tune_marker_path = ".crfs_tune";
 
+  /// Durable telemetry journal (docs/OBSERVABILITY.md "Durable journal"):
+  /// when non-empty, an obs::Journal persists sample frames, events,
+  /// finished epochs, and slow exemplars as CRC32-framed records under
+  /// this directory (convention: `<mountdir>/.crfs/journal`), readable
+  /// after the process is gone via `crfsctl timeline` / `crfsctl slo`.
+  /// Mount option `journal=<dir>`.
+  std::string journal_dir{};
+
+  /// fsync cadence for the current journal segment, in milliseconds; 0
+  /// never fsyncs mid-segment (rotation still seals finished segments).
+  /// Runtime-tunable via the `journal_fsync_ms` knob. Mount option
+  /// `journal_fsync_ms=N`.
+  unsigned journal_fsync_ms = 1000;
+
+  /// Background journal flusher cadence (pending frames -> segment file).
+  unsigned journal_flush_ms = 200;
+
+  /// Segment rotation size and total on-disk retention bound for the
+  /// journal directory (oldest segments unlinked past the bound).
+  std::size_t journal_segment_bytes = 1 * MiB;
+  std::size_t journal_max_bytes = 16 * MiB;
+
+  /// SLO burn-rate monitor (docs/OBSERVABILITY.md "SLOs and burn rates").
+  /// A non-zero target enables that objective; any enabled objective
+  /// requires sample_ms > 0 (the monitor runs on the Sampler tick path).
+  /// Mount options `slo_lag_ms=`, `slo_stall_pct=`, `slo_ttfb_ms=`.
+  unsigned slo_lag_ms = 0;     ///< durability-lag p99 target (ms)
+  unsigned slo_stall_pct = 0;  ///< pool-stall wall-time share target (%)
+  unsigned slo_ttfb_ms = 0;    ///< restore read p99 target (ms)
+
+  /// Burn-rate window pair, seconds. Mount options `slo_short_s=`,
+  /// `slo_long_s=`.
+  unsigned slo_short_s = 300;
+  unsigned slo_long_s = 3600;
+
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
     if (chunk_size == 0) return Error{EINVAL, "chunk_size must be > 0"};
@@ -246,7 +282,38 @@ struct Config {
     if (tune_pool_max != 0 && tune_pool_max < pool_size) {
       return Error{EINVAL, "tune_pool_max must be >= pool_size"};
     }
+    if (!journal_dir.empty() && journal_segment_bytes == 0) {
+      return Error{EINVAL, "journal_segment_bytes must be > 0"};
+    }
+    if (!journal_dir.empty() && journal_max_bytes < journal_segment_bytes) {
+      return Error{EINVAL, "journal_max_bytes must be >= journal_segment_bytes"};
+    }
+    if ((slo_lag_ms > 0 || slo_stall_pct > 0 || slo_ttfb_ms > 0) && sample_ms == 0) {
+      return Error{EINVAL, "slo_* targets require sample_ms > 0"};
+    }
+    if (slo_stall_pct > 100) {
+      return Error{EINVAL, "slo_stall_pct must be in [0, 100]"};
+    }
+    if (slo_short_s == 0 || slo_long_s < slo_short_s) {
+      return Error{EINVAL, "slo windows need 0 < slo_short_s <= slo_long_s"};
+    }
     return {};
+  }
+
+  /// True when any SLO objective is enabled.
+  bool slo_enabled() const {
+    return slo_lag_ms > 0 || slo_stall_pct > 0 || slo_ttfb_ms > 0;
+  }
+
+  /// The obs::SloConfig this mount config implies.
+  obs::SloConfig slo_config() const {
+    obs::SloConfig slo;
+    slo.lag_p99_ns = static_cast<std::uint64_t>(slo_lag_ms) * 1'000'000;
+    slo.stall_ratio = static_cast<double>(slo_stall_pct) / 100.0;
+    slo.ttfb_p99_ns = static_cast<std::uint64_t>(slo_ttfb_ms) * 1'000'000;
+    slo.short_window_ns = static_cast<std::uint64_t>(slo_short_s) * 1'000'000'000;
+    slo.long_window_ns = static_cast<std::uint64_t>(slo_long_s) * 1'000'000'000;
+    return slo;
   }
 
   /// Number of chunks the pool will hold.
@@ -271,7 +338,12 @@ struct Config {
                 : "") +
            (controller ? " controller=on" : "") +
            (!epoch_tracking ? " epochs=off" : "") +
-           (!postmortem_path.empty() ? " postmortem=" + postmortem_path : "");
+           (!postmortem_path.empty() ? " postmortem=" + postmortem_path : "") +
+           (!journal_dir.empty() ? " journal=" + journal_dir : "") +
+           (slo_enabled() ? " slo=lag:" + std::to_string(slo_lag_ms) +
+                                "ms,stall:" + std::to_string(slo_stall_pct) +
+                                "%,ttfb:" + std::to_string(slo_ttfb_ms) + "ms"
+                          : "");
   }
 };
 

@@ -65,7 +65,33 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   c_pwrite_bytes_ = &metrics_.counter("crfs.io.pwrite_bytes");
   c_pwrite_errors_ = &metrics_.counter("crfs.io.pwrite_errors");
   c_bypass_bytes_ = &metrics_.counter("crfs.write.bypass_bytes");
+  c_m_reopens_ = &metrics_.counter("crfs.mount.reopens");
+  c_m_partial_flushes_ = &metrics_.counter("crfs.mount.partial_flushes");
+  c_m_full_flushes_ = &metrics_.counter("crfs.mount.full_flushes");
+  c_m_chunk_steals_ = &metrics_.counter("crfs.mount.chunk_steals");
+  c_m_bypass_writes_ = &metrics_.counter("crfs.mount.bypass_writes");
   queue_.set_wait_histogram(&metrics_.histogram("crfs.queue.wait_ns"));
+
+  // Durable journal (docs/OBSERVABILITY.md "Durable journal"). Constructed
+  // before the IO pool and the knob plane: the event listener below
+  // appends into it, and the journal_fsync_ms knob applies to it.
+  if (!cfg_.journal_dir.empty()) {
+    journal_ = std::make_unique<obs::Journal>(
+        obs::JournalOptions{.dir = cfg_.journal_dir,
+                            .segment_bytes = cfg_.journal_segment_bytes,
+                            .max_bytes = cfg_.journal_max_bytes,
+                            .flush_ms = cfg_.journal_flush_ms,
+                            .fsync_ms = cfg_.journal_fsync_ms},
+        &metrics_);
+  }
+  if (cfg_.slo_enabled()) {
+    // validate() guarantees sample_ms > 0, so the tick observer below will
+    // actually drive the monitor.
+    slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo_config(), &metrics_, &events_);
+  }
+  if (journal_ != nullptr || slo_ != nullptr) {
+    slo_extract_ = std::make_unique<obs::SloExtractor>();
+  }
 
   IoPoolObs io_obs;
   io_obs.pwrite_ns = h_pwrite_;
@@ -94,16 +120,23 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
     flight_ = std::make_unique<obs::FlightRecorder>(obs::FlightRecorder::Options{
         .path = cfg_.postmortem_path, .capacity = cfg_.postmortem_buffer});
     flight_->install_signal_handlers();
-    // Error bursts and failed pwrites should leave a dump even when the
-    // process survives them: refresh with the event included, then write
-    // the file. The listener runs outside the EventBuffer lock.
+    io_obs.on_run_complete = [this] { refresh_flight(/*force=*/false); };
+  }
+  // The event listener is a single slot, so compose its consumers here:
+  // the journal persists every structured event, the flight recorder
+  // dumps on criticals. Error bursts and failed pwrites should leave a
+  // dump even when the process survives them: refresh with the event
+  // included, then write the file. Runs outside the EventBuffer lock.
+  if (flight_ != nullptr || journal_ != nullptr) {
     events_.set_listener([this](const obs::Event& ev) {
-      if (ev.severity == obs::Severity::kCritical) {
+      if (journal_ != nullptr) {
+        journal_->append(obs::FrameType::kEvent, ev.ts_ns, ev.to_json());
+      }
+      if (flight_ != nullptr && ev.severity == obs::Severity::kCritical) {
         refresh_flight(/*force=*/true);
         (void)flight_->dump_now();
       }
     });
-    io_obs.on_run_complete = [this] { refresh_flight(/*force=*/false); };
   }
   // Cap the dequeue batch at half the pool: a batch's chunks stay parked
   // (and its writers starved) until the whole coalesced write lands, so a
@@ -232,7 +265,37 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
           const TuneResult r = knobs_->tune(name, requested);
           return obs::TuneOutcome{r.outcome, r.from, r.to, r.reason, r.generation};
         });
-    sampler_->set_tick_observer([this](const obs::Sample& s) { controller_->tick(s); });
+  }
+  // The tick observer is a single slot shared by the controller, the SLO
+  // monitor, and the journal; compose them here in a fixed order so the
+  // journal frame for a tick reflects the same sample the monitor saw.
+  if (sampler_ != nullptr && (controller_ != nullptr || slo_extract_ != nullptr)) {
+    sampler_->set_tick_observer([this](const obs::Sample& s) {
+      if (controller_ != nullptr) controller_->tick(s);
+      if (slo_extract_ != nullptr) {
+        const obs::SloInput in = slo_extract_->extract(s);
+        if (slo_ != nullptr) slo_->observe(in);
+        if (journal_ != nullptr) {
+          journal_->append(obs::FrameType::kSample, s.ts_ns,
+                           obs::journal_sample_json(s, in));
+        }
+      }
+      journal_poll_cold_sinks();
+    });
+  }
+
+  // Journal head: one meta frame describing the mount, the sampling
+  // cadence, and (when set) the SLO targets — enough for an offline
+  // `crfsctl slo` replay to rebuild the monitor after the process dies.
+  if (journal_ != nullptr) {
+    std::string meta = "{\"crfs_journal\":1,\"config\":\"";
+    append_json_escaped(meta, cfg_.describe());
+    meta += "\",\"sample_ms\":" + std::to_string(cfg_.sample_ms);
+    meta += ",\"slo\":";
+    meta += cfg_.slo_enabled() ? cfg_.slo_config().to_json() : std::string("null");
+    meta += "}";
+    journal_->set_meta(meta, obs::now_ns());
+    journal_->start();
   }
 
   if (sampler_ != nullptr) sampler_->start(std::chrono::milliseconds(cfg_.sample_ms));
@@ -371,6 +434,53 @@ void Crfs::define_knobs() {
         readahead_window_.store(static_cast<unsigned>(v), std::memory_order_relaxed);
         return true;
       });
+
+  // journal_fsync_ms: durability cadence of the telemetry journal; 0 means
+  // fsync only on rotation and shutdown. Picked up on the next flush.
+  knobs_->define(
+      KnobDef{"journal_fsync_ms", 0.0, 600000.0, "ms"},
+      static_cast<double>(cfg_.journal_fsync_ms),
+      [this](double v, double*, std::string* reason) {
+        if (journal_ == nullptr) {
+          *reason = "journal disabled (mount with journal=<dir>)";
+          return false;
+        }
+        journal_->set_fsync_ms(static_cast<unsigned>(v));
+        return true;
+      });
+}
+
+void Crfs::journal_poll_cold_sinks() {
+  // Epoch records and slow exemplars are pull-model stores with no change
+  // hooks; journal whatever finalized since the last tick. Monotonic
+  // totals guard against ring eviction: records()/snapshot() only hold the
+  // most recent N, so index from the tail by how many we still owe.
+  if (journal_ == nullptr) return;
+  if (epochs_ != nullptr) {
+    const std::uint64_t total = epochs_->total_finalized();
+    if (total > journaled_epochs_) {
+      const auto recs = epochs_->records();
+      std::uint64_t owed = total - journaled_epochs_;
+      if (owed > recs.size()) owed = recs.size();
+      for (std::size_t i = recs.size() - static_cast<std::size_t>(owed);
+           i < recs.size(); ++i) {
+        journal_->append(obs::FrameType::kEpoch, recs[i].end_ns, recs[i].to_json());
+      }
+      journaled_epochs_ = total;
+    }
+  }
+  const std::uint64_t captured = slow_.captured();
+  if (captured > journaled_slow_) {
+    const auto exemplars = slow_.snapshot();
+    std::uint64_t owed = captured - journaled_slow_;
+    if (owed > exemplars.size()) owed = exemplars.size();
+    for (std::size_t i = exemplars.size() - static_cast<std::size_t>(owed);
+         i < exemplars.size(); ++i) {
+      journal_->append(obs::FrameType::kSlow, exemplars[i].durable_ns,
+                       exemplars[i].to_json());
+    }
+    journaled_slow_ = captured;
+  }
 }
 
 Crfs::~Crfs() {
@@ -390,6 +500,12 @@ Crfs::~Crfs() {
   // durable counts. A clean unmount leaves no postmortem file (the
   // recorder only dumps on signals/critical events/dump_postmortem).
   if (epochs_ != nullptr) epochs_->finalize_open(obs::now_ns());
+  // Journal last: catch the epoch just finalized and any trailing slow
+  // exemplars, then flush+fsync the tail so the segments outlive us.
+  if (journal_ != nullptr) {
+    journal_poll_cold_sinks();
+    journal_->stop();
+  }
 }
 
 Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
@@ -418,6 +534,7 @@ Result<Crfs::FileHandle> Crfs::open(const std::string& path, OpenFlags flags) {
   if (!entry.ok()) return entry.error();
   if (reopened) {
     stats_.reopens.fetch_add(1, std::memory_order_relaxed);
+    c_m_reopens_->add(1);
     if (flags.truncate && flags.write) {
       // Truncating reopen: discard buffered data and truncate the backend.
       auto& e = *entry.value();
@@ -465,8 +582,10 @@ std::uint64_t Crfs::flush_current_locked(const std::shared_ptr<FileEntry>& entry
     entry->write_chunks.fetch_add(1, std::memory_order_acq_rel);
     if (partial) {
       stats_.partial_flushes.fetch_add(1, std::memory_order_relaxed);
+      c_m_partial_flushes_->add(1);
     } else {
       stats_.full_flushes.fetch_add(1, std::memory_order_relaxed);
+      c_m_full_flushes_->add(1);
     }
     // Capture the epoch under agg_mu (the only lock that guards the
     // field); the IO threads attribute through the job's copy, never
@@ -531,6 +650,7 @@ Status Crfs::write(FileHandle handle, std::span<const std::byte> data, std::uint
     c_pwrite_bytes_->add(nbytes);
     c_bypass_bytes_->add(nbytes);
     stats_.bypass_writes.fetch_add(1, std::memory_order_relaxed);
+    c_m_bypass_writes_->add(1);
     if (entry.epoch != nullptr) {
       entry.epoch->app_writes.fetch_add(1, std::memory_order_relaxed);
       entry.epoch->bytes.fetch_add(nbytes, std::memory_order_relaxed);
@@ -654,6 +774,7 @@ std::unique_ptr<Chunk> Crfs::acquire_chunk(FileEntry& entry, std::uint64_t offse
             !victim->current->empty()) {
           flush_current_locked(victim, /*partial=*/true);
           stats_.chunk_steals.fetch_add(1, std::memory_order_relaxed);
+          c_m_chunk_steals_->add(1);
         }
       }
     }
@@ -883,8 +1004,9 @@ std::string Crfs::stats_report() const {
 std::string Crfs::stats_json() const {
   const MountStats::Snapshot s = stats_.snapshot();
   // schema_version counts breaking shape changes of this document (and of
-  // the postmortem, which embeds the same sections): 2 = control plane.
-  std::string out = "{\"schema_version\":2,\"mount\":{";
+  // the postmortem, which embeds the same sections): 2 = control plane,
+  // 3 = durable journal + SLO burn rates.
+  std::string out = "{\"schema_version\":3,\"mount\":{";
   out += "\"app_writes\":" + std::to_string(s.app_writes);
   out += ",\"app_bytes\":" + std::to_string(s.app_bytes);
   out += ",\"full_flushes\":" + std::to_string(s.full_flushes);
@@ -934,6 +1056,8 @@ std::string Crfs::stats_json() const {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }
   out += ",\"controller\":" + controller_json();
+  out += ",\"journal\":" + journal_json();
+  out += ",\"slo\":" + slo_json();
   out += "}";
   return out;
 }
@@ -1072,7 +1196,7 @@ void Crfs::refresh_flight(bool force) {
 std::string Crfs::render_postmortem() const {
   const std::uint64_t now = obs::now_ns();
   std::string out = "{\"crfs_postmortem\":1";
-  out += ",\"schema_version\":2";
+  out += ",\"schema_version\":3";
   out += ",\"rendered_ns\":" + std::to_string(now);
   out += ",\"config\":\"";
   append_json_escaped(out, cfg_.describe());
@@ -1099,6 +1223,8 @@ std::string Crfs::render_postmortem() const {
   out += ",\"slow\":" + slow_.to_json();
   out += ",\"pipeline\":" + metrics_.snapshot().to_json();
   out += ",\"controller\":" + controller_json();
+  out += ",\"journal\":" + journal_json();
+  out += ",\"slo\":" + slo_json();
   if (sampler_ != nullptr) {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }

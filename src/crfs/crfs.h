@@ -30,8 +30,10 @@
 #include "obs/epoch.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/slow_store.h"
 #include "obs/trace.h"
 
@@ -203,6 +205,26 @@ class Crfs {
   /// The slow store as one JSON object (stats_json "slow" section).
   std::string slow_json() const { return slow_.to_json(); }
 
+  // -- Durable journal (docs/OBSERVABILITY.md "Durable journal") ------------
+  /// nullptr unless Config::journal_dir is set.
+  obs::Journal* journal() { return journal_.get(); }
+  const obs::Journal* journal() const { return journal_.get(); }
+
+  /// The stats_json "journal" section ({"enabled":false} without one).
+  std::string journal_json() const {
+    return journal_ != nullptr ? journal_->to_json() : "{\"enabled\":false}";
+  }
+
+  // -- SLO burn rates (docs/OBSERVABILITY.md "SLOs and burn rates") ---------
+  /// nullptr unless at least one slo_* target is configured.
+  obs::SloMonitor* slo_monitor() { return slo_.get(); }
+  const obs::SloMonitor* slo_monitor() const { return slo_.get(); }
+
+  /// The stats_json "slo" section ({"enabled":false} without a monitor).
+  std::string slo_json() const {
+    return slo_ != nullptr ? slo_->to_json() : "{\"enabled\":false}";
+  }
+
   // -- Control plane (docs/OBSERVABILITY.md "Control plane") ----------------
   /// Runtime-tunes one knob ("pool_chunks", "io_batch", "uring_depth",
   /// "sample_ms", "slow_pwrite_ms", "epoch_gap_ms", "slow_capture_ms",
@@ -293,6 +315,11 @@ class Crfs {
   /// Registers the runtime knob set against the live pipeline stages.
   void define_knobs();
 
+  /// Journals newly finished epochs and newly captured slow exemplars
+  /// (sampler tick observer + unmount; single driver at a time). No-op
+  /// without a journal.
+  void journal_poll_cold_sinks();
+
   /// Flight-recorder refresh; `force` skips the postmortem_refresh_ms
   /// throttle (epoch transitions, critical events). No-op without a
   /// recorder.
@@ -314,6 +341,18 @@ class Crfs {
   obs::SlowStore slow_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::atomic<std::uint64_t> last_flight_refresh_ns_{0};
+  // Durable journal + SLO monitor sit with the sinks: the event listener
+  // appends into the journal and the sampler tick observer drives both, so
+  // they must outlive io_pool_ and be destroyed after the sampler stops.
+  std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::SloMonitor> slo_;
+  // One shared extractor turns each Sample into the SloInput both the
+  // monitor and the journal's sample frames consume. Touched only from the
+  // tick observer (single driver).
+  std::unique_ptr<obs::SloExtractor> slo_extract_;
+  // High-water marks of what journal_poll_cold_sinks already persisted.
+  std::uint64_t journaled_epochs_ = 0;
+  std::uint64_t journaled_slow_ = 0;
   std::unique_ptr<BufferPool> pool_;
   WorkQueue queue_;
   std::unique_ptr<IoThreadPool> io_pool_;
@@ -350,6 +389,15 @@ class Crfs {
   obs::Counter* c_pwrite_bytes_ = nullptr;
   obs::Counter* c_pwrite_errors_ = nullptr;
   obs::Counter* c_bypass_bytes_ = nullptr;
+  // Registry mirrors of the legacy MountStats counters (crfs.mount.*), so
+  // reopen/flush/steal/bypass activity reaches Prometheus and `crfsctl
+  // watch`; MountStats::snapshot() stays the source of truth for the CLI
+  // tables and its values are bumped in the same statements.
+  obs::Counter* c_m_reopens_ = nullptr;
+  obs::Counter* c_m_partial_flushes_ = nullptr;
+  obs::Counter* c_m_full_flushes_ = nullptr;
+  obs::Counter* c_m_chunk_steals_ = nullptr;
+  obs::Counter* c_m_bypass_writes_ = nullptr;
 
   /// Causal chain ids (docs/OBSERVABILITY.md "Causal tracing"): one
   /// relaxed fetch_add per chunk acquired; id 0 is reserved for

@@ -184,6 +184,39 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
         out.config.health.slow_pwrite_p99_ns =
             static_cast<std::uint64_t>(parsed) * 1'000'000;
       }
+    } else if (key == "journal") {
+      if (value.empty()) {
+        return Error{EINVAL, "journal= needs a directory path"};
+      }
+      out.config.journal_dir = std::string(value);
+    } else if (key == "journal_fsync_ms" || key == "slo_lag_ms" ||
+               key == "slo_stall_pct" || key == "slo_ttfb_ms" ||
+               key == "slo_short_s" || key == "slo_long_s") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad value for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      if (key == "journal_fsync_ms") {
+        out.config.journal_fsync_ms = parsed;
+      } else if (key == "slo_lag_ms") {
+        out.config.slo_lag_ms = parsed;
+      } else if (key == "slo_stall_pct") {
+        out.config.slo_stall_pct = parsed;
+      } else if (key == "slo_ttfb_ms") {
+        out.config.slo_ttfb_ms = parsed;
+      } else if (key == "slo_short_s") {
+        out.config.slo_short_s = parsed;
+      } else {
+        out.config.slo_long_s = parsed;
+      }
+    } else if (key == "journal_segment") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.journal_segment_bytes));
+    } else if (key == "journal_max") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.journal_max_bytes));
     } else if (key == "big_writes") {
       out.fuse.big_writes = true;
     } else if (key == "no_big_writes") {
@@ -267,6 +300,35 @@ std::string format_mount_options(const MountOptions& options) {
     s += ",postmortem=" + options.config.postmortem_path;
     if (options.config.postmortem_refresh_ms != Config{}.postmortem_refresh_ms) {
       s += ",postmortem_refresh_ms=" + std::to_string(options.config.postmortem_refresh_ms);
+    }
+  }
+  if (!options.config.journal_dir.empty()) {
+    s += ",journal=" + options.config.journal_dir;
+    if (options.config.journal_fsync_ms != Config{}.journal_fsync_ms) {
+      s += ",journal_fsync_ms=" + std::to_string(options.config.journal_fsync_ms);
+    }
+    if (options.config.journal_segment_bytes != Config{}.journal_segment_bytes) {
+      s += ",journal_segment=" + exact_size(options.config.journal_segment_bytes);
+    }
+    if (options.config.journal_max_bytes != Config{}.journal_max_bytes) {
+      s += ",journal_max=" + exact_size(options.config.journal_max_bytes);
+    }
+  }
+  if (options.config.slo_lag_ms != 0) {
+    s += ",slo_lag_ms=" + std::to_string(options.config.slo_lag_ms);
+  }
+  if (options.config.slo_stall_pct != 0) {
+    s += ",slo_stall_pct=" + std::to_string(options.config.slo_stall_pct);
+  }
+  if (options.config.slo_ttfb_ms != 0) {
+    s += ",slo_ttfb_ms=" + std::to_string(options.config.slo_ttfb_ms);
+  }
+  if (options.config.slo_enabled()) {
+    if (options.config.slo_short_s != Config{}.slo_short_s) {
+      s += ",slo_short_s=" + std::to_string(options.config.slo_short_s);
+    }
+    if (options.config.slo_long_s != Config{}.slo_long_s) {
+      s += ",slo_long_s=" + std::to_string(options.config.slo_long_s);
     }
   }
   if (options.config.controller) s += ",controller=on";

@@ -1,9 +1,34 @@
 #include "sim/crfs_sim.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 namespace crfs::sim {
+namespace {
+
+// Minimal JSON string escaping for the journal meta frame (same contract
+// as the per-TU helpers in src/obs: quotes, backslashes, control chars).
+void append_meta_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
 
 CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& backend,
                          unsigned node, crfs::Config config, crfs::FuseOptions fuse,
@@ -53,6 +78,34 @@ CrfsSimNode::CrfsSimNode(Simulation& sim, const Calibration& cal, BackendSim& ba
             .gap_ns = static_cast<std::uint64_t>(config_.epoch_gap_ms) * 1'000'000,
             .ledger_capacity = config_.epoch_ledger},
         &metrics_);
+  }
+  // Journal/SLO mirror: same construction gates as the real mount, but no
+  // flusher thread — observe_sample() drives flushes on virtual time, so
+  // segment bytes replay identically.
+  if (!config_.journal_dir.empty()) {
+    journal_ = std::make_unique<obs::Journal>(
+        obs::JournalOptions{.dir = config_.journal_dir,
+                            .segment_bytes = config_.journal_segment_bytes,
+                            .max_bytes = config_.journal_max_bytes,
+                            .flush_ms = config_.journal_flush_ms,
+                            .fsync_ms = config_.journal_fsync_ms},
+        &metrics_);
+    events_.set_listener([this](const obs::Event& ev) {
+      journal_->append(obs::FrameType::kEvent, ev.ts_ns, ev.to_json());
+    });
+    std::string meta = "{\"crfs_journal\":1,\"config\":\"";
+    append_meta_escaped(meta, config_.describe());
+    meta += "\",\"sample_ms\":" + std::to_string(config_.sample_ms);
+    meta += ",\"slo\":";
+    meta += config_.slo_enabled() ? config_.slo_config().to_json() : std::string("null");
+    meta += "}";
+    journal_->set_meta(meta, now_ns());
+  }
+  if (config_.slo_enabled()) {
+    slo_ = std::make_unique<obs::SloMonitor>(config_.slo_config(), &metrics_, &events_);
+  }
+  if (journal_ != nullptr || slo_ != nullptr) {
+    slo_extract_ = std::make_unique<obs::SloExtractor>();
   }
   define_knobs();
 }
@@ -588,6 +641,26 @@ void CrfsSimNode::stop() {
   // All closes have drained by the time an experiment stops its node, so
   // the final record carries complete durable counts.
   if (epochs_ != nullptr) epochs_->finalize_open(now_ns());
+  if (journal_ != nullptr) {
+    // Catch the epoch just finalized, then seal the tail. stop() flushes
+    // with the wall clock, which only times the final fsync — every frame
+    // already carries its virtual timestamp, so the bytes stay replayable.
+    const std::uint64_t t = now_ns();
+    if (epochs_ != nullptr) {
+      const std::uint64_t total = epochs_->total_finalized();
+      if (total > journaled_epochs_) {
+        const auto recs = epochs_->records();
+        std::uint64_t owed = total - journaled_epochs_;
+        if (owed > recs.size()) owed = recs.size();
+        for (std::size_t i = recs.size() - static_cast<std::size_t>(owed);
+             i < recs.size(); ++i) {
+          journal_->append(obs::FrameType::kEpoch, recs[i].end_ns, recs[i].to_json());
+        }
+        journaled_epochs_ = total;
+      }
+    }
+    journal_->flush(t, /*force_fsync=*/true);
+  }
 }
 
 void CrfsSimNode::epoch_begin(const std::string& label) {
@@ -606,8 +679,50 @@ std::vector<obs::EpochRecord> CrfsSimNode::epochs() const {
 Task CrfsSimNode::sample_loop(obs::Sampler& sampler, double interval_s) {
   while (!stopping_) {
     co_await sim_.delay(interval_s);
-    sampler.tick(static_cast<std::uint64_t>(sim_.now() * 1e9));
+    observe_sample(sampler.tick(static_cast<std::uint64_t>(sim_.now() * 1e9)));
   }
+}
+
+void CrfsSimNode::observe_sample(const obs::Sample& s) {
+  if (slo_extract_ != nullptr) {
+    const obs::SloInput in = slo_extract_->extract(s);
+    if (slo_ != nullptr) slo_->observe(in);
+    if (journal_ != nullptr) {
+      journal_->append(obs::FrameType::kSample, s.ts_ns,
+                       obs::journal_sample_json(s, in));
+    }
+  }
+  if (journal_ == nullptr) return;
+  // Cold sinks, exactly like Crfs::journal_poll_cold_sinks: journal
+  // whatever finalized since the last tick, indexing from the tail.
+  if (epochs_ != nullptr) {
+    const std::uint64_t total = epochs_->total_finalized();
+    if (total > journaled_epochs_) {
+      const auto recs = epochs_->records();
+      std::uint64_t owed = total - journaled_epochs_;
+      if (owed > recs.size()) owed = recs.size();
+      for (std::size_t i = recs.size() - static_cast<std::size_t>(owed);
+           i < recs.size(); ++i) {
+        journal_->append(obs::FrameType::kEpoch, recs[i].end_ns, recs[i].to_json());
+      }
+      journaled_epochs_ = total;
+    }
+  }
+  const std::uint64_t captured = slow_.captured();
+  if (captured > journaled_slow_) {
+    const auto exemplars = slow_.snapshot();
+    std::uint64_t owed = captured - journaled_slow_;
+    if (owed > exemplars.size()) owed = exemplars.size();
+    for (std::size_t i = exemplars.size() - static_cast<std::size_t>(owed);
+         i < exemplars.size(); ++i) {
+      journal_->append(obs::FrameType::kSlow, exemplars[i].durable_ns,
+                       exemplars[i].to_json());
+    }
+    journaled_slow_ = captured;
+  }
+  // Flush on virtual time: frame bytes (and rotation points) depend only
+  // on the workload, never on wall-clock scheduling.
+  journal_->tick(s.ts_ns);
 }
 
 }  // namespace crfs::sim

@@ -19,8 +19,11 @@
 #include "crfs/config.h"
 #include "crfs/knobs.h"
 #include "obs/epoch.h"
+#include "obs/health.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/slow_store.h"
 #include "sim/backend_sim.h"
 
@@ -97,6 +100,22 @@ class CrfsSimNode {
   const obs::SlowStore& slow_store() const { return slow_; }
   std::string slow_json() const { return slow_.to_json(); }
 
+  // -- Durable journal + SLO mirror (virtual-time twins) --------------------
+  /// Telemetry journal on virtual nanoseconds (nullptr unless
+  /// Config::journal_dir is set). No flusher thread: sample_loop drives
+  /// appends and flushes, and every frame carries a virtual timestamp, so
+  /// two replays of the same workload produce byte-identical segments.
+  obs::Journal* journal() { return journal_.get(); }
+  /// SLO burn-rate monitor on virtual time (nullptr unless slo targets
+  /// are configured). Deterministic: two runs of the same workload
+  /// produce byte-identical slo_json().
+  obs::SloMonitor* slo_monitor() { return slo_.get(); }
+  std::string slo_json() const {
+    return slo_ != nullptr ? slo_->to_json() : "{\"enabled\":false}";
+  }
+  /// Structured events on virtual time (SLO breach/recovery land here).
+  obs::EventBuffer& events() { return events_; }
+
   /// Current virtual time as integer nanoseconds (the clock the epoch
   /// ledger and the mirrored histograms run on).
   std::uint64_t now_ns() const { return static_cast<std::uint64_t>(sim_.now() * 1e9); }
@@ -158,6 +177,10 @@ class CrfsSimNode {
   Task io_worker(unsigned worker);
   /// Registers the runtime knob set against the sim state (ctor tail).
   void define_knobs();
+  /// Tick tail of sample_loop: SLO observation, journal sample frame,
+  /// cold-sink (epoch/slow) journaling, journal flush — the deterministic
+  /// twin of the real mount's composite tick observer.
+  void observe_sample(const obs::Sample& s);
   /// One coalesced run's backend write plus all per-chunk completion
   /// bookkeeping (pwrite histograms, epoch attribution, pool release).
   /// The sync engine awaits it inline (worker blocked for the duration,
@@ -225,6 +248,13 @@ class CrfsSimNode {
 
   /// Slow-exemplar store on virtual time (same SlowStore as the mount).
   obs::SlowStore slow_;
+  /// Event buffer + journal/SLO mirror (see journal()/slo_monitor()).
+  obs::EventBuffer events_;
+  std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<obs::SloExtractor> slo_extract_;
+  std::uint64_t journaled_epochs_ = 0;
+  std::uint64_t journaled_slow_ = 0;
   /// Deterministic causal-id counter (mirror of Crfs::next_trace_id_; a
   /// plain integer — the sim is single-threaded).
   std::uint64_t next_trace_id_ = 1;

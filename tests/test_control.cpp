@@ -222,7 +222,7 @@ TEST(CrfsTune, StatsJsonCarriesSchemaVersionAndControllerSection) {
   auto doc = obs::json::parse(fs.value()->stats_json());
   ASSERT_TRUE(doc.has_value());
   ASSERT_TRUE(doc->get("schema_version") != nullptr);
-  EXPECT_DOUBLE_EQ(doc->get("schema_version")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc->get("schema_version")->number, 3.0);
   const auto* ctl = doc->get("controller");
   ASSERT_TRUE(ctl != nullptr && ctl->is_object());
   EXPECT_FALSE(ctl->get("enabled")->boolean);
@@ -234,7 +234,7 @@ TEST(CrfsTune, StatsJsonCarriesSchemaVersionAndControllerSection) {
   EXPECT_EQ((*decisions->array)[0].get("knob")->string, "pool_chunks");
   const auto* knobs = ctl->get("knob_plane")->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 9u);
+  EXPECT_EQ(knobs->array->size(), 10u);
 }
 
 // ----------------------------------------------- .crfs_tune control file

@@ -150,6 +150,18 @@ std::vector<std::string> object_keys(const obs::json::Value& v) {
   return keys;  // std::map iteration -> already sorted
 }
 
+// The ONE list of sections shared by stats_json and the postmortem. Both
+// golden tests assert against it, so the two documents cannot silently
+// drift apart: adding a section means adding it to both emitters AND here.
+const std::vector<std::string>& shared_section_keys() {
+  static const std::vector<std::string> keys = {
+      "controller", "epochs", "epochs_completed", "events",          "journal",
+      "mount",      "pipeline", "schema_version", "slo",             "slow"};
+  return keys;
+}
+
+constexpr double kSchemaVersion = 3.0;
+
 // Golden key-set check: the stats --json schema is a contract consumed by
 // dashboards; adding a key means updating this list deliberately, and
 // removing or renaming one is a breaking change this test catches.
@@ -159,12 +171,21 @@ TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
   auto parsed = obs::json::parse(res.output);
   ASSERT_TRUE(parsed.has_value()) << res.output;
 
-  const std::vector<std::string> expected_top = {
-      "controller", "epoch_open",     "epochs", "epochs_completed",
-      "events",     "mount",          "pipeline", "restores",
-      "schema_version", "slow"};
+  // Top-level = the shared sections plus the stats-only extras.
+  std::vector<std::string> expected_top = shared_section_keys();
+  expected_top.push_back("epoch_open");
+  expected_top.push_back("restores");
+  std::sort(expected_top.begin(), expected_top.end());
   EXPECT_EQ(object_keys(*parsed), expected_top);
-  EXPECT_DOUBLE_EQ(parsed->get("schema_version")->number, 2.0);
+  EXPECT_DOUBLE_EQ(parsed->get("schema_version")->number, kSchemaVersion);
+
+  // schema_version 3 sections: journal/slo are objects even when disabled.
+  ASSERT_NE(parsed->get("journal"), nullptr);
+  EXPECT_TRUE(parsed->get("journal")->is_object());
+  EXPECT_FALSE(parsed->get("journal")->get("enabled")->boolean);
+  ASSERT_NE(parsed->get("slo"), nullptr);
+  EXPECT_TRUE(parsed->get("slo")->is_object());
+  EXPECT_FALSE(parsed->get("slo")->get("enabled")->boolean);
 
   const std::vector<std::string> expected_controller = {
       "decisions", "decisions_total", "enabled", "generation", "knob_plane",
@@ -289,7 +310,12 @@ TEST(CrfsctlCli, PostmortemPrettyPrintsARealDump) {
     auto doc = obs::json::parse(text);
     ASSERT_TRUE(doc.has_value());
     ASSERT_NE(doc->get("schema_version"), nullptr);
-    EXPECT_DOUBLE_EQ(doc->get("schema_version")->number, 2.0);
+    EXPECT_DOUBLE_EQ(doc->get("schema_version")->number, kSchemaVersion);
+    // Every shared section appears in the postmortem too — same list the
+    // stats golden test uses, so the schemas stay in lockstep.
+    for (const std::string& key : shared_section_keys()) {
+      EXPECT_NE(doc->get(key.c_str()), nullptr) << key;
+    }
     const auto* ctl = doc->get("controller");
     ASSERT_TRUE(ctl != nullptr && ctl->is_object());
     EXPECT_FALSE(ctl->get("enabled")->boolean);
@@ -337,6 +363,7 @@ TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
   EXPECT_NE(table.output.find("generation=0"), std::string::npos);
   EXPECT_NE(table.output.find("pool_chunks"), std::string::npos);
   EXPECT_NE(table.output.find("uring_depth"), std::string::npos);
+  EXPECT_NE(table.output.find("journal_fsync_ms"), std::string::npos);
 
   const RunResult res = run_crfsctl("knobs " + dir + " --json");
   ASSERT_EQ(res.exit_code, 0) << res.output;
@@ -345,7 +372,7 @@ TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
   EXPECT_DOUBLE_EQ(parsed->get("generation")->number, 0.0);
   const auto* knobs = parsed->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 9u);
+  EXPECT_EQ(knobs->array->size(), 10u);
   const std::vector<std::string> knob_keys = {"max", "min", "name", "unit", "value"};
   for (const auto& k : *knobs->array) EXPECT_EQ(object_keys(k), knob_keys);
 }
@@ -539,6 +566,84 @@ TEST(CrfsctlCli, TraceFiltersNarrowTheExportedDocument) {
   EXPECT_EQ(run_crfsctl("trace " + dir + " " + dir + "/bad.json --since-ms=banana")
                 .exit_code,
             1);
+}
+
+// The mount options shared by both journal CLI tests: journal under the
+// mount's .crfs/journal dir plus an SLO so tight (1ms lag budget) that the
+// synthetic workload is guaranteed to breach it.
+std::string journal_mount_opts(const std::string& dir) {
+  return "journal=" + dir +
+         "/.crfs/journal,sample_ms=5,slo_lag_ms=1,slo_stall_pct=1,"
+         "slo_short_s=1,slo_long_s=5";
+}
+
+TEST(CrfsctlCli, TimelineReadsJournalAfterUnmount) {
+  const std::string dir = fresh_dir("timeline");
+  // Produce a journal, then let the writing process exit entirely.
+  const RunResult mk = run_crfsctl("stats " + dir + " " + journal_mount_opts(dir) + " --json");
+  ASSERT_EQ(mk.exit_code, 0) << mk.output;
+
+  const RunResult res = run_crfsctl("timeline " + dir + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  EXPECT_DOUBLE_EQ(parsed->get("crfs_timeline")->number, 1.0);
+  EXPECT_GT(parsed->get("samples")->number, 0.0);
+  const auto* buckets = parsed->get("buckets");
+  ASSERT_TRUE(buckets != nullptr && buckets->is_array());
+  EXPECT_FALSE(buckets->array->empty());
+  // The meta frame survives the writer and carries the SLO config.
+  const auto* meta = parsed->get("meta");
+  ASSERT_TRUE(meta != nullptr && meta->is_object());
+  EXPECT_NE(meta->get("slo"), nullptr);
+
+  // The human rendering is greppable bucket-per-line.
+  const RunResult human = run_crfsctl("timeline " + dir);
+  ASSERT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("BUCKET t="), std::string::npos);
+  EXPECT_NE(human.output.find("pwrite_bytes="), std::string::npos);
+
+  // --since far in the future empties the buckets but still succeeds.
+  const RunResult since = run_crfsctl("timeline " + dir + " --since=999999 --json");
+  ASSERT_EQ(since.exit_code, 0) << since.output;
+  auto sp = obs::json::parse(since.output);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_TRUE(sp->get("buckets")->array->empty());
+
+  // No journal on disk is a malformed-document failure, not a crash.
+  EXPECT_EQ(run_crfsctl("timeline " + fresh_dir("timelinebad")).exit_code, 2);
+  EXPECT_EQ(run_crfsctl("timeline " + dir + " --bogus-flag").exit_code, 1);
+}
+
+TEST(CrfsctlCli, SloReplaysJournalBurnRates) {
+  const std::string dir = fresh_dir("sloreplay");
+  const RunResult mk = run_crfsctl("stats " + dir + " " + journal_mount_opts(dir) + " --json");
+  ASSERT_EQ(mk.exit_code, 0) << mk.output;
+  // The live run itself must have breached the 1ms lag objective.
+  auto live = obs::json::parse(mk.output);
+  ASSERT_TRUE(live.has_value()) << mk.output;
+  const auto* live_slo = live->get("slo");
+  ASSERT_TRUE(live_slo != nullptr && live_slo->is_object());
+  EXPECT_TRUE(live_slo->get("enabled")->boolean);
+
+  // Offline replay of the journal reconstructs the burn-rate state.
+  const RunResult res = run_crfsctl("slo " + dir + " --json");
+  ASSERT_EQ(res.exit_code, 0) << res.output;
+  auto parsed = obs::json::parse(res.output);
+  ASSERT_TRUE(parsed.has_value()) << res.output;
+  EXPECT_TRUE(parsed->get("enabled")->boolean);
+  EXPECT_GE(parsed->get("breaches")->number, 1.0);
+  const auto* objectives = parsed->get("objectives");
+  ASSERT_TRUE(objectives != nullptr && objectives->is_array());
+  EXPECT_GE(objectives->array->size(), 2u);
+
+  const RunResult human = run_crfsctl("slo " + dir);
+  ASSERT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("SLO name=lag"), std::string::npos);
+  EXPECT_NE(human.output.find("slo_breach"), std::string::npos);
+
+  // A directory without a journal fails as a malformed document.
+  EXPECT_EQ(run_crfsctl("slo " + fresh_dir("slobad")).exit_code, 2);
 }
 
 }  // namespace
