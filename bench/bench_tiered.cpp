@@ -1,0 +1,281 @@
+// Tiered burst-buffer benchmark (docs/PERFORMANCE.md "Tiered staging"):
+// checkpoint the same epoch burst twice — once straight onto a throttled
+// "remote" backend, once through a TieredBackend staging on memory and
+// draining to an identically throttled remote — then drain and compare.
+//
+// What it proves, and how:
+//   * Bandwidth decoupling, structurally: the remote is throttled to a
+//     fraction of staging bandwidth (the measured stage/remote ratio is
+//     printed and must be >= 4x), so checkpoint absorption through the
+//     stage must run >= 2x faster than the remote-only mount. This is
+//     the paper's burst-buffer claim: application-visible checkpoint
+//     time tracks the fast tier while durability trails at remote speed.
+//   * Durability correctness: after flush() every staged byte is drained
+//     (drained == staged, stage occupancy back to zero, one eviction per
+//     epoch) and every epoch ledger row carries drained_bytes == its
+//     checkpoint bytes with drain_end_ns past the epoch's end_ns.
+//   * Observability: drain lag and stage occupancy surface in stats_json
+//     ("tier" section) while units are still pending.
+//
+// Env knobs: CRFS_BENCH_BYTES overrides the per-rank image size and
+// CRFS_BENCH_REPS the repetitions (best-of). CRFS_BENCH_STRICT=1 turns
+// the wall-clock absorption gate from advisory into hard (the structural
+// gates are always hard).
+//
+// Output: a TextTable for humans, BENCH_TIERED_* greppable lines for CI,
+// and BENCH_TIERED.json next to the binary for artifact upload.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/mem_backend.h"
+#include "backend/tiered_backend.h"
+#include "backend/wrappers.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "common/wall_clock.h"
+#include "crfs/crfs.h"
+#include "crfs/fuse_shim.h"
+
+using namespace crfs;
+
+namespace {
+
+std::string rank_path(unsigned e, unsigned r) {
+  return "rank" + std::to_string(r) + ".ckpt." + std::to_string(e);
+}
+
+// One checkpoint burst: `epochs` rounds of `ranks` writer threads, each
+// streaming its image in 256 KiB records, close + epoch_end per round.
+// Returns the wall seconds the application observed (its absorption time).
+double run_burst(Crfs& fs, unsigned epochs, unsigned ranks, std::uint64_t per_rank) {
+  constexpr std::size_t kRecord = 256 * KiB;
+  FuseShim shim(fs, FuseOptions{.big_writes = true});
+  const Stopwatch sw;
+  for (unsigned e = 0; e < epochs; ++e) {
+    (void)fs.epoch_begin("burst-" + std::to_string(e));
+    std::vector<std::thread> writers;
+    for (unsigned r = 0; r < ranks; ++r) {
+      writers.emplace_back([&, e, r] {
+        std::vector<std::byte> record(kRecord, static_cast<std::byte>(r + e + 1));
+        auto h = shim.open(rank_path(e, r),
+                           {.create = true, .truncate = true, .write = true});
+        if (!h.ok()) return;
+        for (std::uint64_t off = 0; off < per_rank; off += kRecord) {
+          (void)shim.write(h.value(), record, off);
+        }
+        (void)shim.close(h.value());
+      });
+    }
+    for (auto& t : writers) t.join();
+    (void)fs.epoch_end();
+  }
+  return sw.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  unsigned ranks = 2;
+  unsigned epochs = 2;
+  std::uint64_t per_rank = 16 * MiB;
+  if (const char* env = std::getenv("CRFS_BENCH_BYTES")) {
+    if (auto parsed = parse_bytes(env)) per_rank = *parsed;
+  }
+  int reps = 2;
+  if (const char* env = std::getenv("CRFS_BENCH_REPS")) {
+    reps = std::max(1, std::atoi(env));
+  }
+  const bool strict = std::getenv("CRFS_BENCH_STRICT") != nullptr;
+
+  // The remote tier: bandwidth-capped with per-op latency, emulating a
+  // parallel-filesystem share. The stage is memory — the measured
+  // stage/remote ratio is printed below and must clear 4x for the 2x
+  // absorption gate to be meaningful.
+  const double remote_bw = 96.0 * MiB;
+  const auto remote_op = std::chrono::microseconds(50);
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(ranks) * epochs * per_rank;
+  const double total_mib = static_cast<double>(total_bytes) / static_cast<double>(MiB);
+
+  std::printf("=== Tiered burst buffer (stage=mem vs remote-only) ===\n");
+  std::printf("%u epochs x %u ranks x %s; remote throttled to %.0f MiB/s + %lld us/op; "
+              "best of %d reps\n\n",
+              epochs, ranks, format_bytes(per_rank).c_str(), remote_bw / MiB,
+              static_cast<long long>(remote_op.count()), reps);
+
+  // Stage-bandwidth probe: raw pwrite streaming into a MemBackend, the
+  // same path the tier's staging writes take.
+  double stage_probe_bw = 0.0;
+  {
+    MemBackend probe;
+    auto f = probe.open_file("probe", {.create = true, .truncate = true, .write = true});
+    std::vector<std::byte> rec(1 * MiB, std::byte{42});
+    const Stopwatch sw;
+    for (std::uint64_t off = 0; off < 64 * MiB; off += rec.size()) {
+      (void)probe.pwrite(f.value(), rec, off);
+    }
+    stage_probe_bw = 64.0 * MiB / sw.elapsed_seconds();
+    (void)probe.close_file(f.value());
+  }
+  const double tier_ratio = stage_probe_bw / (remote_bw);
+  std::printf("stage probe: %.0f MiB/s (%.0fx the throttled remote)\n\n",
+              stage_probe_bw / MiB, tier_ratio);
+
+  // -- Mode R: remote-only (no staging tier) ---------------------------------
+  double remote_secs = -1.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto remote = std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(),
+                                                     remote_bw, remote_op);
+    auto fs = Crfs::mount(remote, Config{});
+    if (!fs.ok()) {
+      std::printf("remote-only mount failed\n");
+      return 1;
+    }
+    const double secs = run_burst(*fs.value(), epochs, ranks, per_rank);
+    if (remote_secs < 0 || secs < remote_secs) remote_secs = secs;
+  }
+
+  // -- Mode T: tiered (stage on memory, drain to the same remote) ------------
+  double tiered_secs = -1.0;
+  double drain_secs = 0.0;
+  TierStats pre_flush{};
+  TierStats post_flush{};
+  bool tier_section_visible = false;
+  bool lag_visible = false;
+  std::vector<obs::EpochRecord> ledger;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto remote = std::make_shared<ThrottledBackend>(std::make_shared<MemBackend>(),
+                                                     remote_bw, remote_op);
+    auto tier = std::make_shared<TieredBackend>(std::make_shared<MemBackend>(), remote,
+                                                TieredOptions{});
+    auto fs = Crfs::mount(tier, Config{});
+    if (!fs.ok()) {
+      std::printf("tiered mount failed\n");
+      return 1;
+    }
+    const double secs = run_burst(*fs.value(), epochs, ranks, per_rank);
+
+    // Occupancy + drain lag must be observable while units are pending.
+    const TierStats mid = tier->tier_stats();
+    const std::string sj = fs.value()->stats_json();
+    if (sj.find("\"tier\":{\"enabled\":true") != std::string::npos) {
+      tier_section_visible = true;
+    }
+    if (mid.stage_used > 0 || mid.pending_units > 0) lag_visible = true;
+
+    const Stopwatch dsw;
+    if (!tier->flush().ok()) {
+      std::printf("tier flush failed\n");
+      return 1;
+    }
+    if (tiered_secs < 0 || secs < tiered_secs) {
+      tiered_secs = secs;
+      drain_secs = dsw.elapsed_seconds();
+      pre_flush = mid;
+      post_flush = tier->tier_stats();
+      ledger = fs.value()->epochs();
+    }
+  }
+
+  const double absorption_ratio = remote_secs / tiered_secs;
+  const double drain_bw =
+      drain_secs > 0 ? static_cast<double>(post_flush.drained_bytes -
+                                           (pre_flush.drained_bytes)) /
+                           drain_secs
+                     : 0.0;
+
+  TextTable table({"Mode", "Absorb", "MiB/s", "Drain", "Drain MiB/s"});
+  char buf[5][40];
+  std::snprintf(buf[0], sizeof(buf[0]), "%.3f s", remote_secs);
+  std::snprintf(buf[1], sizeof(buf[1]), "%.1f", total_mib / remote_secs);
+  table.add_row({"remote-only", buf[0], buf[1], "-", "-"});
+  std::snprintf(buf[0], sizeof(buf[0]), "%.3f s", tiered_secs);
+  std::snprintf(buf[1], sizeof(buf[1]), "%.1f", total_mib / tiered_secs);
+  std::snprintf(buf[2], sizeof(buf[2]), "%.3f s", drain_secs);
+  std::snprintf(buf[3], sizeof(buf[3]), "%.1f", drain_bw / MiB);
+  table.add_row({"tiered (stage=mem)", buf[0], buf[1], buf[2], buf[3]});
+  std::printf("%s\n", table.render().c_str());
+
+  // -- Greppable lines (CI bench-smoke) --------------------------------------
+  std::printf("BENCH_TIERED_REMOTE_ONLY %.1f MiB/s absorb=%.3fs\n",
+              total_mib / remote_secs, remote_secs);
+  std::printf("BENCH_TIERED_STAGED %.1f MiB/s absorb=%.3fs drain=%.3fs "
+              "drain_bw=%.1f MiB/s\n",
+              total_mib / tiered_secs, tiered_secs, drain_secs, drain_bw / MiB);
+  std::printf("BENCH_TIERED_ABSORPTION %.2fx (gate >=2.0x %s)\n", absorption_ratio,
+              strict ? "hard" : "advisory unless structural");
+
+  // -- Structural gates ------------------------------------------------------
+  bool ok = true;
+  // Remote genuinely slower than the stage, so the comparison means something.
+  if (tier_ratio < 4.0) ok = false;
+  // Every staged byte became remote-durable; occupancy fully released.
+  if (post_flush.drained_bytes + post_flush.spill_bytes < total_bytes) ok = false;
+  if (post_flush.stage_used != 0) ok = false;
+  if (post_flush.units_evicted < epochs) ok = false;
+  // The ledger rows carry the drain columns: each epoch's bytes drained,
+  // completion past the epoch's end (durability trails absorption).
+  std::uint64_t ledger_drained = 0;
+  bool drain_trails = !ledger.empty();
+  for (const auto& rec : ledger) {
+    ledger_drained += rec.drained_bytes;
+    if (rec.drained_bytes > 0 && rec.drain_end_ns <= rec.end_ns) drain_trails = false;
+  }
+  if (ledger_drained + post_flush.spill_bytes < total_bytes) ok = false;
+  if (!drain_trails) ok = false;
+  if (!tier_section_visible || !lag_visible) ok = false;
+  // Absorption: structural when the ratio clears 2x with the remote
+  // throttled this hard; STRICT keeps it hard either way.
+  const bool absorbed = absorption_ratio >= 2.0;
+  if (strict && !absorbed) ok = false;
+  if (absorbed == false && tier_ratio >= 4.0) ok = false;
+
+  std::printf("BENCH_TIERED_STRUCTURAL stage_ratio=%.0fx drained=%llu spilled=%llu "
+              "evicted=%llu stage_used=%llu ledger_drained=%llu drain_trails=%s "
+              "occupancy_visible=%s verdict=%s\n",
+              tier_ratio, static_cast<unsigned long long>(post_flush.drained_bytes),
+              static_cast<unsigned long long>(post_flush.spill_bytes),
+              static_cast<unsigned long long>(post_flush.units_evicted),
+              static_cast<unsigned long long>(post_flush.stage_used),
+              static_cast<unsigned long long>(ledger_drained),
+              drain_trails ? "yes" : "no", lag_visible ? "yes" : "no",
+              ok ? "PASS" : "FAIL");
+
+  // -- JSON artifact ---------------------------------------------------------
+  if (std::FILE* f = std::fopen("BENCH_TIERED.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"epochs\": %u,\n  \"ranks\": %u,\n  \"per_rank_bytes\": %llu,\n"
+                 "  \"remote_bw_mib_s\": %.1f,\n  \"stage_probe_mib_s\": %.1f,\n"
+                 "  \"stage_remote_ratio\": %.1f,\n"
+                 "  \"remote_only_seconds\": %.6f,\n  \"tiered_seconds\": %.6f,\n"
+                 "  \"drain_seconds\": %.6f,\n  \"drain_bw_mib_s\": %.1f,\n"
+                 "  \"absorption_ratio\": %.3f,\n"
+                 "  \"drained_bytes\": %llu,\n  \"spill_bytes\": %llu,\n"
+                 "  \"units_evicted\": %llu,\n  \"stalls\": %llu,\n"
+                 "  \"structural_pass\": %s\n}\n",
+                 epochs, ranks, static_cast<unsigned long long>(per_rank),
+                 remote_bw / MiB, stage_probe_bw / MiB, tier_ratio, remote_secs,
+                 tiered_secs, drain_secs, drain_bw / MiB, absorption_ratio,
+                 static_cast<unsigned long long>(post_flush.drained_bytes),
+                 static_cast<unsigned long long>(post_flush.spill_bytes),
+                 static_cast<unsigned long long>(post_flush.units_evicted),
+                 static_cast<unsigned long long>(post_flush.stalls),
+                 ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_TIERED.json\n");
+  }
+
+  if (!ok) {
+    std::printf("BENCH_TIERED verdict: FAIL\n");
+    return 1;
+  }
+  std::printf("BENCH_TIERED verdict: PASS\n");
+  return 0;
+}

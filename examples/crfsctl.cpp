@@ -97,6 +97,7 @@
 #include <vector>
 
 #include "backend/posix_backend.h"
+#include "backend/tiered_backend.h"
 #include "backend/wrappers.h"
 #include "blcr/checkpoint_set.h"
 #include "common/table.h"
@@ -148,6 +149,21 @@ int usage() {
   return 64;
 }
 
+// The backend a crfsctl command mounts over `dir`: a plain PosixBackend,
+// or — when the mount options name a staging tier (stage=/remote=) — a
+// TieredBackend staging over `dir` and draining to the remote directory.
+Result<std::shared_ptr<BackendFs>> make_ctl_backend(const std::string& dir,
+                                                    const Config& cfg) {
+  if (!cfg.tier_stage.empty()) {
+    // remote= names the durable tier explicitly; without it the command's
+    // <dir> argument is the remote and stage= is purely an accelerator.
+    return make_tiered_backend(cfg, cfg.tier_remote.empty() ? dir : cfg.tier_remote);
+  }
+  auto backend = PosixBackend::create(dir);
+  if (!backend.ok()) return backend.error();
+  return std::shared_ptr<BackendFs>(std::move(backend).value());
+}
+
 // Pushes a checkpoint-shaped workload through a fresh CRFS mount on `dir`:
 // 4 writer threads ("ranks"), one 16 MB image each, 64 KB records, fsync +
 // close — enough traffic to populate every pipeline stage's histogram.
@@ -158,7 +174,7 @@ Result<std::unique_ptr<Crfs>> run_instrumented_workload(const std::string& dir,
   constexpr std::size_t kPerRank = 16 * MiB;
   constexpr std::size_t kRecord = 64 * KiB;
 
-  auto backend = PosixBackend::create(dir);
+  auto backend = make_ctl_backend(dir, opts.config);
   if (!backend.ok()) return backend.error();
   auto fs = Crfs::mount(std::move(backend.value()), opts.config);
   if (!fs.ok()) return fs.error();
@@ -505,7 +521,7 @@ int cmd_report(int argc, char** argv) {
   constexpr std::size_t kPerRank = 8 * MiB;
   constexpr std::size_t kRecord = 64 * KiB;
 
-  auto backend = PosixBackend::create(argv[2]);
+  auto backend = make_ctl_backend(argv[2], opts.value().config);
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
     return kExitUnreachable;
@@ -558,6 +574,13 @@ int cmd_report(int argc, char** argv) {
       for (auto& t : ranks) t.join();
     }
   }
+  // Over a tiered backend, wait for the background drain to finish BEFORE
+  // unlinking the images — eviction only happens once an epoch is
+  // remote-durable, and the ledger's drained_bytes/drain_bw columns
+  // should reflect the whole run.
+  if (fs.value()->tiered_backend() != nullptr) {
+    (void)fs.value()->tiered_backend()->flush();
+  }
   for (unsigned e = 0; e < kEpochs; ++e) {
     for (unsigned r = 0; r < kRanks; ++r) {
       (void)fs.value()->unlink(".crfsctl_report_rank" + std::to_string(r) + ".ckpt." +
@@ -575,27 +598,36 @@ int cmd_report(int argc, char** argv) {
               format_mount_options(opts.value()).c_str(),
               fs.value()->active_io_engine());
   TextTable table({"Epoch", "Label", "Files", "Bytes", "Chunks", "Agg ratio",
-                   "Eff BW", "Lag mean", "Lag max"});
+                   "Eff BW", "Lag mean", "Lag max", "Drained", "Drain BW"});
   for (const auto& rec : records) {
     std::printf("EPOCH id=%llu label=%s files=%llu bytes=%llu chunks=%llu "
-                "durable=%llu backend_writes=%llu\n",
+                "durable=%llu backend_writes=%llu drained=%llu drain_ns=%llu\n",
                 static_cast<unsigned long long>(rec.id), rec.label.c_str(),
                 static_cast<unsigned long long>(rec.files),
                 static_cast<unsigned long long>(rec.bytes),
                 static_cast<unsigned long long>(rec.chunks),
                 static_cast<unsigned long long>(rec.durable_bytes),
-                static_cast<unsigned long long>(rec.backend_writes));
-    char agg[32], bw[32], lmean[32], lmax[32];
+                static_cast<unsigned long long>(rec.backend_writes),
+                static_cast<unsigned long long>(rec.drained_bytes),
+                static_cast<unsigned long long>(rec.drain_ns));
+    char agg[32], bw[32], lmean[32], lmax[32], dbw[32];
     std::snprintf(agg, sizeof(agg), "%.2f", rec.aggregation_ratio());
     std::snprintf(bw, sizeof(bw), "%.0f MB/s", rec.effective_bw() / 1e6);
     std::snprintf(lmean, sizeof(lmean), "%.2f ms", rec.mean_durability_lag_ns() / 1e6);
     std::snprintf(lmax, sizeof(lmax), "%.2f ms",
                   static_cast<double>(rec.durability_lag_max_ns) / 1e6);
+    std::snprintf(dbw, sizeof(dbw), "%.0f MB/s", rec.drain_bw() / 1e6);
     table.add_row({std::to_string(rec.id), rec.label, std::to_string(rec.files),
                    format_bytes(rec.bytes), std::to_string(rec.chunks), agg, bw,
-                   lmean, lmax});
+                   lmean, lmax, format_bytes(rec.drained_bytes),
+                   rec.drained_bytes > 0 ? dbw : "-"});
   }
   std::printf("%s", table.render().c_str());
+  if (fs.value()->tiered_backend() != nullptr) {
+    // Greppable tier line + occupancy snapshot: the drain-lag view an
+    // operator checks after a burst (stage should empty at remote speed).
+    std::printf("TIER %s\n", fs.value()->tier_json().c_str());
+  }
 
   // Critical-path attribution: where the epoch's chunks spent their
   // lifetime, summed over chunks (so concurrent stages can exceed wall

@@ -37,8 +37,10 @@ in_set() { # needle, then haystack items
 
 for name in "${registered[@]}"; do
   if [[ $name == *. ]]; then
-    # Dynamic prefix: require at least one documented member.
-    if ! printf '%s\n' "${documented[@]}" | grep -q "^${name//./\\.}[a-z0-9_]"; then
+    # Dynamic prefix: require at least one documented member. grep must
+    # drain its whole input (no -q): with pipefail, an early-quit grep
+    # SIGPIPEs printf and the pipeline reports failure despite a match.
+    if ! printf '%s\n' "${documented[@]}" | grep "^${name//./\\.}[a-z0-9_]" >/dev/null; then
       echo "UNDOCUMENTED metric family: ${name}<name> (no member in $doc)"
       fail=1
     fi

@@ -12,7 +12,10 @@
 # appending writers, flush-before-read barriers under concurrent reads),
 # and test_journal (journal flusher thread racing cold-path appends, the
 # SLO monitor ticking on the sampler thread, a real ThrottledBackend
-# mount driving breach events from IO threads).
+# mount driving breach events from IO threads), and test_tiered (the
+# background drain thread evicting staged extents while writers stage,
+# stall on backpressure, and read across tiers; drain-failure retry
+# racing the healing remote).
 # Any data-race report fails the run (TSan exits non-zero).
 set -euo pipefail
 
@@ -22,7 +25,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-2}
 
 cmake -B "$BUILD_DIR" -S . -DCRFS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control test_read_path test_journal
+cmake --build "$BUILD_DIR" -j "$JOBS" --target test_obs test_crfs_concurrency test_epoch_ledger test_io_engine test_control test_read_path test_journal test_tiered
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs
@@ -36,5 +39,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # The SIGKILL crash-recovery test forks; fork + TSan don't mix, so the
 # JournalCrash suite is skipped here (it runs in the plain ctest job).
 "$BUILD_DIR"/tests/test_journal --gtest_filter='-JournalCrash.*'
+"$BUILD_DIR"/tests/test_tiered
 
 echo "TSan: clean"

@@ -1,0 +1,291 @@
+// TieredBackend: a composing burst-buffer BackendFs (docs/PERFORMANCE.md
+// "Tiered staging").
+//
+// The paper's pipeline decouples write latency from backend bandwidth
+// with the buffer pool, but every chunk still drains straight to one
+// backend, so sustained checkpoint absorption is capped at backend speed.
+// TieredBackend adds the burst-buffer bandwidth multiple: every write
+// lands on a fast staging tier (MemBackend, or a PosixBackend on
+// NVMe-class local storage) and a background drain thread copies it to
+// the slow remote tier asynchronously, so the application absorbs
+// checkpoints at staging speed while the remote catches up.
+//
+// Drain is epoch-aware. Staged bytes are grouped into drain units; the
+// mount seals the open unit whenever the epoch ledger finalizes an epoch
+// (EpochTracker finalize listener -> seal_epoch), so a unit IS a
+// checkpoint. Sealed units drain oldest-first — whole checkpoints at a
+// time — and staged data is evicted only once its entire unit is durable
+// (pwritten AND fsynced) at the remote. A crash mid-drain therefore never
+// leaves the remote with a half-valid newest checkpoint while the stage
+// already dropped the bytes.
+//
+// Coherence: the extent map tracks exactly which byte ranges are staged;
+// an overwrite trims older extents (last-writer-wins), so a read serves
+// staged ranges from the stage tier and evicted/never-staged ranges from
+// the remote, and superseded bytes are never drained over newer ones.
+//
+// Backpressure: when staged bytes would exceed `stage_cap`, writers block
+// until eviction frees space (counted in crfs.tier.stalls/stall_ns); a
+// single write larger than the whole cap spills through directly to the
+// remote instead (crfs.tier.spill_bytes). While a writer waits with no
+// sealed unit pending, the open unit is auto-sealed so the drain can make
+// progress — a cap smaller than one epoch degrades to write-through
+// rather than deadlocking.
+//
+// Remote failures: a failed remote pwrite/fsync never loses data — the
+// drain retries the whole unit with exponential backoff (stage retains
+// every byte), bumps crfs.tier.retries, and raises a "tier_remote_down"
+// health event on the first failure of an episode.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "backend/backend_fs.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace crfs {
+
+/// What fsync() promises: kStage = data durable on the staging tier
+/// (fast, the default — restart can re-read from the stage); kRemote =
+/// seal the open unit and block until this file's staged bytes are
+/// durable at the remote (the paper's backend-durability semantics).
+enum class TierFsyncMode { kStage, kRemote };
+
+struct TieredOptions {
+  /// Max staged bytes before writers block (0 = unbounded).
+  std::uint64_t stage_cap = 0;
+  /// Drain bandwidth cap toward the remote, MB/s (0 = unthrottled).
+  /// Runtime-tunable via the `drain_mbps` knob.
+  double drain_mbps = 0.0;
+  /// Helper threads splitting one unit's runs (>= 1). Runtime-tunable via
+  /// the `drain_parallel` knob.
+  unsigned drain_parallel = 1;
+  TierFsyncMode fsync_mode = TierFsyncMode::kStage;
+  /// Remote-failure retry backoff: initial, doubling to the max.
+  std::chrono::milliseconds retry_backoff{10};
+  std::chrono::milliseconds retry_backoff_max{1000};
+};
+
+/// Point-in-time tier state (tier_json / stats_json "tier" section).
+struct TierStats {
+  std::uint64_t stage_used = 0;        ///< staged (not yet evicted) bytes
+  std::uint64_t stage_cap = 0;         ///< configured cap (0 = unbounded)
+  std::uint64_t staged_bytes = 0;      ///< bytes ever landed on the stage
+  std::uint64_t drained_bytes = 0;     ///< bytes ever copied to the remote
+  std::uint64_t spill_bytes = 0;       ///< oversized writes sent direct
+  std::uint64_t units_sealed = 0;      ///< drain units closed
+  std::uint64_t units_evicted = 0;     ///< units fully drained + evicted
+  std::uint64_t pending_units = 0;     ///< sealed, not yet evicted
+  std::uint64_t stalls = 0;            ///< writer backpressure blocks
+  std::uint64_t stall_ns = 0;          ///< total time writers spent blocked
+  std::uint64_t retries = 0;           ///< remote-failure drain retries
+  std::uint64_t drain_lag_ns = 0;      ///< age of the oldest undrained unit
+  double drain_mbps = 0.0;             ///< current drain throttle
+  unsigned drain_parallel = 1;         ///< current drain concurrency
+};
+
+class TieredBackend final : public BackendFs {
+ public:
+  TieredBackend(std::shared_ptr<BackendFs> stage, std::shared_ptr<BackendFs> remote,
+                TieredOptions opts);
+
+  /// Seals the open unit, drains everything, then joins the drain thread.
+  ~TieredBackend() override;
+
+  // -- BackendFs ----------------------------------------------------------
+  Result<BackendFile> open_file(const std::string& path, OpenFlags flags) override;
+  Status close_file(BackendFile file) override;
+  Status pwrite(BackendFile file, std::span<const std::byte> data,
+                std::uint64_t offset) override;
+  Result<std::size_t> pread(BackendFile file, std::span<std::byte> data,
+                            std::uint64_t offset) override;
+  Status fsync(BackendFile file) override;
+  Status truncate(BackendFile file, std::uint64_t size) override;
+  Result<BackendStat> stat(const std::string& path) override;
+  Status mkdir(const std::string& path) override;
+  Status rmdir(const std::string& path) override;
+  Status unlink(const std::string& path) override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> list_dir(const std::string& path) override;
+  std::string name() const override;
+  // raw_fd stays -1 (base default): tier routing must see every IO, so
+  // the uring engine falls back to the sync path through us — same
+  // decorator contract as FaultyBackend/ThrottledBackend.
+
+  // -- Epoch integration ---------------------------------------------------
+  /// Closes the open drain unit and labels it with `epoch_id`, making it
+  /// eligible for drain. Wired to EpochTracker's finalize listener by the
+  /// mount; `epoch_id` 0 marks an unlabelled (auto-sealed) unit.
+  void seal_epoch(std::uint64_t epoch_id);
+
+  /// Invoked (off the drain thread, no tier lock held) when a unit's
+  /// epoch becomes fully remote-durable; the mount forwards labelled
+  /// units into EpochTracker::attach_drain.
+  using DrainListener = std::function<void(
+      std::uint64_t epoch_id, std::uint64_t drained_bytes, std::uint64_t drain_ns,
+      std::uint64_t drain_end_ns)>;
+  void set_drain_listener(DrainListener fn);
+
+  /// Attaches the tier's crfs.tier.* metrics and health events. Call
+  /// before concurrent IO (Crfs::mount does, via dynamic_cast).
+  void bind_obs(obs::Registry* registry, obs::EventBuffer* events);
+
+  // -- Runtime knobs (drain_mbps / drain_parallel) -------------------------
+  void set_drain_mbps(double mbps);
+  double drain_mbps() const { return drain_mbps_cap_.load(std::memory_order_relaxed); }
+  void set_drain_parallel(unsigned n);
+  unsigned drain_parallel() const {
+    return drain_parallel_.load(std::memory_order_relaxed);
+  }
+
+  /// Seals the open unit and blocks until every sealed unit is drained
+  /// and evicted (remote-durable). Returns the first drain error seen
+  /// this call, if any unit ultimately could not land (shutdown only —
+  /// retries otherwise never give up).
+  Status flush();
+
+  TierStats tier_stats() const;
+  /// {"enabled":true,"stage":...,"remote":...,"stage_used":...,...}.
+  std::string tier_json() const;
+
+  BackendFs& stage_tier() { return *stage_; }
+  BackendFs& remote_tier() { return *remote_; }
+
+ private:
+  /// One staged byte range of a file; `unit` tags the drain unit that
+  /// owns it (last writer wins — an overwrite re-tags to the open unit).
+  struct Extent {
+    std::uint64_t len = 0;
+    std::uint64_t unit = 0;
+  };
+
+  /// Per-path tier state. Extents are non-overlapping, keyed by offset.
+  struct FileState {
+    std::string path;
+    BackendFile stage_file = 0;
+    bool stage_open = false;
+    BackendFile remote_read = 0;
+    bool remote_read_open = false;
+    std::map<std::uint64_t, Extent> extents;
+    std::uint64_t size = 0;  ///< logical high-water mark
+    int open_count = 0;
+    /// Stage pwrites in flight outside the lock: eviction must not close
+    /// or truncate the stage file underneath one.
+    int inflight = 0;
+    bool unlinked = false;
+  };
+
+  /// One drained byte range, snapshotted under the lock, copied outside.
+  struct DrainRun {
+    std::shared_ptr<FileState> file;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+  };
+
+  /// A sealed group of extents: the drain ordering + eviction unit.
+  struct DrainUnit {
+    std::uint64_t seq = 0;       ///< internal, monotonically increasing
+    std::uint64_t epoch_id = 0;  ///< ledger epoch label; 0 = unlabelled
+    std::uint64_t bytes = 0;     ///< staged bytes tagged to this unit
+    std::uint64_t seal_ns = 0;   ///< when it became drain-eligible
+  };
+
+  struct OpenHandle {
+    std::shared_ptr<FileState> file;
+    bool writable = false;
+  };
+
+  std::shared_ptr<FileState> file_for(const std::string& path, std::unique_lock<std::mutex>&);
+  Result<OpenHandle> resolve(BackendFile file, const char* op) const;
+  Status ensure_stage_open_locked(FileState& fs);
+  Status ensure_remote_read_locked(FileState& fs);
+  /// Removes staged extents overlapping [offset, offset+len), returning
+  /// the staged bytes freed. Splits partially-overlapped extents.
+  std::uint64_t trim_extents_locked(FileState& fs, std::uint64_t offset,
+                                    std::uint64_t len);
+  void seal_locked(std::uint64_t epoch_id, std::uint64_t now_ns);
+  void release_file_locked(const std::shared_ptr<FileState>& fs);
+  void drain_loop();
+  /// Drains one unit to the remote; true on success (unit evicted).
+  bool drain_unit(const DrainUnit& unit);
+  Status copy_run_to_remote(const DrainRun& run);
+  void throttle(std::uint64_t bytes);
+  std::uint64_t oldest_pending_seal_ns_locked() const;
+
+  const std::shared_ptr<BackendFs> stage_;
+  const std::shared_ptr<BackendFs> remote_;
+  const TieredOptions opts_;
+
+  std::atomic<double> drain_mbps_cap_;
+  std::atomic<unsigned> drain_parallel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;   ///< eviction freed stage bytes
+  std::condition_variable drain_cv_;   ///< new sealed unit / shutdown
+  std::condition_variable idle_cv_;    ///< a unit finished (flush/fsync waiters)
+  bool shutdown_ = false;
+
+  std::unordered_map<std::string, std::shared_ptr<FileState>> files_;
+  std::unordered_map<BackendFile, OpenHandle> handles_;
+  BackendFile next_handle_ = 1;
+
+  std::uint64_t stage_used_ = 0;
+  std::uint64_t open_unit_seq_ = 1;  ///< unit collecting new writes
+  std::uint64_t next_unit_seq_ = 2;
+  std::uint64_t open_unit_bytes_ = 0;
+  std::deque<DrainUnit> sealed_;  ///< oldest-first drain queue
+  // Remote writer handles are owned by the drain side only (single
+  // logical writer toward the remote), keyed by path.
+  std::unordered_map<std::string, BackendFile> remote_write_;
+
+  // Lifetime totals mirrored into the (optional) registry.
+  std::atomic<std::uint64_t> t_staged_bytes_{0};
+  std::atomic<std::uint64_t> t_drained_bytes_{0};
+  std::atomic<std::uint64_t> t_spill_bytes_{0};
+  std::atomic<std::uint64_t> t_units_sealed_{0};
+  std::atomic<std::uint64_t> t_units_evicted_{0};
+  std::atomic<std::uint64_t> t_stalls_{0};
+  std::atomic<std::uint64_t> t_stall_ns_{0};
+  std::atomic<std::uint64_t> t_retries_{0};
+
+  obs::Registry* registry_ = nullptr;
+  obs::EventBuffer* events_ = nullptr;
+  obs::Counter* c_staged_bytes_ = nullptr;
+  obs::Counter* c_drained_bytes_ = nullptr;
+  obs::Counter* c_spill_bytes_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Counter* c_stalls_ = nullptr;
+  obs::Counter* c_stall_ns_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::LatencyHistogram* h_drain_pwrite_ = nullptr;
+
+  DrainListener drain_listener_;
+
+  /// Drain-thread-private: tracks the failure episode so tier_remote_down
+  /// fires once per outage, not once per retry.
+  bool remote_down_ = false;
+
+  std::thread drain_thread_;
+};
+
+struct Config;  // crfs/config.h
+
+/// Composes a TieredBackend from the mount Config's tier_* fields over
+/// `remote_dir`: stage "mem" -> MemBackend, otherwise a PosixBackend on
+/// that directory; remote = PosixBackend on remote_dir. Used by crfsctl /
+/// benches so `stage=`/`remote=` mount options work end to end.
+Result<std::shared_ptr<BackendFs>> make_tiered_backend(const Config& cfg,
+                                                       const std::string& remote_dir);
+
+}  // namespace crfs

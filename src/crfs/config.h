@@ -240,6 +240,34 @@ struct Config {
   unsigned slo_short_s = 300;
   unsigned slo_long_s = 3600;
 
+  /// Tiered burst-buffer staging (docs/PERFORMANCE.md "Tiered staging").
+  /// When non-empty, the mount composes a TieredBackend: writes land on
+  /// this fast staging tier ("mem" = in-memory MemBackend, anything else
+  /// = a directory for a local PosixBackend) and a background thread
+  /// drains finalized epochs oldest-first to the slow remote tier.
+  /// Mount option `stage=mem|<dir>`; `remote=<dir>` names the remote
+  /// directory for tools that mount from options alone (crfsctl).
+  std::string tier_stage{};
+  std::string tier_remote{};
+
+  /// Max staged bytes before writers block for eviction (0 = unbounded).
+  /// Mount option `stage_cap=<size>`.
+  std::size_t stage_cap = 0;
+
+  /// Drain bandwidth cap toward the remote tier, MB/s (0 = unthrottled).
+  /// Runtime-tunable via the `drain_mbps` knob. Mount option
+  /// `drain_mbps=N`.
+  unsigned drain_mbps = 0;
+
+  /// Drain helper threads splitting one unit's runs. Runtime-tunable via
+  /// the `drain_parallel` knob. Mount option `drain_parallel=N`.
+  unsigned drain_parallel = 1;
+
+  /// What fsync() promises under tiering: "stage" (fast, default) or
+  /// "remote" (block until this file's staged bytes are remote-durable).
+  /// Mount option `fsync_mode=stage|remote`.
+  std::string fsync_mode = "stage";
+
   /// Validates invariants (chunk fits pool, nonzero sizes, etc.).
   Status validate() const {
     if (chunk_size == 0) return Error{EINVAL, "chunk_size must be > 0"};
@@ -297,6 +325,15 @@ struct Config {
     if (slo_short_s == 0 || slo_long_s < slo_short_s) {
       return Error{EINVAL, "slo windows need 0 < slo_short_s <= slo_long_s"};
     }
+    if (fsync_mode != "stage" && fsync_mode != "remote") {
+      return Error{EINVAL, "fsync_mode must be stage or remote"};
+    }
+    if (drain_parallel == 0 || drain_parallel > 64) {
+      return Error{EINVAL, "drain_parallel must be in [1, 64]"};
+    }
+    if (!tier_stage.empty() && stage_cap > 0 && stage_cap < chunk_size) {
+      return Error{EINVAL, "stage_cap must be >= chunk_size"};
+    }
     return {};
   }
 
@@ -343,7 +380,18 @@ struct Config {
            (slo_enabled() ? " slo=lag:" + std::to_string(slo_lag_ms) +
                                 "ms,stall:" + std::to_string(slo_stall_pct) +
                                 "%,ttfb:" + std::to_string(slo_ttfb_ms) + "ms"
-                          : "");
+                          : "") +
+           (!tier_stage.empty()
+                ? " stage=" + tier_stage +
+                      (!tier_remote.empty() ? " remote=" + tier_remote : "") +
+                      (stage_cap > 0 ? " stage_cap=" + format_bytes(stage_cap) : "") +
+                      (drain_mbps > 0 ? " drain_mbps=" + std::to_string(drain_mbps)
+                                      : "") +
+                      (drain_parallel != 1
+                           ? " drain_parallel=" + std::to_string(drain_parallel)
+                           : "") +
+                      (fsync_mode != "stage" ? " fsync_mode=" + fsync_mode : "")
+                : "");
   }
 };
 

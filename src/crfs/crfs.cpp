@@ -72,6 +72,25 @@ Crfs::Crfs(std::shared_ptr<BackendFs> backend, Config cfg)
   c_m_bypass_writes_ = &metrics_.counter("crfs.mount.bypass_writes");
   queue_.set_wait_histogram(&metrics_.histogram("crfs.queue.wait_ns"));
 
+  // Tiered staging (docs/PERFORMANCE.md "Tiered staging"): when the
+  // backend is a TieredBackend, bind its crfs.tier.* telemetry and wire
+  // the epoch ledger to the drain — a finalized epoch seals its drain
+  // unit, and a remote-durable unit reports back into the ledger row.
+  // Both listeners fire outside the respective locks (epoch.h/tier
+  // contracts), so neither callback can deadlock against the other plane.
+  tier_ = dynamic_cast<TieredBackend*>(backend_.get());
+  if (tier_ != nullptr) {
+    tier_->bind_obs(&metrics_, &events_);
+    if (epochs_ != nullptr) {
+      epochs_->set_finalize_listener(
+          [this](const obs::EpochRecord& rec) { tier_->seal_epoch(rec.id); });
+      tier_->set_drain_listener([this](std::uint64_t epoch_id, std::uint64_t bytes,
+                                       std::uint64_t drain_ns, std::uint64_t end_ns) {
+        if (epoch_id != 0) epochs_->attach_drain(epoch_id, bytes, drain_ns, end_ns);
+      });
+    }
+  }
+
   // Durable journal (docs/OBSERVABILITY.md "Durable journal"). Constructed
   // before the IO pool and the knob plane: the event listener below
   // appends into it, and the journal_fsync_ms knob applies to it.
@@ -448,6 +467,37 @@ void Crfs::define_knobs() {
         journal_->set_fsync_ms(static_cast<unsigned>(v));
         return true;
       });
+
+  // drain_mbps: the tier's drain throttle toward the remote; 0 removes
+  // the cap. One relaxed store, picked up by the next drain chunk. The
+  // controller's shed_drain rule halves/restores this under remote
+  // saturation. Vetoed on non-tiered mounts.
+  knobs_->define(
+      KnobDef{"drain_mbps", 0.0, 1e6, "MB/s"},
+      tier_ != nullptr ? tier_->drain_mbps() : static_cast<double>(cfg_.drain_mbps),
+      [this](double v, double*, std::string* reason) {
+        if (tier_ == nullptr) {
+          *reason = "tiered backend not mounted (stage=/remote=)";
+          return false;
+        }
+        tier_->set_drain_mbps(v);
+        return true;
+      });
+
+  // drain_parallel: helper threads splitting one drain unit's runs.
+  // Picked up by the next unit drained.
+  knobs_->define(
+      KnobDef{"drain_parallel", 1.0, 64.0, "threads"},
+      tier_ != nullptr ? static_cast<double>(tier_->drain_parallel())
+                       : static_cast<double>(cfg_.drain_parallel),
+      [this](double v, double*, std::string* reason) {
+        if (tier_ == nullptr) {
+          *reason = "tiered backend not mounted (stage=/remote=)";
+          return false;
+        }
+        tier_->set_drain_parallel(static_cast<unsigned>(v));
+        return true;
+      });
 }
 
 void Crfs::journal_poll_cold_sinks() {
@@ -499,7 +549,16 @@ Crfs::~Crfs() {
   // All chunk writes have landed: the final epoch record sees complete
   // durable counts. A clean unmount leaves no postmortem file (the
   // recorder only dumps on signals/critical events/dump_postmortem).
+  // With a tier, finalize fires the seal listener, so the last epoch's
+  // unit is drain-eligible before the flush below.
   if (epochs_ != nullptr) epochs_->finalize_open(obs::now_ns());
+  // Drain the tier to remote-durable, then detach the drain listener:
+  // backend_ (and its drain thread) outlives epochs_/metrics_ in member
+  // order, so no callback may touch them after this point.
+  if (tier_ != nullptr) {
+    (void)tier_->flush();
+    tier_->set_drain_listener(nullptr);
+  }
   // Journal last: catch the epoch just finalized and any trailing slow
   // exemplars, then flush+fsync the tail so the segments outlive us.
   if (journal_ != nullptr) {
@@ -944,12 +1003,30 @@ std::string Crfs::stats_report() const {
   out += mount.render();
   out += "\n";
   out += metrics_.snapshot().render_table();
+  if (tier_ != nullptr) {
+    const TierStats t = tier_->tier_stats();
+    TextTable tt({"Tier", "Value"});
+    tt.add_row({"stage_used", std::to_string(t.stage_used)});
+    tt.add_row({"stage_cap", std::to_string(t.stage_cap)});
+    tt.add_row({"staged_bytes", std::to_string(t.staged_bytes)});
+    tt.add_row({"drained_bytes", std::to_string(t.drained_bytes)});
+    tt.add_row({"spill_bytes", std::to_string(t.spill_bytes)});
+    tt.add_row({"pending_units", std::to_string(t.pending_units)});
+    tt.add_row({"units_evicted", std::to_string(t.units_evicted)});
+    tt.add_row({"stalls", std::to_string(t.stalls)});
+    tt.add_row({"retries", std::to_string(t.retries)});
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(t.drain_lag_ns) / 1e6);
+    tt.add_row({"drain_lag_ms", num});
+    out += "\n";
+    out += tt.render();
+  }
   if (epochs_ != nullptr) {
     auto recs = epochs_->records();
     if (auto open = epochs_->open_epoch(obs::now_ns())) recs.push_back(*open);
     if (!recs.empty()) {
       TextTable ep({"Epoch", "Label", "Files", "Bytes", "Chunks", "Agg ratio",
-                    "BW (MiB/s)", "Lag max (ms)", "State"});
+                    "BW (MiB/s)", "Lag max (ms)", "Drained", "Drain BW", "State"});
       char num[64];
       for (const auto& r : recs) {
         std::snprintf(num, sizeof(num), "%.2f", r.aggregation_ratio());
@@ -958,8 +1035,11 @@ std::string Crfs::stats_report() const {
         std::string bw = num;
         std::snprintf(num, sizeof(num), "%.3f",
                       static_cast<double>(r.durability_lag_max_ns) / 1e6);
+        std::string lag = num;
+        std::snprintf(num, sizeof(num), "%.1f", r.drain_bw() / (1024.0 * 1024.0));
         ep.add_row({std::to_string(r.id), r.label, std::to_string(r.files),
-                    std::to_string(r.bytes), std::to_string(r.chunks), agg, bw, num,
+                    std::to_string(r.bytes), std::to_string(r.chunks), agg, bw, lag,
+                    std::to_string(r.drained_bytes), num,
                     r.open ? "open" : "done"});
       }
       out += "\n";
@@ -1058,6 +1138,7 @@ std::string Crfs::stats_json() const {
   out += ",\"controller\":" + controller_json();
   out += ",\"journal\":" + journal_json();
   out += ",\"slo\":" + slo_json();
+  out += ",\"tier\":" + tier_json();
   out += "}";
   return out;
 }
@@ -1225,6 +1306,7 @@ std::string Crfs::render_postmortem() const {
   out += ",\"controller\":" + controller_json();
   out += ",\"journal\":" + journal_json();
   out += ",\"slo\":" + slo_json();
+  out += ",\"tier\":" + tier_json();
   if (sampler_ != nullptr) {
     out += ",\"samples_taken\":" + std::to_string(sampler_->samples_taken());
   }

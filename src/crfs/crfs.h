@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "backend/backend_fs.h"
+#include "backend/tiered_backend.h"
 #include "crfs/buffer_pool.h"
 #include "crfs/config.h"
 #include "crfs/file_table.h"
@@ -136,6 +137,20 @@ class Crfs {
   const Config& config() const { return cfg_; }
   const MountStats& stats() const { return stats_; }
   BackendFs& backend() { return *backend_; }
+
+  // -- Tiered staging (docs/PERFORMANCE.md "Tiered staging") ----------------
+  /// The TieredBackend this mount runs over, or nullptr when the backend
+  /// is not tiered. Detected at mount via dynamic_cast; when present the
+  /// mount wires epoch finalize -> seal_epoch, drain completion ->
+  /// EpochTracker::attach_drain, binds crfs.tier.* metrics, and registers
+  /// the drain_mbps/drain_parallel knobs against it.
+  TieredBackend* tiered_backend() { return tier_; }
+  const TieredBackend* tiered_backend() const { return tier_; }
+
+  /// The stats_json "tier" section ({"enabled":false} without a tier).
+  std::string tier_json() const {
+    return tier_ != nullptr ? tier_->tier_json() : "{\"enabled\":false}";
+  }
   BufferPool& buffer_pool() { return *pool_; }
   std::uint64_t backend_chunks_written() const { return io_pool_->chunks_written(); }
   std::size_t open_files() const { return table_.open_count(); }
@@ -326,6 +341,9 @@ class Crfs {
   void refresh_flight(bool force);
 
   std::shared_ptr<BackendFs> backend_;
+  /// backend_ as a TieredBackend when it is one (nullptr otherwise);
+  /// never owns — same lifetime as backend_.
+  TieredBackend* tier_ = nullptr;
   Config cfg_;
   // Declared before the pipeline pieces: instrumented stages hold
   // references into these, so they must outlive pool_/queue_/io_pool_.

@@ -217,6 +217,38 @@ Result<MountOptions> parse_mount_options(std::string_view text) {
       CRFS_RETURN_IF_ERROR(need_size(out.config.journal_segment_bytes));
     } else if (key == "journal_max") {
       CRFS_RETURN_IF_ERROR(need_size(out.config.journal_max_bytes));
+    } else if (key == "stage") {
+      if (value.empty()) {
+        return Error{EINVAL, "stage= needs 'mem' or a directory path"};
+      }
+      out.config.tier_stage = std::string(value);
+    } else if (key == "remote") {
+      if (value.empty()) {
+        return Error{EINVAL, "remote= needs a directory path"};
+      }
+      out.config.tier_remote = std::string(value);
+    } else if (key == "stage_cap") {
+      CRFS_RETURN_IF_ERROR(need_size(out.config.stage_cap));
+    } else if (key == "drain_mbps" || key == "drain_parallel") {
+      unsigned parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc{} || ptr != end) {
+        return Error{EINVAL, "bad value for option '" + std::string(key) + "': '" +
+                                 std::string(value) + "'"};
+      }
+      if (key == "drain_mbps") {
+        out.config.drain_mbps = parsed;
+      } else {
+        out.config.drain_parallel = parsed;
+      }
+    } else if (key == "fsync_mode") {
+      if (value != "stage" && value != "remote") {
+        return Error{EINVAL,
+                     "bad fsync_mode (want stage|remote): '" + std::string(value) + "'"};
+      }
+      out.config.fsync_mode = std::string(value);
     } else if (key == "big_writes") {
       out.fuse.big_writes = true;
     } else if (key == "no_big_writes") {
@@ -329,6 +361,24 @@ std::string format_mount_options(const MountOptions& options) {
     }
     if (options.config.slo_long_s != Config{}.slo_long_s) {
       s += ",slo_long_s=" + std::to_string(options.config.slo_long_s);
+    }
+  }
+  if (!options.config.tier_stage.empty()) {
+    s += ",stage=" + options.config.tier_stage;
+    if (!options.config.tier_remote.empty()) {
+      s += ",remote=" + options.config.tier_remote;
+    }
+    if (options.config.stage_cap != 0) {
+      s += ",stage_cap=" + exact_size(options.config.stage_cap);
+    }
+    if (options.config.drain_mbps != 0) {
+      s += ",drain_mbps=" + std::to_string(options.config.drain_mbps);
+    }
+    if (options.config.drain_parallel != Config{}.drain_parallel) {
+      s += ",drain_parallel=" + std::to_string(options.config.drain_parallel);
+    }
+    if (options.config.fsync_mode != Config{}.fsync_mode) {
+      s += ",fsync_mode=" + options.config.fsync_mode;
     }
   }
   if (options.config.controller) s += ",controller=on";

@@ -139,6 +139,7 @@ Controller::Controller(ControllerConfig cfg, DecisionLog& log, EventBuffer* heal
     c_fired_[kWiden] = &metrics_->counter("crfs.ctl.fired.widen_io");
     c_fired_[kShed] = &metrics_->counter("crfs.ctl.fired.shed_io");
     c_fired_[kShedReadahead] = &metrics_->counter("crfs.ctl.fired.shed_readahead");
+    c_fired_[kShedDrain] = &metrics_->counter("crfs.ctl.fired.shed_drain");
   }
 }
 
@@ -235,6 +236,37 @@ void Controller::tick(const Sample& s) {
     const double window = read_("readahead_window", 0.0);
     if (window > 1.0) {
       fire(s, kShedReadahead, "shed_readahead", "readahead_window", window / 2.0);
+    }
+  }
+
+  // shed_drain: the tier's background drain is slow (remote saturated)
+  // while checkpoint writes queue — halve drain_mbps so the drain yields
+  // the remote to the burst; restore the pre-shed value once an epoch
+  // finalizes (the burst's unit is sealed; the drain should catch up).
+  std::uint64_t epochs_completed = 0;
+  for (const auto& [cname, cval] : s.snap.counters) {
+    if (cname == "crfs.epoch.completed") {
+      epochs_completed = cval;
+      break;
+    }
+  }
+  if (drain_shed_active_ && epochs_completed > drain_shed_epoch_mark_) {
+    // Restore edge: deliberately bypasses the cooldown — holding the
+    // drain shed past the burst trades durability lag for nothing.
+    fire(s, kShedDrain, "shed_drain", "drain_mbps", drain_preshed_);
+    drain_shed_active_ = false;
+  } else if (!drain_shed_active_) {
+    const HistogramSnapshot* dr = s.histogram("crfs.tier.drain_pwrite_ns");
+    const double drain_p99 = (dr != nullptr && dr->count > 0) ? dr->p99() : 0.0;
+    if (drain_p99 >= cfg_.shed_min_p99_ns && depth >= cfg_.shed_min_depth &&
+        cooled(kShedDrain, s.ts_ns)) {
+      const double cur = read_("drain_mbps", 0.0);
+      if (cur > 0.0) {
+        drain_preshed_ = cur;
+        drain_shed_epoch_mark_ = epochs_completed;
+        drain_shed_active_ = true;
+        fire(s, kShedDrain, "shed_drain", "drain_mbps", cur / 2.0);
+      }
     }
   }
 

@@ -24,6 +24,12 @@
 //               checkpoint writes also queue: restore prefetch is
 //               competing with checkpoint traffic on a saturated backend,
 //               so halve readahead_window (floor 1).
+//   shed_drain  drain pwrite p99 (crfs.tier.drain_pwrite_ns) above
+//               shed_min_p99_ns while checkpoint writes queue: the tier's
+//               background drain is competing with the burst on a
+//               saturated remote, so halve drain_mbps to protect
+//               absorption — and restore the pre-shed value as soon as
+//               the burst epoch finalizes (crfs.epoch.completed edges).
 //
 // tick() is clock-agnostic: it only reads the Sample's ts_ns, so the same
 // Controller runs on the real Sampler thread (monotonic clock) and inside
@@ -160,7 +166,14 @@ class Controller {
   const ControllerConfig& config() const { return cfg_; }
 
  private:
-  enum Rule { kGrow = 0, kWiden = 1, kShed = 2, kShedReadahead = 3, kRuleCount };
+  enum Rule {
+    kGrow = 0,
+    kWiden = 1,
+    kShed = 2,
+    kShedReadahead = 3,
+    kShedDrain = 4,
+    kRuleCount
+  };
 
   bool cooled(Rule r, std::uint64_t ts_ns) const;
   void fire(const Sample& s, Rule r, const char* rule_name, std::string_view knob,
@@ -174,15 +187,21 @@ class Controller {
   KnobTuneFn tune_;
 
   Counter* c_ticks_ = nullptr;
-  Counter* c_fired_[kRuleCount] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* c_fired_[kRuleCount] = {};
 
   std::atomic<std::uint64_t> ticks_{0};
   std::uint64_t seen_events_ = 0;
   bool have_prev_depth_ = false;
   std::int64_t prev_depth_ = 0;
   unsigned rising_run_ = 0;
-  std::uint64_t last_fire_ns_[kRuleCount] = {0, 0, 0, 0};
-  bool fired_once_[kRuleCount] = {false, false, false, false};
+  std::uint64_t last_fire_ns_[kRuleCount] = {};
+  bool fired_once_[kRuleCount] = {};
+
+  // shed_drain episode state: the rule restores drain_mbps to the value
+  // it halved from once an epoch finalizes while shed.
+  bool drain_shed_active_ = false;
+  double drain_preshed_ = 0.0;
+  std::uint64_t drain_shed_epoch_mark_ = 0;
 };
 
 }  // namespace crfs::obs

@@ -1,5 +1,6 @@
 #include "obs/epoch.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/prom.h"
@@ -65,6 +66,11 @@ std::string EpochRecord::to_json() const {
   out += ",\"aggregation_ratio\":" + format_double(aggregation_ratio());
   out += ",\"effective_bw_bytes_per_sec\":" + format_double(effective_bw());
   out += ",\"durability_lag_mean_ns\":" + format_double(mean_durability_lag_ns());
+  // Tier drain keys append at the end: existing consumers index by name.
+  out += ",\"drained_bytes\":" + std::to_string(drained_bytes);
+  out += ",\"drain_ns\":" + std::to_string(drain_ns);
+  out += ",\"drain_end_ns\":" + std::to_string(drain_end_ns);
+  out += ",\"drain_bw_bytes_per_sec\":" + format_double(drain_bw());
   out += "}";
   return out;
 }
@@ -175,8 +181,8 @@ void EpochTracker::start_locked(std::string label, std::string key,
   if (g_open_ != nullptr) g_open_->set(static_cast<std::int64_t>(active_->id));
 }
 
-void EpochTracker::finalize_locked(std::uint64_t end_ns) {
-  if (active_ == nullptr) return;
+std::optional<EpochRecord> EpochTracker::finalize_locked(std::uint64_t end_ns) {
+  if (active_ == nullptr) return std::nullopt;
   EpochRecord r = snapshot_locked(*active_, end_ns, /*open=*/false);
   if (c_completed_ != nullptr) {
     c_completed_->add(1);
@@ -184,40 +190,74 @@ void EpochTracker::finalize_locked(std::uint64_t end_ns) {
     c_files_->add(r.files);
     c_chunks_->add(r.chunks);
   }
-  ledger_.push_back(std::move(r));
+  ledger_.push_back(r);
   while (ledger_.size() > opts_.ledger_capacity) ledger_.pop_front();
   finalized_total_ += 1;
   active_.reset();
   active_paths_.clear();
   open_handles_ = 0;
   if (g_open_ != nullptr) g_open_->set(0);
+  return r;
+}
+
+void EpochTracker::notify_finalized(const std::optional<EpochRecord>& rec) {
+  if (!rec.has_value()) return;
+  FinalizeFn fn;
+  {
+    std::lock_guard lock(mu_);
+    fn = finalize_listener_;
+  }
+  if (fn) fn(*rec);
+}
+
+void EpochTracker::set_finalize_listener(FinalizeFn fn) {
+  std::lock_guard lock(mu_);
+  finalize_listener_ = std::move(fn);
+}
+
+void EpochTracker::attach_drain(std::uint64_t id, std::uint64_t drained_bytes,
+                                std::uint64_t drain_ns, std::uint64_t drain_end_ns) {
+  std::lock_guard lock(mu_);
+  for (auto it = ledger_.rbegin(); it != ledger_.rend(); ++it) {
+    if (it->id != id) continue;
+    it->drained_bytes += drained_bytes;
+    it->drain_ns += drain_ns;
+    it->drain_end_ns = std::max(it->drain_end_ns, drain_end_ns);
+    return;
+  }
 }
 
 std::shared_ptr<EpochState> EpochTracker::on_open(const std::string& path,
                                                   std::uint64_t now_ns) {
-  std::lock_guard lock(mu_);
-  const std::string key = ckpt_key(path);
-  if (active_ != nullptr && !active_->explicit_marker) {
-    // A new .ckpt generation always starts a new epoch; otherwise rotate
-    // only after the correlation window has gone quiet with nothing of
-    // the current epoch still open.
-    const bool generation_changed =
-        !key.empty() && !active_->ckpt_key.empty() && key != active_->ckpt_key;
-    const bool gap_expired = open_handles_ == 0 && now_ns >= last_event_ns_ &&
-                             now_ns - last_event_ns_ > gap_ns();
-    if (generation_changed || gap_expired) finalize_locked(now_ns);
+  std::optional<EpochRecord> done;
+  std::shared_ptr<EpochState> out;
+  {
+    std::lock_guard lock(mu_);
+    const std::string key = ckpt_key(path);
+    if (active_ != nullptr && !active_->explicit_marker) {
+      // A new .ckpt generation always starts a new epoch; otherwise rotate
+      // only after the correlation window has gone quiet with nothing of
+      // the current epoch still open.
+      const bool generation_changed =
+          !key.empty() && !active_->ckpt_key.empty() && key != active_->ckpt_key;
+      const bool gap_expired = open_handles_ == 0 && now_ns >= last_event_ns_ &&
+                               now_ns - last_event_ns_ > gap_ns();
+      if (generation_changed || gap_expired) done = finalize_locked(now_ns);
+    }
+    if (active_ == nullptr) {
+      const std::string label =
+          key.empty() ? "epoch-" + std::to_string(next_id_) : key;
+      start_locked(label, key, now_ns, /*explicit_marker=*/false);
+    }
+    if (active_paths_.insert(path).second) {
+      active_->files.fetch_add(1, std::memory_order_relaxed);
+    }
+    open_handles_ += 1;
+    last_event_ns_ = now_ns;
+    out = active_;
   }
-  if (active_ == nullptr) {
-    const std::string label =
-        key.empty() ? "epoch-" + std::to_string(next_id_) : key;
-    start_locked(label, key, now_ns, /*explicit_marker=*/false);
-  }
-  if (active_paths_.insert(path).second) {
-    active_->files.fetch_add(1, std::memory_order_relaxed);
-  }
-  open_handles_ += 1;
-  last_event_ns_ = now_ns;
-  return active_;
+  notify_finalized(done);
+  return out;
 }
 
 void EpochTracker::on_close(const std::string&, std::uint64_t now_ns) {
@@ -227,22 +267,34 @@ void EpochTracker::on_close(const std::string&, std::uint64_t now_ns) {
 }
 
 void EpochTracker::begin(std::string label, std::uint64_t now_ns) {
-  std::lock_guard lock(mu_);
-  finalize_locked(now_ns);
-  if (label.empty()) label = "epoch-" + std::to_string(next_id_);
-  start_locked(std::move(label), /*key=*/"", now_ns, /*explicit_marker=*/true);
-  last_event_ns_ = now_ns;
+  std::optional<EpochRecord> done;
+  {
+    std::lock_guard lock(mu_);
+    done = finalize_locked(now_ns);
+    if (label.empty()) label = "epoch-" + std::to_string(next_id_);
+    start_locked(std::move(label), /*key=*/"", now_ns, /*explicit_marker=*/true);
+    last_event_ns_ = now_ns;
+  }
+  notify_finalized(done);
 }
 
 void EpochTracker::end(std::uint64_t now_ns) {
-  std::lock_guard lock(mu_);
-  finalize_locked(now_ns);
-  last_event_ns_ = now_ns;
+  std::optional<EpochRecord> done;
+  {
+    std::lock_guard lock(mu_);
+    done = finalize_locked(now_ns);
+    last_event_ns_ = now_ns;
+  }
+  notify_finalized(done);
 }
 
 void EpochTracker::finalize_open(std::uint64_t now_ns) {
-  std::lock_guard lock(mu_);
-  finalize_locked(now_ns);
+  std::optional<EpochRecord> done;
+  {
+    std::lock_guard lock(mu_);
+    done = finalize_locked(now_ns);
+  }
+  notify_finalized(done);
 }
 
 std::vector<EpochRecord> EpochTracker::records() const {

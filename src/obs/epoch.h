@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -118,6 +119,14 @@ struct EpochRecord {
   std::uint64_t device_ns = 0;
   std::uint64_t barrier_ns = 0;
 
+  // Tiered staging (docs/PERFORMANCE.md "Tiered staging"): filled in
+  // after finalize by attach_drain() when the epoch's drain unit becomes
+  // remote-durable. All zero for non-tiered mounts or not-yet-drained
+  // epochs.
+  std::uint64_t drained_bytes = 0;  ///< staged bytes landed on the remote
+  std::uint64_t drain_ns = 0;       ///< wall time the drain copy took
+  std::uint64_t drain_end_ns = 0;   ///< when the epoch became remote-durable
+
   double wall_seconds() const {
     return end_ns > start_ns ? static_cast<double>(end_ns - start_ns) / 1e9 : 0.0;
   }
@@ -136,6 +145,16 @@ struct EpochRecord {
     return chunks > 0 ? static_cast<double>(durability_lag_sum_ns) /
                             static_cast<double>(chunks)
                       : 0.0;
+  }
+  /// Drained bytes over the drain copy's wall time (remote-tier BW).
+  double drain_bw() const {
+    return drain_ns > 0
+               ? static_cast<double>(drained_bytes) / (static_cast<double>(drain_ns) / 1e9)
+               : 0.0;
+  }
+  /// Seal -> remote-durable lag of this epoch (0 until drained).
+  std::uint64_t drain_lag_ns() const {
+    return drain_end_ns > end_ns ? drain_end_ns - end_ns : 0;
   }
 
   /// One JSON object; keys are part of the stats_json schema contract
@@ -187,6 +206,20 @@ class EpochTracker {
   /// Unmount: finalize whatever is still open.
   void finalize_open(std::uint64_t now_ns);
 
+  /// Invoked with every finalized EpochRecord, OUTSIDE the tracker lock
+  /// (safe to call back into the tracker or into a backend). The mount
+  /// wires this to TieredBackend::seal_epoch so a finalized epoch seals
+  /// its drain unit. Set before concurrent use.
+  using FinalizeFn = std::function<void(const EpochRecord&)>;
+  void set_finalize_listener(FinalizeFn fn);
+
+  /// Amends the ledger row of epoch `id` with its drain outcome (called
+  /// from the tier's drain thread once the epoch is remote-durable;
+  /// accumulates, so a re-drained epoch adds up). No-op when the row was
+  /// evicted or `id` is unknown.
+  void attach_drain(std::uint64_t id, std::uint64_t drained_bytes,
+                    std::uint64_t drain_ns, std::uint64_t drain_end_ns);
+
   /// Finished records, oldest first.
   std::vector<EpochRecord> records() const;
 
@@ -212,7 +245,11 @@ class EpochTracker {
  private:
   EpochRecord snapshot_locked(const EpochState& st, std::uint64_t end_ns,
                               bool open) const;
-  void finalize_locked(std::uint64_t end_ns);
+  /// Returns the finalized record (if there was an active epoch) so the
+  /// caller can fire the finalize listener after dropping mu_.
+  std::optional<EpochRecord> finalize_locked(std::uint64_t end_ns);
+  /// Fires the listener for `rec` outside mu_ (no-op for nullopt).
+  void notify_finalized(const std::optional<EpochRecord>& rec);
   void start_locked(std::string label, std::string key, std::uint64_t now_ns,
                     bool explicit_marker);
 
@@ -232,6 +269,7 @@ class EpochTracker {
   std::uint64_t next_id_ = 1;
   std::uint64_t finalized_total_ = 0;
   std::deque<EpochRecord> ledger_;
+  FinalizeFn finalize_listener_;
 };
 
 }  // namespace crfs::obs

@@ -234,7 +234,7 @@ TEST(CrfsTune, StatsJsonCarriesSchemaVersionAndControllerSection) {
   EXPECT_EQ((*decisions->array)[0].get("knob")->string, "pool_chunks");
   const auto* knobs = ctl->get("knob_plane")->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 10u);
+  EXPECT_EQ(knobs->array->size(), 12u);
 }
 
 // ----------------------------------------------- .crfs_tune control file

@@ -156,7 +156,8 @@ std::vector<std::string> object_keys(const obs::json::Value& v) {
 const std::vector<std::string>& shared_section_keys() {
   static const std::vector<std::string> keys = {
       "controller", "epochs", "epochs_completed", "events",          "journal",
-      "mount",      "pipeline", "schema_version", "slo",             "slow"};
+      "mount",      "pipeline", "schema_version", "slo",             "slow",
+      "tier"};
   return keys;
 }
 
@@ -186,6 +187,9 @@ TEST(CrfsctlCli, StatsJsonGoldenKeySet) {
   ASSERT_NE(parsed->get("slo"), nullptr);
   EXPECT_TRUE(parsed->get("slo")->is_object());
   EXPECT_FALSE(parsed->get("slo")->get("enabled")->boolean);
+  ASSERT_NE(parsed->get("tier"), nullptr);
+  EXPECT_TRUE(parsed->get("tier")->is_object());
+  EXPECT_FALSE(parsed->get("tier")->get("enabled")->boolean);
 
   const std::vector<std::string> expected_controller = {
       "decisions", "decisions_total", "enabled", "generation", "knob_plane",
@@ -247,6 +251,10 @@ TEST(CrfsctlCli, ReportJsonIsArrayOfEpochRecords) {
                                             "chunks",
                                             "copy_ns",
                                             "device_ns",
+                                            "drain_bw_bytes_per_sec",
+                                            "drain_end_ns",
+                                            "drain_ns",
+                                            "drained_bytes",
                                             "durability_lag_max_ns",
                                             "durability_lag_mean_ns",
                                             "durability_lag_sum_ns",
@@ -364,6 +372,7 @@ TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
   EXPECT_NE(table.output.find("pool_chunks"), std::string::npos);
   EXPECT_NE(table.output.find("uring_depth"), std::string::npos);
   EXPECT_NE(table.output.find("journal_fsync_ms"), std::string::npos);
+  EXPECT_NE(table.output.find("drain_mbps"), std::string::npos);
 
   const RunResult res = run_crfsctl("knobs " + dir + " --json");
   ASSERT_EQ(res.exit_code, 0) << res.output;
@@ -372,7 +381,7 @@ TEST(CrfsctlCli, KnobsPrintsTheRuntimeKnobTable) {
   EXPECT_DOUBLE_EQ(parsed->get("generation")->number, 0.0);
   const auto* knobs = parsed->get("knobs");
   ASSERT_TRUE(knobs != nullptr && knobs->is_array());
-  EXPECT_EQ(knobs->array->size(), 10u);
+  EXPECT_EQ(knobs->array->size(), 12u);
   const std::vector<std::string> knob_keys = {"max", "min", "name", "unit", "value"};
   for (const auto& k : *knobs->array) EXPECT_EQ(object_keys(k), knob_keys);
 }
